@@ -1,0 +1,54 @@
+// Ablation (§4.3): Algorithm 3's removal-side policies. The paper argues
+// the size-ratio rule is simpler and faster than the naive max-degree rule
+// because it needs only one degree array per pass; this bench quantifies
+// the quality and time difference on the livejournal stand-in.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/algorithm3.h"
+#include "gen/datasets.h"
+#include "graph/directed_graph.h"
+
+int main() {
+  using namespace densest;
+  bench::Banner("Ablation: directed removal rule",
+                "size-ratio rule vs naive max-degree rule (livejournal-sim)");
+  auto csv = bench::OpenCsv("ablation_directed_rule",
+                            {"rule", "c", "rho", "passes", "seconds"});
+
+  DirectedGraph g = DirectedGraph::FromEdgeList(MakeLiveJournalSim(3));
+  std::printf("graph: |V|=%u |E|=%llu\n\n", g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()));
+  std::printf("%-12s %-10s %10s %8s %10s\n", "rule", "c", "rho", "passes",
+              "seconds");
+
+  for (double c : {0.25, 1.0, 4.0}) {
+    for (auto rule : {DirectedRemovalRule::kSizeRatio,
+                      DirectedRemovalRule::kMaxDegree}) {
+      Algorithm3Options opt;
+      opt.c = c;
+      opt.epsilon = 1.0;
+      opt.rule = rule;
+      opt.record_trace = false;
+      WallTimer t;
+      auto r = RunAlgorithm3(g, opt);
+      if (!r.ok()) return 1;
+      const char* name =
+          rule == DirectedRemovalRule::kSizeRatio ? "size-ratio" : "max-degree";
+      std::printf("%-12s %-10.3g %10.3f %8llu %10.3f\n", name, c,
+                  r->density, static_cast<unsigned long long>(r->passes),
+                  t.ElapsedSeconds());
+      if (csv.ok()) {
+        csv->AddRow({name, CsvWriter::Num(c), CsvWriter::Num(r->density),
+                     std::to_string(r->passes),
+                     CsvWriter::Num(t.ElapsedSeconds())});
+      }
+    }
+  }
+  std::printf("\nExpected shape: comparable density; the size-ratio rule "
+              "is the faster of the two (single degree scan per pass), "
+              "matching the paper's 'significant speedup in practice'.\n");
+  return 0;
+}

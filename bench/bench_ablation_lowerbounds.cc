@@ -1,0 +1,67 @@
+// Ablation (§4.1.1): the paper's pass lower-bound constructions.
+// (a) Lemma 5: disjoint regular blocks force Omega(log n / log log n)
+//     passes — passes grow with k.
+// (b) Lemma 6: the deterministic weighted preferential-attachment graph
+//     forces Omega(log n) passes at small eps.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/algorithm1.h"
+#include "gen/lower_bound.h"
+#include "gen/preferential_attachment.h"
+#include "graph/undirected_graph.h"
+
+int main() {
+  using namespace densest;
+  bench::Banner("Ablation: pass lower bounds (Lemmas 5 and 6)",
+                "Constructions on which batch peeling needs many passes");
+  auto csv = bench::OpenCsv("ablation_lowerbounds",
+                            {"construction", "param", "nodes", "eps",
+                             "passes", "rho"});
+
+  std::printf("Lemma 5 construction (eps=0.001):\n");
+  std::printf("%4s %10s %10s %8s %10s\n", "k", "|V|", "|E|", "passes",
+              "rho");
+  for (int k = 3; k <= 7; ++k) {
+    EdgeList e = Lemma5Construction(k);
+    UndirectedGraph g = UndirectedGraph::FromEdgeList(e);
+    Algorithm1Options opt;
+    opt.epsilon = 0.001;
+    opt.record_trace = false;
+    auto r = RunAlgorithm1(g, opt);
+    if (!r.ok()) return 1;
+    std::printf("%4d %10u %10llu %8llu %10.2f\n", k, g.num_nodes(),
+                static_cast<unsigned long long>(g.num_edges()),
+                static_cast<unsigned long long>(r->passes), r->density);
+    if (csv.ok()) {
+      csv->AddRow({"lemma5", std::to_string(k),
+                   std::to_string(g.num_nodes()), "0.001",
+                   std::to_string(r->passes), CsvWriter::Num(r->density)});
+    }
+  }
+
+  std::printf("\nLemma 6 weighted preferential attachment (eps=0.001):\n");
+  std::printf("%6s %10s %8s %10s\n", "n", "|E|", "passes", "rho");
+  for (NodeId n : {200u, 400u, 800u, 1600u}) {
+    EdgeList e = DeterministicWeightedPA(n);
+    UndirectedGraph g = UndirectedGraph::FromEdgeList(e);
+    Algorithm1Options opt;
+    opt.epsilon = 0.001;
+    opt.record_trace = false;
+    auto r = RunAlgorithm1(g, opt);
+    if (!r.ok()) return 1;
+    std::printf("%6u %10llu %8llu %10.4f\n", n,
+                static_cast<unsigned long long>(g.num_edges()),
+                static_cast<unsigned long long>(r->passes), r->density);
+    if (csv.ok()) {
+      csv->AddRow({"lemma6_pa", std::to_string(n),
+                   std::to_string(g.num_nodes()), "0.001",
+                   std::to_string(r->passes), CsvWriter::Num(r->density)});
+    }
+  }
+  std::printf("\nExpected shape: Lemma 5 passes grow with k; Lemma 6 passes "
+              "grow roughly like log n (vs the ~5 passes social graphs "
+              "need) — the analysis of Lemma 4 is tight.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation: batch peeling (Algorithm 1) vs Charikar's node-at-a-time
+// greedy vs the max-core baseline vs the exact flow solver, on one
+// social-graph stand-in: quality, passes, and local wall-clock.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/algorithm1.h"
+#include "core/charikar.h"
+#include "core/kcore.h"
+#include "flow/goldberg.h"
+#include "gen/datasets.h"
+#include "graph/undirected_graph.h"
+
+int main() {
+  using namespace densest;
+  bench::Banner("Ablation: peeling strategies",
+                "Batch peeling vs greedy vs core vs exact on flickr-sim");
+  auto csv = bench::OpenCsv("ablation_peeling",
+                            {"method", "rho", "passes", "seconds"});
+
+  UndirectedGraph g = UndirectedGraph::FromEdgeList(MakeFlickrSim(1));
+  std::printf("graph: |V|=%u |E|=%llu\n\n", g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()));
+  std::printf("%-24s %10s %12s %10s\n", "method", "rho", "passes",
+              "seconds");
+
+  auto report = [&](const char* name, double rho, uint64_t passes,
+                    double seconds) {
+    std::printf("%-24s %10.3f %12llu %10.3f\n", name, rho,
+                static_cast<unsigned long long>(passes), seconds);
+    if (csv.ok()) {
+      csv->AddRow({name, CsvWriter::Num(rho), std::to_string(passes),
+                   CsvWriter::Num(seconds)});
+    }
+  };
+
+  for (double eps : {0.0, 0.5, 1.0, 2.0}) {
+    Algorithm1Options opt;
+    opt.epsilon = eps;
+    opt.record_trace = false;
+    WallTimer t;
+    auto r = RunAlgorithm1(g, opt);
+    if (!r.ok()) return 1;
+    char name[64];
+    std::snprintf(name, sizeof(name), "algorithm1(eps=%.1f)", eps);
+    report(name, r->density, r->passes, t.ElapsedSeconds());
+  }
+  {
+    WallTimer t;
+    CharikarResult r = CharikarPeel(g);
+    report("charikar greedy", r.best.density, r.best.passes,
+           t.ElapsedSeconds());
+  }
+  {
+    WallTimer t;
+    UndirectedDensestResult r = MaxCoreBaseline(g);
+    report("max-core baseline", r.density, r.passes, t.ElapsedSeconds());
+  }
+  {
+    WallTimer t;
+    auto r = ExactDensestSubgraph(g);
+    if (!r.ok()) return 1;
+    report("exact (flow)", r->density,
+           static_cast<uint64_t>(r->flow_iterations), t.ElapsedSeconds());
+  }
+  std::printf("\nExpected shape: Algorithm 1 matches greedy's quality in "
+              "orders of magnitude fewer passes; exact costs far more time "
+              "for a small density gain.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Copyright 2026 The densest Authors.
+// Shared helpers for the reproduction harness binaries: banner printing,
+// aligned table output, and CSV persistence.
+
+#ifndef DENSEST_BENCH_BENCH_COMMON_H_
+#define DENSEST_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "io/csv_writer.h"
+
+namespace densest::bench {
+
+/// Prints the standard banner tying a binary to its paper artifact.
+inline void Banner(const std::string& artifact, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s  (Bahmani, Kumar, Vassilvitskii, VLDB 2012)\n",
+              artifact.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Ensures ./bench_results exists and returns the CSV path for `name`.
+inline std::string CsvPath(const std::string& name) {
+  ::mkdir("bench_results", 0755);
+  return "bench_results/" + name + ".csv";
+}
+
+/// Opens the CSV for a harness binary; on failure returns a writer that is
+/// not usable, and the caller just skips CSV output.
+inline StatusOr<CsvWriter> OpenCsv(const std::string& name,
+                                   const std::vector<std::string>& header) {
+  return CsvWriter::Open(CsvPath(name), header);
+}
+
+}  // namespace densest::bench
+
+#endif  // DENSEST_BENCH_BENCH_COMMON_H_

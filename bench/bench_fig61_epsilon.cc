@@ -1,0 +1,66 @@
+// Reproduces Figure 6.1: the effect of eps on (a) the approximation
+// relative to the eps=0 run and (b) the number of passes, on the flickr
+// and im stand-ins.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/algorithm1.h"
+#include "gen/datasets.h"
+#include "graph/undirected_graph.h"
+
+namespace {
+
+using namespace densest;
+
+void Sweep(const char* name, const UndirectedGraph& g, CsvWriter* csv) {
+  Algorithm1Options base;
+  base.epsilon = 0.0;
+  base.record_trace = false;
+  auto baseline = RunAlgorithm1(g, base);
+  if (!baseline.ok()) return;
+  std::printf("\n%s: rho=%.2f at eps=0 (%llu passes)\n", name,
+              baseline->density,
+              static_cast<unsigned long long>(baseline->passes));
+  std::printf("%6s %18s %8s\n", "eps", "approx wrt eps=0", "passes");
+
+  for (double eps = 0.0; eps <= 2.51; eps += 0.25) {
+    Algorithm1Options opt;
+    opt.epsilon = eps;
+    opt.record_trace = false;
+    auto r = RunAlgorithm1(g, opt);
+    if (!r.ok()) continue;
+    double rel = r->density / baseline->density;
+    std::printf("%6.2f %18.4f %8llu\n", eps, rel,
+                static_cast<unsigned long long>(r->passes));
+    if (csv != nullptr) {
+      csv->AddRow({name, CsvWriter::Num(eps), CsvWriter::Num(r->density),
+                   CsvWriter::Num(rel), std::to_string(r->passes)});
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace densest;
+  bench::Banner("Figure 6.1",
+                "eps vs approximation (relative to eps=0) and eps vs passes");
+  auto csv = bench::OpenCsv(
+      "fig61_epsilon", {"dataset", "eps", "rho", "rho_rel_eps0", "passes"});
+  CsvWriter* csv_ptr = csv.ok() ? &csv.value() : nullptr;
+
+  {
+    UndirectedGraph flickr = UndirectedGraph::FromEdgeList(MakeFlickrSim(1));
+    Sweep("FLICKR-sim", flickr, csv_ptr);
+  }
+  {
+    UndirectedGraph im = UndirectedGraph::FromEdgeList(MakeImSim(2));
+    Sweep("IM-sim", im, csv_ptr);
+  }
+  std::printf("\nPaper's observation to reproduce: eps in [0.5, 1] halves "
+              "the passes while losing ~10%% density; quality is not "
+              "monotone in eps.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Figure 6.7: wall-clock time per MapReduce pass on the im
+// stand-in, eps in {0, 1, 2}. The jobs execute for real in the simulator;
+// the reported minutes come from the calibrated cluster cost model
+// (2000 mappers / 2000 reducers, per DESIGN.md section 3).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "gen/datasets.h"
+#include "mapreduce/mr_densest.h"
+
+int main() {
+  using namespace densest;
+  bench::Banner("Figure 6.7",
+                "im-sim: simulated MapReduce minutes per pass (2000 mappers"
+                "/2000 reducers model)");
+  auto csv = bench::OpenCsv("fig67_mapreduce",
+                            {"eps", "pass", "sim_minutes", "rho"});
+
+  EdgeList im = MakeImSim(2);
+  std::printf("graph: |V|=%u |E|=%llu\n", im.num_nodes(),
+              static_cast<unsigned long long>(im.num_edges()));
+
+  // Calibrated against the paper's scale: im is ~2500x larger than the
+  // stand-in, so per-record costs are scaled by 2500 to emulate the real
+  // input volume. The base per-record cost (~93 us incl. disk and sort) is
+  // chosen so the first eps=0 pass lands near the paper's ~60 minutes;
+  // the *shape* (decay to the job-overhead floor) is the reproduced object.
+  CostModel model;
+  model.num_mappers = 2000;
+  model.num_reducers = 2000;
+  model.map_seconds_per_record = 9.3e-5 * 2500;
+  model.reduce_seconds_per_record = 9.3e-5 * 2500;
+  model.shuffle_seconds_per_byte = 4e-9 * 2500;
+  model.job_overhead_seconds = 75.0;
+
+  WallTimer wall;
+  for (double eps : {0.0, 1.0, 2.0}) {
+    MapReduceEnv env(model);
+    MrDensestOptions opt;
+    opt.epsilon = eps;
+    auto r = RunMrDensestUndirected(env, im, opt);
+    if (!r.ok()) {
+      std::printf("MR driver failed: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\neps=%.0f (%llu passes, best rho=%.2f)\n", eps,
+                static_cast<unsigned long long>(r->result.passes),
+                r->result.density);
+    std::printf("  %-6s %14s\n", "pass", "sim minutes");
+    for (size_t i = 0; i < r->pass_seconds.size(); ++i) {
+      double minutes = r->pass_seconds[i] / 60.0;
+      std::printf("  %-6zu %14.1f\n", i + 1, minutes);
+      if (csv.ok()) {
+        csv->AddRow({CsvWriter::Num(eps), std::to_string(i + 1),
+                     CsvWriter::Num(minutes),
+                     CsvWriter::Num(r->result.trace[i].density)});
+      }
+    }
+  }
+  std::printf("\n[real local execution time: %.1fs]\n", wall.ElapsedSeconds());
+  std::printf("Paper's observation to reproduce: per-pass time decays to a "
+              "job-overhead floor as the graph shrinks; the whole im run "
+              "stays under ~260 minutes.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Table 1: parameters of the graphs used in the experiments.
+// Prints the paper's reported sizes next to the generated stand-ins.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "gen/datasets.h"
+#include "graph/directed_graph.h"
+#include "graph/stats.h"
+#include "graph/undirected_graph.h"
+
+namespace {
+
+using namespace densest;
+
+void Report(const DatasetInfo& info, const EdgeList& edges,
+            CsvWriter* csv) {
+  GraphStats stats;
+  if (info.directed) {
+    stats = ComputeStats(DirectedGraph::FromEdgeList(edges));
+  } else {
+    stats = ComputeStats(UndirectedGraph::FromEdgeList(edges));
+  }
+  std::printf("%-16s %-10s paper: |V|=%-11llu |E|=%-12llu  sim: |V|=%-8u |E|=%-9llu maxdeg=%u\n",
+              info.name.c_str(), info.directed ? "directed" : "undirected",
+              static_cast<unsigned long long>(info.paper_nodes),
+              static_cast<unsigned long long>(info.paper_edges),
+              stats.num_nodes,
+              static_cast<unsigned long long>(stats.num_edges),
+              stats.max_degree);
+  if (csv != nullptr) {
+    csv->AddRow({info.name, info.directed ? "directed" : "undirected",
+                 std::to_string(info.paper_nodes),
+                 std::to_string(info.paper_edges),
+                 std::to_string(stats.num_nodes),
+                 std::to_string(stats.num_edges),
+                 std::to_string(stats.max_degree)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace densest;
+  bench::Banner("Table 1", "Parameters of the graphs used in the experiments "
+                           "(synthetic stand-ins; see DESIGN.md section 3)");
+
+  auto csv = bench::OpenCsv(
+      "table1_datasets",
+      {"dataset", "type", "paper_nodes", "paper_edges", "sim_nodes",
+       "sim_edges", "sim_max_degree"});
+  CsvWriter* csv_ptr = csv.ok() ? &csv.value() : nullptr;
+
+  auto infos = Table1Datasets();
+  WallTimer timer;
+  Report(infos[0], MakeFlickrSim(1), csv_ptr);
+  Report(infos[1], MakeImSim(2), csv_ptr);
+  Report(infos[2], MakeLiveJournalSim(3), csv_ptr);
+  Report(infos[3], MakeTwitterSim(4), csv_ptr);
+  std::printf("[generated all four stand-ins in %.1fs]\n",
+              timer.ElapsedSeconds());
+  return 0;
+}

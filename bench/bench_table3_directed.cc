@@ -1,0 +1,53 @@
+// Reproduces Table 3: directed density rho on the livejournal stand-in
+// for delta in {2, 10, 100} and eps in {0, 1, 2} (c searched in powers
+// of delta; coarser delta = fewer c values = worse density).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/algorithm3.h"
+#include "gen/datasets.h"
+#include "graph/directed_graph.h"
+
+int main() {
+  using namespace densest;
+  bench::Banner("Table 3",
+                "livejournal-sim: rho for different delta and eps");
+  auto csv =
+      bench::OpenCsv("table3_directed", {"eps", "delta", "rho", "runs"});
+
+  DirectedGraph g = DirectedGraph::FromEdgeList(MakeLiveJournalSim(3));
+  std::printf("graph: |V|=%u |E|=%llu\n\n", g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  const double deltas[] = {2, 10, 100};
+  std::printf("%6s | %10s %10s %10s\n", "eps", "delta=2", "delta=10",
+              "delta=100");
+  for (double eps : {0.0, 1.0, 2.0}) {
+    std::printf("%6.0f |", eps);
+    for (double delta : deltas) {
+      CSearchOptions opt;
+      opt.delta = delta;
+      opt.epsilon = eps;
+      opt.record_trace = false;
+      WallTimer timer;
+      auto r = RunCSearch(g, opt);
+      if (!r.ok()) {
+        std::printf(" %10s", "ERR");
+        continue;
+      }
+      std::printf(" %10.2f", r->best.density);
+      if (csv.ok()) {
+        csv->AddRow({CsvWriter::Num(eps), CsvWriter::Num(delta),
+                     CsvWriter::Num(r->best.density),
+                     std::to_string(r->sweep.size())});
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper's observation to reproduce: density degrades "
+              "gracefully as delta coarsens; eps<=1 hurts little, eps=2 "
+              "more (paper: 325->180 across the sweep).\n");
+  return 0;
+}

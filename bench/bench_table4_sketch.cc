@@ -1,0 +1,72 @@
+// Reproduces Table 4: ratio of the density found with Count-Sketch
+// degree counting vs exact counting on the flickr stand-in, for
+// b in {30000, 40000, 50000} buckets, t=5 tables, eps in {0..2.5};
+// bottom row reports the counter-memory ratio (t*b / n).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/algorithm1.h"
+#include "gen/datasets.h"
+#include "graph/undirected_graph.h"
+#include "sketch/sketched_algorithm1.h"
+#include "stream/memory_stream.h"
+
+int main() {
+  using namespace densest;
+  bench::Banner("Table 4",
+                "flickr-sim: rho with / without sketching (t=5)");
+  auto csv = bench::OpenCsv("table4_sketch",
+                            {"eps", "buckets", "rho_sketch", "rho_exact",
+                             "ratio", "memory_ratio"});
+
+  UndirectedGraph g = UndirectedGraph::FromEdgeList(MakeFlickrSim(1));
+  std::printf("graph: |V|=%u |E|=%llu\n\n", g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()));
+
+  // Paper buckets target n=976K; our stand-in has n~100K, so scale the
+  // bucket grid by the same ~9.76x to keep t*b/n comparable (the printed
+  // memory row is what matters). We keep the paper's absolute labels.
+  const int kPaperBuckets[] = {30000, 40000, 50000};
+  const int kScaledBuckets[] = {3072, 4096, 5120};
+  const double kEpsilons[] = {0, 0.5, 1.0, 1.5, 2.0, 2.5};
+
+  std::printf("%6s | %12s %12s %12s\n", "eps", "b=30000*", "b=40000*",
+              "b=50000*");
+  double memory_ratio[3] = {0, 0, 0};
+  for (double eps : kEpsilons) {
+    Algorithm1Options opt;
+    opt.epsilon = eps;
+    opt.record_trace = false;
+    auto exact = RunAlgorithm1(g, opt);
+    if (!exact.ok()) return 1;
+
+    std::printf("%6.1f |", eps);
+    for (int i = 0; i < 3; ++i) {
+      UndirectedGraphStream stream(g);
+      CountSketchOptions sk;
+      sk.tables = 5;
+      sk.buckets = kScaledBuckets[i];
+      auto sketched = RunSketchedAlgorithm1(stream, sk, 0x5eed + i, opt);
+      if (!sketched.ok()) return 1;
+      double ratio = sketched->result.density / exact->density;
+      memory_ratio[i] = sketched->memory_ratio;
+      std::printf(" %12.3f", ratio);
+      if (csv.ok()) {
+        csv->AddRow({CsvWriter::Num(eps), std::to_string(kPaperBuckets[i]),
+                     CsvWriter::Num(sketched->result.density),
+                     CsvWriter::Num(exact->density), CsvWriter::Num(ratio),
+                     CsvWriter::Num(sketched->memory_ratio)});
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("%6s |", "Memory");
+  for (double m : memory_ratio) std::printf(" %12.2f", m);
+  std::printf("\n  (*bucket grid scaled with the graph so t*b/n matches the "
+              "paper's 0.16/0.20/0.25 memory row)\n");
+  std::printf("\nPaper's observation to reproduce: near-1 ratios for small "
+              "eps even at 16-25%% of exact-counter memory; quality decays "
+              "as eps grows.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Community mining (paper application #1): iteratively extract
+// node-disjoint dense communities from a social-network-like graph and
+// report their quality — the §6 enumeration remark made concrete.
+
+#include <cstdio>
+
+#include "densest.h"
+
+int main() {
+  using namespace densest;
+
+  // A social-style graph: heavy-tailed Chung-Lu background plus three
+  // planted communities of different densities.
+  ChungLuOptions cl;
+  cl.num_nodes = 20000;
+  cl.num_edges = 90000;
+  cl.exponent = 2.3;
+  EdgeList edges = ChungLu(cl, 2026);
+  PlantedGraph planted = PlantDenseBlocks(
+      cl.num_nodes, 0, {{60, 0.9}, {45, 0.8}, {35, 0.7}}, 7);
+  edges.Append(planted.edges);
+
+  GraphBuilder builder;
+  builder.ReserveNodes(edges.num_nodes());
+  for (const Edge& e : edges.edges()) builder.Add(e.u, e.v);
+  UndirectedGraph graph = std::move(builder.BuildUndirected()).value();
+  std::printf("graph: %s\n", FormatStats(ComputeStats(graph)).c_str());
+  std::printf("planted communities: 60@0.9 (rho~26.6), 45@0.8 (rho~17.6), "
+              "35@0.7 (rho~11.9)\n\n");
+
+  EnumerateOptions options;
+  options.max_subgraphs = 5;
+  options.epsilon = 0.1;       // small eps separates nested communities
+  options.min_density = 4.0;   // stop once we reach background-level sets
+  StatusOr<std::vector<UndirectedDensestResult>> communities =
+      EnumerateDenseSubgraphs(graph, options);
+  if (!communities.ok()) {
+    std::fprintf(stderr, "enumeration failed: %s\n",
+                 communities.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-6s %8s %10s %8s\n", "rank", "size", "density", "passes");
+  for (size_t i = 0; i < communities->size(); ++i) {
+    const auto& c = (*communities)[i];
+    std::printf("%-6zu %8zu %10.3f %8llu\n", i + 1, c.nodes.size(),
+                c.density, static_cast<unsigned long long>(c.passes));
+  }
+
+  // How well do the mined communities match the planted ground truth?
+  std::printf("\noverlap with planted blocks (fraction of block recovered "
+              "by its best-matching community):\n");
+  for (size_t b = 0; b < planted.blocks.size(); ++b) {
+    NodeSet block =
+        NodeSet::FromVector(graph.num_nodes(), planted.blocks[b]);
+    double best_overlap = 0;
+    for (const auto& c : *communities) {
+      size_t hits = 0;
+      for (NodeId u : c.nodes) hits += block.Contains(u);
+      best_overlap = std::max(
+          best_overlap,
+          static_cast<double>(hits) / static_cast<double>(block.size()));
+    }
+    std::printf("  block %zu (%u nodes): %.0f%%\n", b + 1, block.size(),
+                100.0 * best_overlap);
+  }
+  return 0;
+}

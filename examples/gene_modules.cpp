@@ -1,0 +1,76 @@
+// Computational-biology module discovery (paper application #2, after
+// Saha et al., RECOMB 2010): find dense functional modules in a
+// gene-interaction graph, with a minimum-module-size restriction — the
+// problem Algorithm 2 solves. Small modules (a single complex of 4 genes)
+// can be uninterestingly dense; biologists ask for modules of at least k
+// genes, which is exactly rho*_{>=k}.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "densest.h"
+
+int main() {
+  using namespace densest;
+
+  // Synthetic gene-interaction network: 8000 genes, sparse background
+  // interactome, three planted functional modules of different sizes and
+  // cohesion, plus one tiny super-dense complex (6 genes, complete).
+  const NodeId kGenes = 8000;
+  EdgeList edges = ErdosRenyiGnm(kGenes, 24000, 808);
+  PlantedGraph modules = PlantDenseBlocks(
+      kGenes, 0, {{48, 0.55}, {30, 0.7}, {22, 0.8}, {6, 1.0}}, 17);
+  edges.Append(modules.edges);
+
+  GraphBuilder builder;
+  builder.ReserveNodes(kGenes);
+  for (const Edge& e : edges.edges()) builder.Add(e.u, e.v);
+  UndirectedGraph graph = std::move(builder.BuildUndirected()).value();
+  std::printf("interactome: %s\n", FormatStats(ComputeStats(graph)).c_str());
+  std::printf("planted modules: 48@0.55 30@0.7 22@0.8, plus a 6-gene "
+              "complete complex\n\n");
+
+  // Without a size restriction the tiny complex dominates per-gene density
+  // relative to its size class; with k = 20 we ask for *modules*, not
+  // complexes.
+  Algorithm1Options unrestricted;
+  unrestricted.epsilon = 0.25;
+  auto any_size = RunAlgorithm1(graph, unrestricted);
+  if (!any_size.ok()) return 1;
+  std::printf("unrestricted densest subgraph: %s\n",
+              Summarize(*any_size).c_str());
+
+  for (NodeId k : {20u, 35u, 60u}) {
+    Algorithm2Options opt;
+    opt.min_size = k;
+    opt.epsilon = 0.25;
+    auto module_result = RunAlgorithm2(graph, opt);
+    if (!module_result.ok()) {
+      std::fprintf(stderr, "k=%u failed: %s\n", k,
+                   module_result.status().ToString().c_str());
+      return 1;
+    }
+
+    // Which planted module does the answer overlap most?
+    size_t best_block = 0, best_hits = 0;
+    for (size_t b = 0; b < modules.blocks.size(); ++b) {
+      std::set<NodeId> members(modules.blocks[b].begin(),
+                               modules.blocks[b].end());
+      size_t hits = 0;
+      for (NodeId u : module_result->nodes) hits += members.count(u);
+      if (hits > best_hits) {
+        best_hits = hits;
+        best_block = b;
+      }
+    }
+    std::printf("k=%-3u -> %s  (overlaps planted module %zu on %zu genes)\n",
+                k, Summarize(*module_result).c_str(), best_block + 1,
+                best_hits);
+  }
+
+  std::printf("\nNote how raising k steers the answer from the small dense "
+              "complex toward the larger, biologically meaningful modules — "
+              "the restriction of Khuller-Saha / Algorithm 2.\n");
+  return 0;
+}

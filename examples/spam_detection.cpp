@@ -1,0 +1,80 @@
+// Link-spam detection (paper application #3, after Gibson et al.): dense
+// subgraphs of the web's link graph often correspond to link farms. This
+// example plants a link farm (a set of spam pages all pointing at a few
+// boosted targets) inside a directed web-like graph and uses the directed
+// streaming algorithm (Algorithm 3 + c-search) to expose it.
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "densest.h"
+
+int main() {
+  using namespace densest;
+
+  // Web-like background: R-MAT digraph (moderate skew; the heavy celebrity
+  // cores of social graphs are rarer on the open web).
+  RmatOptions rm;
+  rm.scale = 15;  // 32768 pages
+  rm.num_edges = 200000;
+  rm.a = 0.5;
+  rm.b = 0.2;
+  rm.c = 0.2;
+  rm.d = 0.1;
+  rm.directed = true;
+  EdgeList arcs = Rmat(rm, 1313);
+
+  // The link farm: 400 spam pages each linking to most of 25 boosted
+  // targets — the farm's (S,T) density dwarfs any organic community.
+  PlantedDirectedGraph farm = PlantDirectedBlock(
+      static_cast<NodeId>(1) << rm.scale, 0, /*s_size=*/400, /*t_size=*/25,
+      /*p=*/0.9, 99);
+  arcs.Append(farm.arcs);
+
+  GraphBuilder builder;
+  builder.ReserveNodes(arcs.num_nodes());
+  for (const Edge& e : arcs.edges()) builder.Add(e.u, e.v);
+  DirectedGraph graph = std::move(builder.BuildDirected()).value();
+  std::printf("web graph: |V|=%u |E(arcs)|=%llu\n", graph.num_nodes(),
+              static_cast<unsigned long long>(graph.num_edges()));
+  std::printf("planted farm: 400 spam pages -> 25 targets (rho ~ %.1f)\n\n",
+              0.9 * 400 * 25 / std::sqrt(400.0 * 25.0));
+
+  // Search over the size ratio c in powers of 2, as in the paper §6.4.
+  CSearchOptions options;
+  options.delta = 2.0;
+  options.epsilon = 0.5;
+  StatusOr<CSearchResult> result = RunCSearch(graph, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "detection failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  const DirectedDensestResult& best = result->best;
+  std::printf("densest directed subgraph: %s\n", Summarize(best).c_str());
+
+  // Score the catch: how much of the farm did we recover, and how pure is
+  // the detection?
+  std::set<NodeId> spam(farm.s_nodes.begin(), farm.s_nodes.end());
+  std::set<NodeId> targets(farm.t_nodes.begin(), farm.t_nodes.end());
+  size_t spam_hits = 0;
+  for (NodeId u : best.s_nodes) spam_hits += spam.count(u);
+  size_t target_hits = 0;
+  for (NodeId u : best.t_nodes) target_hits += targets.count(u);
+
+  std::printf("\ndetection quality:\n");
+  std::printf("  spam pages recovered : %zu / %zu (precision %.0f%%)\n",
+              spam_hits, spam.size(),
+              best.s_nodes.empty()
+                  ? 0.0
+                  : 100.0 * spam_hits / best.s_nodes.size());
+  std::printf("  boosted targets found: %zu / %zu\n", target_hits,
+              targets.size());
+  std::printf("  best size ratio c    : %.3g (farm's true ratio: %.1f)\n",
+              best.c, 400.0 / 25.0);
+  std::printf("\nflagging the returned S-side as spam candidates would be "
+              "the ranking feature the paper describes.\n");
+  return 0;
+}

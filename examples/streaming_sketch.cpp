@@ -1,0 +1,76 @@
+// Semi-streaming from disk with Count-Sketch degree counters (§5.1): the
+// configuration for graphs whose edge set does not fit in RAM. The edges
+// live in a binary file on disk; between passes the algorithm keeps only
+// the alive bitmap plus t*b sketch counters.
+
+#include <cstdio>
+#include <string>
+
+#include "densest.h"
+
+int main() {
+  using namespace densest;
+
+  // Stage a graph to disk (in production this file is your dataset).
+  ChungLuOptions cl;
+  cl.num_nodes = 50000;
+  cl.num_edges = 400000;
+  cl.exponent = 2.2;
+  EdgeList edges = ChungLu(cl, 404);
+  PlantedGraph planted = PlantDenseBlocks(cl.num_nodes, 0, {{70, 0.85}}, 11);
+  edges.Append(planted.edges);
+  GraphBuilder builder;
+  builder.ReserveNodes(edges.num_nodes());
+  for (const Edge& e : edges.edges()) builder.Add(e.u, e.v);
+  EdgeList cleaned = std::move(builder.BuildEdgeList(true)).value();
+
+  const std::string path = "/tmp/densest_stream_demo.bin";
+  if (Status s = WriteBinaryEdgeFile(path, cleaned, false); !s.ok()) {
+    std::fprintf(stderr, "stage failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("staged %llu edges over %u nodes to %s\n",
+              static_cast<unsigned long long>(cleaned.num_edges()),
+              cleaned.num_nodes(), path.c_str());
+
+  // Open the disk-backed stream and wrap it with pass accounting.
+  auto file_stream = BinaryFileEdgeStream::Open(path);
+  if (!file_stream.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 file_stream.status().ToString().c_str());
+    return 1;
+  }
+  PassStats io_stats;
+  CountingEdgeStream stream(**file_stream, io_stats);
+
+  Algorithm1Options options;
+  options.epsilon = 0.5;
+
+  // Run 1: exact O(n)-word degree counters.
+  ExactDegreeOracle exact_oracle(stream.num_nodes());
+  auto exact = RunAlgorithm1WithOracle(stream, exact_oracle, options);
+  if (!exact.ok()) return 1;
+  std::printf("\nexact counters : %s\n", Summarize(exact->result).c_str());
+  std::printf("  counter words: %llu (1 per node)\n",
+              static_cast<unsigned long long>(exact->oracle_state_words));
+
+  // Run 2: Count-Sketch counters at ~16%% of that memory (paper Table 4).
+  CountSketchOptions sk;
+  sk.tables = 5;
+  sk.buckets = static_cast<int>(stream.num_nodes() * 0.16 / sk.tables);
+  auto sketched = RunSketchedAlgorithm1(stream, sk, 77, options);
+  if (!sketched.ok()) return 1;
+  std::printf("\nsketch counters: %s\n", Summarize(sketched->result).c_str());
+  std::printf("  counter words: %llu (t=%d x b=%d, %.0f%% of exact)\n",
+              static_cast<unsigned long long>(sketched->oracle_state_words),
+              sk.tables, sk.buckets, 100.0 * sketched->memory_ratio);
+  std::printf("  quality ratio: %.3f\n",
+              sketched->result.density / exact->result.density);
+
+  std::printf("\nstream IO: %s\n", io_stats.ToString().c_str());
+  std::printf("bytes read from disk: %.1f MiB across all passes\n",
+              static_cast<double>((*file_stream)->bytes_read()) /
+                  (1024.0 * 1024.0));
+  std::remove(path.c_str());
+  return 0;
+}

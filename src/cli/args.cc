@@ -1,0 +1,84 @@
+#include "cli/args.h"
+
+#include <cstdlib>
+
+namespace densest {
+
+StatusOr<Args> Args::Parse(const std::vector<std::string>& tokens) {
+  Args out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok.rfind("--", 0) != 0) {
+      out.positional_.push_back(tok);
+      continue;
+    }
+    std::string body = tok.substr(2);
+    if (body.empty() || body[0] == '=') {
+      return Status::InvalidArgument("malformed flag: " + tok);
+    }
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      out.flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      out.flags_[body] = tokens[i + 1];
+      ++i;
+    } else {
+      out.flags_[body] = "true";
+    }
+  }
+  return out;
+}
+
+std::string Args::GetString(const std::string& name,
+                            const std::string& def) const {
+  used_[name] = true;
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+StatusOr<double> Args::GetDouble(const std::string& name, double def) const {
+  used_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + name + " expects a number, got '" +
+                                   it->second + "'");
+  }
+  return v;
+}
+
+StatusOr<int64_t> Args::GetInt(const std::string& name, int64_t def) const {
+  used_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    return Status::InvalidArgument("--" + name + " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<bool> Args::GetBool(const std::string& name, bool def) const {
+  used_[name] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  return Status::InvalidArgument("--" + name + " expects a boolean, got '" +
+                                 v + "'");
+}
+
+std::vector<std::string> Args::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, value] : flags_) {
+    if (!used_.count(name)) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace densest

@@ -1,0 +1,55 @@
+// Copyright 2026 The densest Authors.
+// Minimal command-line flag parsing for the densest_cli tool. Kept in the
+// library so the command layer is unit-testable.
+
+#ifndef DENSEST_CLI_ARGS_H_
+#define DENSEST_CLI_ARGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace densest {
+
+/// \brief Parsed command line: positionals plus --key=value / --key value
+/// flags (bare --key becomes "true").
+class Args {
+ public:
+  /// Parses tokens (argv without the program name). Fails on malformed
+  /// flags such as "--=x".
+  static StatusOr<Args> Parse(const std::vector<std::string>& tokens);
+
+  /// Positional arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// True iff --name was given (with any value).
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  /// String value of --name, or `def` if absent.
+  std::string GetString(const std::string& name, const std::string& def) const;
+
+  /// Double value of --name, or `def` if absent; fails on non-numeric.
+  StatusOr<double> GetDouble(const std::string& name, double def) const;
+
+  /// Int64 value of --name, or `def` if absent; fails on non-numeric.
+  StatusOr<int64_t> GetInt(const std::string& name, int64_t def) const;
+
+  /// Bool: present with no value / "true" / "1" => true; "false"/"0" =>
+  /// false; absent => def.
+  StatusOr<bool> GetBool(const std::string& name, bool def) const;
+
+  /// Flags that were parsed but never read by any Get*/Has call; the CLI
+  /// uses this to reject typos like --epsilonn.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_CLI_ARGS_H_

@@ -1,0 +1,367 @@
+#include "cli/commands.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/algorithm1.h"
+#include "core/algorithm2.h"
+#include "core/algorithm3.h"
+#include "core/enumerate.h"
+#include "sketch/sketched_algorithm1.h"
+#include "flow/goldberg.h"
+#include "gen/chung_lu.h"
+#include "gen/datasets.h"
+#include "gen/erdos_renyi.h"
+#include "graph/graph_builder.h"
+#include "graph/stats.h"
+#include "io/edge_list_io.h"
+#include "stream/file_stream.h"
+#include "stream/memory_stream.h"
+
+namespace densest {
+
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Loads edges from a text ("u v [w]") or binary (.bin) edge file.
+StatusOr<EdgeList> LoadEdges(const std::string& path) {
+  if (!EndsWith(path, ".bin")) return ReadEdgeListText(path);
+  auto stream = BinaryFileEdgeStream::Open(path);
+  if (!stream.ok()) return stream.status();
+  EdgeList edges((*stream)->num_nodes());
+  Edge e;
+  (*stream)->Reset();
+  while ((*stream)->Next(&e)) edges.Add(e.u, e.v, e.w);
+  edges.set_num_nodes((*stream)->num_nodes());
+  return edges;
+}
+
+StatusOr<std::string> RequireGraphArg(const Args& args) {
+  if (args.positional().empty()) {
+    return Status::InvalidArgument("expected a graph file argument");
+  }
+  return args.positional()[0];
+}
+
+Status WriteNodes(const std::string& path, const std::vector<NodeId>& nodes) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  for (NodeId u : nodes) out << u << '\n';
+  return Status::OK();
+}
+
+void PrintUndirectedTrace(const UndirectedDensestResult& r,
+                          std::ostream& out) {
+  out << "pass  nodes  edges  rho  threshold  removed\n";
+  for (const PassSnapshot& s : r.trace) {
+    out << s.pass << "  " << s.nodes << "  " << s.edges << "  " << s.density
+        << "  " << s.threshold << "  " << s.removed << "\n";
+  }
+}
+
+}  // namespace
+
+Status CmdStats(const Args& args, std::ostream& out) {
+  StatusOr<bool> directed = args.GetBool("directed", false);
+  if (!directed.ok()) return directed.status();
+  StatusOr<std::string> path = RequireGraphArg(args);
+  if (!path.ok()) return path.status();
+  StatusOr<EdgeList> edges = LoadEdges(*path);
+  if (!edges.ok()) return edges.status();
+
+  if (*directed) {
+    DirectedGraph g = DirectedGraph::FromEdgeList(*edges);
+    out << FormatStats(ComputeStats(g)) << "\n";
+  } else {
+    UndirectedGraph g = UndirectedGraph::FromEdgeList(*edges);
+    GraphStats s = ComputeStats(g);
+    out << FormatStats(s) << "\n";
+    out << "power-law exponent estimate: " << EstimatePowerLawExponent(g)
+        << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdUndirected(const Args& args, std::ostream& out) {
+  StatusOr<double> eps = args.GetDouble("eps", 0.5);
+  StatusOr<int64_t> min_size = args.GetInt("min-size", 0);
+  StatusOr<int64_t> sketch_buckets = args.GetInt("sketch-buckets", 0);
+  StatusOr<int64_t> sketch_tables = args.GetInt("sketch-tables", 5);
+  StatusOr<int64_t> compact = args.GetInt("compact-below", 0);
+  StatusOr<bool> trace = args.GetBool("trace", false);
+  std::string output = args.GetString("output", "");
+  for (const Status& s :
+       {eps.ok() ? Status::OK() : eps.status(),
+        min_size.ok() ? Status::OK() : min_size.status(),
+        sketch_buckets.ok() ? Status::OK() : sketch_buckets.status(),
+        sketch_tables.ok() ? Status::OK() : sketch_tables.status(),
+        compact.ok() ? Status::OK() : compact.status(),
+        trace.ok() ? Status::OK() : trace.status()}) {
+    if (!s.ok()) return s;
+  }
+  StatusOr<std::string> path = RequireGraphArg(args);
+  if (!path.ok()) return path.status();
+  StatusOr<EdgeList> edges = LoadEdges(*path);
+  if (!edges.ok()) return edges.status();
+
+  GraphBuilder builder;
+  builder.ReserveNodes(edges->num_nodes());
+  for (const Edge& e : edges->edges()) builder.Add(e.u, e.v, e.w);
+  StatusOr<UndirectedGraph> graph = builder.BuildUndirected();
+  if (!graph.ok()) return graph.status();
+
+  UndirectedDensestResult result;
+  if (*min_size > 0) {
+    Algorithm2Options opt;
+    opt.epsilon = *eps;
+    opt.min_size = static_cast<NodeId>(*min_size);
+    opt.record_trace = *trace;
+    StatusOr<UndirectedDensestResult> r = RunAlgorithm2(*graph, opt);
+    if (!r.ok()) return r.status();
+    result = std::move(*r);
+    out << "algorithm 2 (min size " << *min_size << "): ";
+  } else if (*sketch_buckets > 0) {
+    Algorithm1Options opt;
+    opt.epsilon = *eps;
+    opt.record_trace = *trace;
+    UndirectedGraphStream stream(*graph);
+    CountSketchOptions sk;
+    sk.buckets = static_cast<int>(*sketch_buckets);
+    sk.tables = static_cast<int>(*sketch_tables);
+    StatusOr<SketchedResult> r =
+        RunSketchedAlgorithm1(stream, sk, /*sketch_seed=*/0x5eed, opt);
+    if (!r.ok()) return r.status();
+    out << "sketched algorithm 1 (memory ratio " << r->memory_ratio
+        << "): ";
+    result = std::move(r->result);
+  } else {
+    Algorithm1Options opt;
+    opt.epsilon = *eps;
+    opt.record_trace = *trace;
+    opt.compact_below_edges = static_cast<EdgeId>(*compact);
+    StatusOr<UndirectedDensestResult> r = RunAlgorithm1(*graph, opt);
+    if (!r.ok()) return r.status();
+    result = std::move(*r);
+    out << "algorithm 1: ";
+  }
+  out << Summarize(result) << "\n";
+  if (*trace) PrintUndirectedTrace(result, out);
+  if (!output.empty()) return WriteNodes(output, result.nodes);
+  return Status::OK();
+}
+
+Status CmdDirected(const Args& args, std::ostream& out) {
+  StatusOr<double> eps = args.GetDouble("eps", 0.5);
+  StatusOr<double> c = args.GetDouble("c", 0.0);
+  StatusOr<double> delta = args.GetDouble("delta", 2.0);
+  StatusOr<bool> trace = args.GetBool("trace", false);
+  for (const Status& s : {eps.ok() ? Status::OK() : eps.status(),
+                          c.ok() ? Status::OK() : c.status(),
+                          delta.ok() ? Status::OK() : delta.status(),
+                          trace.ok() ? Status::OK() : trace.status()}) {
+    if (!s.ok()) return s;
+  }
+  StatusOr<std::string> path = RequireGraphArg(args);
+  if (!path.ok()) return path.status();
+  StatusOr<EdgeList> edges = LoadEdges(*path);
+  if (!edges.ok()) return edges.status();
+  DirectedGraph graph = DirectedGraph::FromEdgeList(*edges);
+
+  if (*c > 0) {
+    Algorithm3Options opt;
+    opt.c = *c;
+    opt.epsilon = *eps;
+    opt.record_trace = *trace;
+    StatusOr<DirectedDensestResult> r = RunAlgorithm3(graph, opt);
+    if (!r.ok()) return r.status();
+    out << "algorithm 3 (c=" << *c << "): " << Summarize(*r) << "\n";
+    if (*trace) {
+      out << "pass  |S|  |T|  |E(S,T)|  rho  peel\n";
+      for (const DirectedPassSnapshot& s : r->trace) {
+        out << s.pass << "  " << s.s_size << "  " << s.t_size << "  "
+            << s.weight << "  " << s.density << "  "
+            << (s.removed_from_s ? "S" : "T") << "\n";
+      }
+    }
+    return Status::OK();
+  }
+
+  CSearchOptions opt;
+  opt.delta = *delta;
+  opt.epsilon = *eps;
+  StatusOr<CSearchResult> r = RunCSearch(graph, opt);
+  if (!r.ok()) return r.status();
+  out << "c-search over " << r->sweep.size() << " ratios (delta=" << *delta
+      << "): best " << Summarize(r->best) << "\n";
+  return Status::OK();
+}
+
+Status CmdExact(const Args& args, std::ostream& out) {
+  StatusOr<std::string> path = RequireGraphArg(args);
+  if (!path.ok()) return path.status();
+  StatusOr<EdgeList> edges = LoadEdges(*path);
+  if (!edges.ok()) return edges.status();
+  GraphBuilder builder;
+  builder.ReserveNodes(edges->num_nodes());
+  for (const Edge& e : edges->edges()) builder.Add(e.u, e.v, e.w);
+  StatusOr<UndirectedGraph> graph = builder.BuildUndirected();
+  if (!graph.ok()) return graph.status();
+
+  StatusOr<ExactDensestResult> r = ExactDensestSubgraph(*graph);
+  if (!r.ok()) return r.status();
+  out << "exact: rho*=" << r->density << " |S*|=" << r->nodes.size()
+      << " (" << r->flow_iterations << " max-flow solves)\n";
+  return Status::OK();
+}
+
+Status CmdEnumerate(const Args& args, std::ostream& out) {
+  StatusOr<double> eps = args.GetDouble("eps", 0.5);
+  StatusOr<int64_t> count = args.GetInt("count", 10);
+  StatusOr<double> min_density = args.GetDouble("min-density", 1.0);
+  for (const Status& s :
+       {eps.ok() ? Status::OK() : eps.status(),
+        count.ok() ? Status::OK() : count.status(),
+        min_density.ok() ? Status::OK() : min_density.status()}) {
+    if (!s.ok()) return s;
+  }
+  StatusOr<std::string> path = RequireGraphArg(args);
+  if (!path.ok()) return path.status();
+  StatusOr<EdgeList> edges = LoadEdges(*path);
+  if (!edges.ok()) return edges.status();
+  GraphBuilder builder;
+  builder.ReserveNodes(edges->num_nodes());
+  for (const Edge& e : edges->edges()) builder.Add(e.u, e.v, e.w);
+  StatusOr<UndirectedGraph> graph = builder.BuildUndirected();
+  if (!graph.ok()) return graph.status();
+
+  EnumerateOptions opt;
+  opt.epsilon = *eps;
+  opt.max_subgraphs = static_cast<size_t>(*count);
+  opt.min_density = *min_density;
+  StatusOr<std::vector<UndirectedDensestResult>> subs =
+      EnumerateDenseSubgraphs(*graph, opt);
+  if (!subs.ok()) return subs.status();
+  out << subs->size() << " dense subgraphs:\n";
+  for (size_t i = 0; i < subs->size(); ++i) {
+    out << "  #" << (i + 1) << " " << Summarize((*subs)[i]) << "\n";
+  }
+  return Status::OK();
+}
+
+Status CmdGenerate(const Args& args, std::ostream& out) {
+  StatusOr<int64_t> seed = args.GetInt("seed", 1);
+  std::string format = args.GetString("format", "txt");
+  StatusOr<int64_t> nodes = args.GetInt("nodes", 10000);
+  StatusOr<int64_t> edge_count = args.GetInt("edges", 50000);
+  StatusOr<double> exponent = args.GetDouble("exponent", 2.3);
+  for (const Status& s :
+       {seed.ok() ? Status::OK() : seed.status(),
+        nodes.ok() ? Status::OK() : nodes.status(),
+        edge_count.ok() ? Status::OK() : edge_count.status(),
+        exponent.ok() ? Status::OK() : exponent.status()}) {
+    if (!s.ok()) return s;
+  }
+  if (args.positional().size() < 2) {
+    return Status::InvalidArgument("usage: generate <dataset> <path>");
+  }
+  const std::string& name = args.positional()[0];
+  const std::string& path = args.positional()[1];
+  uint64_t s = static_cast<uint64_t>(*seed);
+
+  EdgeList edges;
+  if (name == "flickr-sim") {
+    edges = MakeFlickrSim(s);
+  } else if (name == "im-sim") {
+    edges = MakeImSim(s);
+  } else if (name == "livejournal-sim") {
+    edges = MakeLiveJournalSim(s);
+  } else if (name == "twitter-sim") {
+    edges = MakeTwitterSim(s);
+  } else if (name == "er") {
+    edges = ErdosRenyiGnm(static_cast<NodeId>(*nodes),
+                          static_cast<EdgeId>(*edge_count), s);
+  } else if (name == "chung-lu") {
+    ChungLuOptions cl;
+    cl.num_nodes = static_cast<NodeId>(*nodes);
+    cl.num_edges = static_cast<EdgeId>(*edge_count);
+    cl.exponent = *exponent;
+    edges = ChungLu(cl, s);
+  } else {
+    return Status::InvalidArgument("unknown dataset: " + name);
+  }
+
+  Status write_status;
+  if (format == "bin") {
+    write_status = WriteBinaryEdgeFile(path, edges, /*weighted=*/false);
+  } else if (format == "txt") {
+    write_status = WriteEdgeListText(path, edges);
+  } else {
+    return Status::InvalidArgument("unknown format: " + format);
+  }
+  if (!write_status.ok()) return write_status;
+  out << "wrote " << name << ": |V|=" << edges.num_nodes()
+      << " |E|=" << edges.num_edges() << " to " << path << " (" << format
+      << ")\n";
+  return Status::OK();
+}
+
+std::string CliUsage() {
+  return
+      "densest_cli — densest subgraph in streaming and MapReduce (VLDB'12)\n"
+      "\n"
+      "usage: densest_cli <command> [args] [--flags]\n"
+      "\n"
+      "commands:\n"
+      "  stats <graph> [--directed]\n"
+      "      print graph parameters\n"
+      "  undirected <graph> [--eps=0.5] [--min-size=K] [--sketch-buckets=B\n"
+      "      --sketch-tables=5] [--compact-below=E] [--trace] [--output=F]\n"
+      "      Algorithm 1 (default), Algorithm 2 (--min-size), or the\n"
+      "      Count-Sketch variant (--sketch-buckets)\n"
+      "  directed <graph> [--eps=0.5] [--c=RATIO | --delta=2] [--trace]\n"
+      "      Algorithm 3 for one ratio c, or a c-search in powers of delta\n"
+      "  exact <graph>\n"
+      "      exact rho* via Goldberg's max-flow reduction\n"
+      "  enumerate <graph> [--eps=0.5] [--count=10] [--min-density=1]\n"
+      "      node-disjoint dense subgraphs\n"
+      "  generate <dataset> <path> [--seed=1] [--format=txt|bin]\n"
+      "      datasets: flickr-sim im-sim livejournal-sim twitter-sim\n"
+      "                er chung-lu [--nodes --edges --exponent]\n"
+      "\n"
+      "graphs: text edge lists (\"u v [w]\" lines, # comments) or .bin files\n"
+      "        written by `generate --format=bin`.\n";
+}
+
+Status RunCliCommand(const std::string& command, const Args& args,
+                     std::ostream& out) {
+  Status status;
+  if (command == "stats") {
+    status = CmdStats(args, out);
+  } else if (command == "undirected") {
+    status = CmdUndirected(args, out);
+  } else if (command == "directed") {
+    status = CmdDirected(args, out);
+  } else if (command == "exact") {
+    status = CmdExact(args, out);
+  } else if (command == "enumerate") {
+    status = CmdEnumerate(args, out);
+  } else if (command == "generate") {
+    status = CmdGenerate(args, out);
+  } else {
+    return Status::InvalidArgument("unknown command: " + command);
+  }
+  if (!status.ok()) return status;
+  std::vector<std::string> unused = args.UnusedFlags();
+  if (!unused.empty()) {
+    std::string msg = "unknown flag(s):";
+    for (const std::string& f : unused) msg += " --" + f;
+    return Status::InvalidArgument(msg);
+  }
+  return status;
+}
+
+}  // namespace densest

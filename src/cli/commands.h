@@ -1,0 +1,55 @@
+// Copyright 2026 The densest Authors.
+// The densest_cli command layer. Each command takes parsed Args and writes
+// human-readable output to a stream, so the whole surface is testable
+// without spawning processes.
+
+#ifndef DENSEST_CLI_COMMANDS_H_
+#define DENSEST_CLI_COMMANDS_H_
+
+#include <ostream>
+#include <string>
+
+#include "cli/args.h"
+#include "common/status.h"
+
+namespace densest {
+
+/// Dispatches `command` with `args`; returns the command's status.
+/// Known commands: stats, undirected, directed, exact, enumerate, generate.
+Status RunCliCommand(const std::string& command, const Args& args,
+                     std::ostream& out);
+
+/// `stats <graph>`: prints |V|, |E|, degree stats.
+/// Flags: --directed.
+Status CmdStats(const Args& args, std::ostream& out);
+
+/// `undirected <graph>`: Algorithm 1 (or Algorithm 2 with --min-size, or
+/// the sketched variant with --sketch-buckets).
+/// Flags: --eps (0.5), --min-size, --sketch-buckets, --sketch-tables (5),
+///        --compact-below, --trace, --output (write the subgraph's nodes).
+Status CmdUndirected(const Args& args, std::ostream& out);
+
+/// `directed <graph>`: Algorithm 3. With --c runs a single ratio; without
+/// it searches c in powers of --delta (2).
+/// Flags: --eps (0.5), --c, --delta, --trace.
+Status CmdDirected(const Args& args, std::ostream& out);
+
+/// `exact <graph>`: Goldberg exact solver (undirected only).
+Status CmdExact(const Args& args, std::ostream& out);
+
+/// `enumerate <graph>`: node-disjoint dense subgraphs.
+/// Flags: --eps (0.5), --count (10), --min-density (1).
+Status CmdEnumerate(const Args& args, std::ostream& out);
+
+/// `generate <dataset> <path>`: writes a synthetic stand-in dataset
+/// (flickr-sim | im-sim | livejournal-sim | twitter-sim | er | chung-lu).
+/// Flags: --seed (1), --format (txt|bin), --nodes, --edges (for er /
+/// chung-lu), --exponent (2.3, chung-lu only).
+Status CmdGenerate(const Args& args, std::ostream& out);
+
+/// Usage text for the tool.
+std::string CliUsage();
+
+}  // namespace densest
+
+#endif  // DENSEST_CLI_COMMANDS_H_

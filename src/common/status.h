@@ -1,0 +1,127 @@
+// Copyright 2026 The densest Authors.
+// RocksDB-style status codes: library entry points that can fail return
+// Status (or StatusOr<T>) instead of throwing.
+
+#ifndef DENSEST_COMMON_STATUS_H_
+#define DENSEST_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace densest {
+
+/// \brief Result of a fallible operation.
+///
+/// A Status is either OK or carries an error code plus a human-readable
+/// message. Statuses are cheap to copy and move. Use the factory functions
+/// (Status::OK(), Status::InvalidArgument(...), ...) to construct one.
+class Status {
+ public:
+  /// Error categories, mirroring the subset of RocksDB codes this library
+  /// needs.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kNotFound = 2,
+    kIOError = 3,
+    kOutOfRange = 4,
+    kFailedPrecondition = 5,
+    kInternal = 6,
+  };
+
+  /// Constructs an OK status.
+  Status() : code_(Code::kOk) {}
+
+  /// \name Factory functions
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+  /// @}
+
+  /// Returns true iff the status is OK.
+  bool ok() const { return code_ == Code::kOk; }
+  /// Returns the error category.
+  Code code() const { return code_; }
+  /// Returns the error message ("" for OK statuses).
+  const std::string& message() const { return message_; }
+  /// Renders e.g. "InvalidArgument: epsilon must be >= 0".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Usage:
+/// \code
+///   StatusOr<UndirectedGraph> g = LoadEdgeList(path);
+///   if (!g.ok()) return g.status();
+///   Use(g.value());
+/// \endcode
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (OK).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status needs a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_COMMON_STATUS_H_

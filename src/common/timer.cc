@@ -1,0 +1,16 @@
+#include "common/timer.h"
+
+namespace densest {
+
+double WallTimer::ElapsedSeconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+uint64_t WallTimer::ElapsedMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start_)
+          .count());
+}
+
+}  // namespace densest

@@ -1,0 +1,34 @@
+// Copyright 2026 The densest Authors.
+// Wall-clock timing utilities for the benchmark harness.
+
+#ifndef DENSEST_COMMON_TIMER_H_
+#define DENSEST_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace densest {
+
+/// \brief Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  WallTimer() { Restart(); }
+
+  /// Resets elapsed time to zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const;
+
+  /// Elapsed microseconds since construction or last Restart().
+  uint64_t ElapsedMicros() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_COMMON_TIMER_H_

@@ -1,0 +1,144 @@
+#include "core/algorithm1.h"
+
+#include <vector>
+
+#include "core/peel_state.h"
+#include "stream/memory_stream.h"
+
+namespace densest {
+
+namespace {
+
+/// One pass worth of work shared by the stream and buffer paths:
+/// accumulates degrees and totals over edges whose endpoints are alive.
+struct PassAccumulator {
+  const NodeSet* alive;
+  std::vector<double>* degrees;
+  UndirectedPassResult stats;
+
+  inline void Consume(const Edge& e) {
+    if (alive->Contains(e.u) && alive->Contains(e.v)) {
+      (*degrees)[e.u] += e.w;
+      (*degrees)[e.v] += e.w;
+      stats.weight += e.w;
+      ++stats.edges;
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<UndirectedDensestResult> RunAlgorithm1(
+    EdgeStream& stream, const Algorithm1Options& options) {
+  if (options.epsilon < 0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  const NodeId n = stream.num_nodes();
+  if (n == 0) return Status::InvalidArgument("graph has no nodes");
+
+  NodeSet alive(n, /*full=*/true);
+  std::vector<double> degrees(n, 0.0);
+
+  UndirectedDensestResult result;
+  NodeSet best = alive;
+  double best_density = -1.0;
+
+  // In-memory compaction (§6.3): survivors move into `buffer` once a pass
+  // sees few enough edges; `use_buffer` switches the scan source.
+  std::vector<Edge> buffer;
+  bool use_buffer = false;
+  bool compact_this_pass = false;
+
+  const double factor = 2.0 * (1.0 + options.epsilon);
+  uint64_t pass = 0;
+  uint64_t io_passes = 0;
+  while (!alive.empty() &&
+         (options.max_passes == 0 || pass < options.max_passes)) {
+    ++pass;
+    std::fill(degrees.begin(), degrees.end(), 0.0);
+    PassAccumulator acc{&alive, &degrees, {}};
+
+    if (use_buffer) {
+      // Pure in-memory pass; dead edges are filtered out as we go so the
+      // buffer keeps shrinking with the graph.
+      size_t out = 0;
+      for (const Edge& e : buffer) {
+        if (alive.Contains(e.u) && alive.Contains(e.v)) {
+          acc.Consume(e);
+          buffer[out++] = e;
+        }
+      }
+      buffer.resize(out);
+    } else {
+      ++io_passes;
+      stream.Reset();
+      Edge e;
+      if (compact_this_pass) {
+        while (stream.Next(&e)) {
+          if (alive.Contains(e.u) && alive.Contains(e.v)) {
+            acc.Consume(e);
+            buffer.push_back(e);
+          }
+        }
+        use_buffer = true;
+      } else {
+        while (stream.Next(&e)) acc.Consume(e);
+      }
+    }
+
+    const double rho =
+        acc.stats.weight / static_cast<double>(alive.size());
+
+    // Algorithm 1 line 5: S~ tracks the densest intermediate subgraph.
+    // (Pass 1 sees S = V, matching the S~ <- V initialization.)
+    if (rho > best_density) {
+      best_density = rho;
+      best = alive;
+    }
+
+    // Algorithm 1 line 3: A(S) = { i in S : deg_S(i) <= 2(1+eps) rho(S) }.
+    const double threshold = factor * rho;
+    NodeId removed = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      if (alive.Contains(u) && degrees[u] <= threshold) {
+        alive.Remove(u);
+        ++removed;
+      }
+    }
+
+    // Arm compaction for the next pass once the survivor count is small.
+    // (The surviving edge count after removal is at most acc.stats.edges.)
+    if (!use_buffer && !compact_this_pass &&
+        options.compact_below_edges > 0 &&
+        acc.stats.edges <= options.compact_below_edges) {
+      compact_this_pass = true;
+      buffer.reserve(static_cast<size_t>(acc.stats.edges));
+    }
+
+    if (options.record_trace) {
+      PassSnapshot snap;
+      snap.pass = pass;
+      snap.nodes = static_cast<NodeId>(alive.size() + removed);
+      snap.edges = acc.stats.edges;
+      snap.weight = acc.stats.weight;
+      snap.density = rho;
+      snap.threshold = threshold;
+      snap.removed = removed;
+      result.trace.push_back(snap);
+    }
+  }
+
+  result.nodes = best.ToVector();
+  result.density = best_density < 0 ? 0.0 : best_density;
+  result.passes = pass;
+  result.io_passes = io_passes;
+  return result;
+}
+
+StatusOr<UndirectedDensestResult> RunAlgorithm1(
+    const UndirectedGraph& g, const Algorithm1Options& options) {
+  UndirectedGraphStream stream(g);
+  return RunAlgorithm1(stream, options);
+}
+
+}  // namespace densest

@@ -1,0 +1,98 @@
+#include "core/algorithm2.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/peel_state.h"
+#include "stream/memory_stream.h"
+
+namespace densest {
+
+StatusOr<UndirectedDensestResult> RunAlgorithm2(
+    EdgeStream& stream, const Algorithm2Options& options) {
+  if (options.epsilon < 0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  const NodeId n = stream.num_nodes();
+  if (n == 0) return Status::InvalidArgument("graph has no nodes");
+  if (options.min_size > n) {
+    return Status::InvalidArgument("min_size exceeds the node count");
+  }
+
+  NodeSet alive(n, /*full=*/true);
+  std::vector<double> degrees(n, 0.0);
+  std::vector<NodeId> candidates;
+
+  UndirectedDensestResult result;
+  NodeSet best = alive;
+  double best_density = -1.0;
+
+  const double factor = 2.0 * (1.0 + options.epsilon);
+  const double removal_fraction = options.epsilon / (1.0 + options.epsilon);
+  uint64_t pass = 0;
+  while (alive.size() >= options.min_size && !alive.empty() &&
+         (options.max_passes == 0 || pass < options.max_passes)) {
+    ++pass;
+    UndirectedPassResult stats = RunUndirectedPass(stream, alive, degrees);
+    const double rho = stats.weight / static_cast<double>(alive.size());
+
+    // Algorithm 2 line 6: best intermediate subgraph with |S| >= k.
+    if (alive.size() >= options.min_size && rho > best_density) {
+      best_density = rho;
+      best = alive;
+    }
+
+    // A~(S): the below-threshold candidates.
+    const double threshold = factor * rho;
+    candidates.clear();
+    for (NodeId u = 0; u < n; ++u) {
+      if (alive.Contains(u) && degrees[u] <= threshold) {
+        candidates.push_back(u);
+      }
+    }
+
+    // Algorithm 2 line 4: remove only |A(S)| = eps/(1+eps) |S| of them —
+    // the lowest-degree ones — so some intermediate set lands near size k.
+    NodeId quota = static_cast<NodeId>(std::ceil(
+        removal_fraction * static_cast<double>(alive.size())));
+    quota = std::max<NodeId>(quota, 1);
+    quota = std::min<NodeId>(quota, static_cast<NodeId>(candidates.size()));
+    if (quota < candidates.size()) {
+      std::nth_element(candidates.begin(), candidates.begin() + quota,
+                       candidates.end(), [&](NodeId a, NodeId b) {
+                         return degrees[a] != degrees[b]
+                                    ? degrees[a] < degrees[b]
+                                    : a < b;
+                       });
+      candidates.resize(quota);
+    }
+    for (NodeId u : candidates) alive.Remove(u);
+
+    if (options.record_trace) {
+      PassSnapshot snap;
+      snap.pass = pass;
+      snap.nodes = static_cast<NodeId>(alive.size() + candidates.size());
+      snap.edges = stats.edges;
+      snap.weight = stats.weight;
+      snap.density = rho;
+      snap.threshold = threshold;
+      snap.removed = static_cast<NodeId>(candidates.size());
+      result.trace.push_back(snap);
+    }
+    if (candidates.empty()) break;  // nothing removable: avoid spinning
+  }
+
+  result.nodes = best.ToVector();
+  result.density = best_density < 0 ? 0.0 : best_density;
+  result.passes = pass;
+  return result;
+}
+
+StatusOr<UndirectedDensestResult> RunAlgorithm2(
+    const UndirectedGraph& g, const Algorithm2Options& options) {
+  UndirectedGraphStream stream(g);
+  return RunAlgorithm2(stream, options);
+}
+
+}  // namespace densest

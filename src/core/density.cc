@@ -1,0 +1,21 @@
+#include "core/density.h"
+
+#include <sstream>
+
+namespace densest {
+
+std::string Summarize(const UndirectedDensestResult& r) {
+  std::ostringstream os;
+  os << "rho=" << r.density << " |S|=" << r.nodes.size()
+     << " passes=" << r.passes;
+  return os.str();
+}
+
+std::string Summarize(const DirectedDensestResult& r) {
+  std::ostringstream os;
+  os << "rho=" << r.density << " |S|=" << r.s_nodes.size()
+     << " |T|=" << r.t_nodes.size() << " c=" << r.c << " passes=" << r.passes;
+  return os.str();
+}
+
+}  // namespace densest

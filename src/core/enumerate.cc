@@ -1,0 +1,48 @@
+#include "core/enumerate.h"
+
+#include "graph/subgraph.h"
+
+namespace densest {
+
+StatusOr<std::vector<UndirectedDensestResult>> EnumerateDenseSubgraphs(
+    const UndirectedGraph& g, const EnumerateOptions& options) {
+  std::vector<UndirectedDensestResult> found;
+  NodeSet remaining(g.num_nodes(), /*full=*/true);
+  double first_density = 0;
+
+  while (options.max_subgraphs == 0 || found.size() < options.max_subgraphs) {
+    if (remaining.empty()) break;
+    std::vector<NodeId> mapping;
+    UndirectedGraph residual = InducedSubgraph(g, remaining, &mapping);
+    if (residual.num_edges() == 0) break;
+
+    Algorithm1Options a1;
+    a1.epsilon = options.epsilon;
+    a1.record_trace = false;
+    StatusOr<UndirectedDensestResult> r = RunAlgorithm1(residual, a1);
+    if (!r.ok()) return r.status();
+    if (r->nodes.empty()) break;
+
+    // Stop conditions on the *next* candidate's density.
+    if (r->density < options.min_density) break;
+    if (!found.empty() &&
+        r->density < options.min_relative_density * first_density) {
+      break;
+    }
+
+    // Translate node ids back into g's namespace and carve them out.
+    UndirectedDensestResult translated;
+    translated.density = r->density;
+    translated.passes = r->passes;
+    translated.nodes.reserve(r->nodes.size());
+    for (NodeId local : r->nodes) {
+      translated.nodes.push_back(mapping[local]);
+      remaining.Remove(mapping[local]);
+    }
+    if (found.empty()) first_density = translated.density;
+    found.push_back(std::move(translated));
+  }
+  return found;
+}
+
+}  // namespace densest

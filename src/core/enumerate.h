@@ -1,0 +1,38 @@
+// Copyright 2026 The densest Authors.
+// Iterative enumeration of node-disjoint dense subgraphs (the paper's §6
+// remark): run Algorithm 1, remove the returned nodes, recurse on the
+// residual graph. Each step is an approximation on the residual.
+
+#ifndef DENSEST_CORE_ENUMERATE_H_
+#define DENSEST_CORE_ENUMERATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/algorithm1.h"
+#include "core/density.h"
+#include "graph/undirected_graph.h"
+
+namespace densest {
+
+/// \brief Knobs for the enumeration loop.
+struct EnumerateOptions {
+  /// Stop after this many subgraphs (0 = until exhaustion).
+  size_t max_subgraphs = 10;
+  /// Stop when the next subgraph's density falls below this absolute value.
+  double min_density = 1.0;
+  /// Stop when the next subgraph's density falls below this fraction of the
+  /// first (densest) one.
+  double min_relative_density = 0.05;
+  /// Epsilon passed through to Algorithm 1.
+  double epsilon = 0.5;
+};
+
+/// Returns approximately-densest node-disjoint subgraphs in discovery
+/// order (non-increasing density in practice). Node ids refer to `g`.
+StatusOr<std::vector<UndirectedDensestResult>> EnumerateDenseSubgraphs(
+    const UndirectedGraph& g, const EnumerateOptions& options);
+
+}  // namespace densest
+
+#endif  // DENSEST_CORE_ENUMERATE_H_

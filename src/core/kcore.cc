@@ -1,0 +1,83 @@
+#include "core/kcore.h"
+
+#include <algorithm>
+
+namespace densest {
+
+CoreDecomposition KCoreDecomposition(const UndirectedGraph& g) {
+  const NodeId n = g.num_nodes();
+  CoreDecomposition out;
+  out.core.assign(n, 0);
+  if (n == 0) return out;
+
+  // Batagelj–Zaversnik bin sort over degrees.
+  NodeId max_deg = g.MaxDegree();
+  std::vector<NodeId> bin(max_deg + 2, 0);
+  std::vector<NodeId> deg(n);
+  for (NodeId u = 0; u < n; ++u) {
+    deg[u] = g.Degree(u);
+    ++bin[deg[u]];
+  }
+  NodeId start = 0;
+  for (NodeId d = 0; d <= max_deg; ++d) {
+    NodeId count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<NodeId> vert(n);   // nodes sorted by current degree
+  std::vector<NodeId> pos(n);    // position of each node in vert
+  for (NodeId u = 0; u < n; ++u) {
+    pos[u] = bin[deg[u]];
+    vert[pos[u]] = u;
+    ++bin[deg[u]];
+  }
+  for (NodeId d = max_deg; d > 0; --d) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  for (NodeId i = 0; i < n; ++i) {
+    NodeId u = vert[i];
+    out.core[u] = deg[u];
+    for (NodeId v : g.Neighbors(u)) {
+      if (v == u) continue;
+      if (deg[v] > deg[u]) {
+        // Swap v with the first node of its degree bucket, then shrink.
+        NodeId dv = deg[v];
+        NodeId pw = bin[dv];
+        NodeId w = vert[pw];
+        if (v != w) {
+          std::swap(vert[pos[v]], vert[pw]);
+          std::swap(pos[v], pos[w]);
+        }
+        ++bin[dv];
+        --deg[v];
+      }
+    }
+  }
+  out.degeneracy = *std::max_element(out.core.begin(), out.core.end());
+  return out;
+}
+
+NodeSet DCore(const UndirectedGraph& g, NodeId d) {
+  CoreDecomposition dec = KCoreDecomposition(g);
+  NodeSet s(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (dec.core[u] >= d) s.Insert(u);
+  }
+  return s;
+}
+
+UndirectedDensestResult MaxCoreBaseline(const UndirectedGraph& g) {
+  UndirectedDensestResult out;
+  if (g.num_nodes() == 0) return out;
+  CoreDecomposition dec = KCoreDecomposition(g);
+  NodeSet s(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (dec.core[u] >= dec.degeneracy) s.Insert(u);
+  }
+  out.nodes = s.ToVector();
+  out.density = InducedDensity(g, s);
+  out.passes = 1;  // one in-memory decomposition
+  return out;
+}
+
+}  // namespace densest

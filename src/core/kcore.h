@@ -1,0 +1,38 @@
+// Copyright 2026 The densest Authors.
+// k-core decomposition (Batagelj–Zaversnik, O(n + m)). The d-core is the
+// object Algorithm 2's analysis rests on (Definition 8); the maximum core
+// is also a classic 2-approximation baseline for the densest subgraph.
+
+#ifndef DENSEST_CORE_KCORE_H_
+#define DENSEST_CORE_KCORE_H_
+
+#include <vector>
+
+#include "core/density.h"
+#include "graph/subgraph.h"
+#include "graph/undirected_graph.h"
+
+namespace densest {
+
+/// \brief Output of the core decomposition.
+struct CoreDecomposition {
+  /// core[u] = largest d such that u belongs to the d-core.
+  std::vector<NodeId> core;
+  /// Degeneracy = max core number (0 for the empty graph).
+  NodeId degeneracy = 0;
+};
+
+/// Computes all core numbers in O(n + m).
+CoreDecomposition KCoreDecomposition(const UndirectedGraph& g);
+
+/// The d-core C_d(G): largest induced subgraph with all degrees >= d
+/// (Definition 8). Empty set if no such subgraph exists.
+NodeSet DCore(const UndirectedGraph& g, NodeId d);
+
+/// Baseline: the maximum core as a densest-subgraph answer. Its density is
+/// at least degeneracy/2 >= rho*(G)/2, i.e. a 2-approximation.
+UndirectedDensestResult MaxCoreBaseline(const UndirectedGraph& g);
+
+}  // namespace densest
+
+#endif  // DENSEST_CORE_KCORE_H_

@@ -1,0 +1,94 @@
+#include "flow/brute_force.h"
+
+#include <bit>
+#include <cmath>
+
+namespace densest {
+
+StatusOr<BruteForceResult> BruteForceDensest(const UndirectedGraph& g) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return Status::InvalidArgument("graph has no nodes");
+  if (n > 24) return Status::InvalidArgument("brute force limited to n <= 24");
+
+  // Edge list once; subsets tested by bitmask.
+  struct E {
+    uint32_t mask;
+    double w;
+  };
+  std::vector<E> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    auto nbrs = g.Neighbors(u);
+    auto ws = g.NeighborWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      NodeId v = nbrs[i];
+      if (v > u) {
+        edges.push_back(
+            {(1u << u) | (1u << v), ws.empty() ? 1.0 : ws[i]});
+      } else if (v == u) {
+        edges.push_back({1u << u, ws.empty() ? 1.0 : ws[i]});
+      }
+    }
+  }
+
+  BruteForceResult best;
+  best.density = -1;
+  uint32_t best_mask = 0;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    double w = 0;
+    for (const E& e : edges) {
+      if ((e.mask & mask) == e.mask) w += e.w;
+    }
+    double rho = w / static_cast<double>(std::popcount(mask));
+    if (rho > best.density) {
+      best.density = rho;
+      best_mask = mask;
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (best_mask & (1u << u)) best.nodes.push_back(u);
+  }
+  return best;
+}
+
+StatusOr<BruteForceDirectedResult> BruteForceDensestDirected(
+    const DirectedGraph& g) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return Status::InvalidArgument("graph has no nodes");
+  if (n > 12) return Status::InvalidArgument("brute force limited to n <= 12");
+
+  // out_mask[u] = bitmask of targets of u's arcs.
+  std::vector<uint32_t> out_mask(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.OutNeighbors(u)) out_mask[u] |= 1u << v;
+  }
+
+  BruteForceDirectedResult best;
+  best.density = -1;
+  uint32_t best_s = 0, best_t = 0;
+  for (uint32_t s = 1; s < (1u << n); ++s) {
+    for (uint32_t t = 1; t < (1u << n); ++t) {
+      uint64_t arcs = 0;
+      uint32_t rest = s;
+      while (rest) {
+        int u = std::countr_zero(rest);
+        rest &= rest - 1;
+        arcs += std::popcount(out_mask[u] & t);
+      }
+      double rho = static_cast<double>(arcs) /
+                   std::sqrt(static_cast<double>(std::popcount(s)) *
+                             static_cast<double>(std::popcount(t)));
+      if (rho > best.density) {
+        best.density = rho;
+        best_s = s;
+        best_t = t;
+      }
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (best_s & (1u << u)) best.s_nodes.push_back(u);
+    if (best_t & (1u << u)) best.t_nodes.push_back(u);
+  }
+  return best;
+}
+
+}  // namespace densest

@@ -1,0 +1,40 @@
+// Copyright 2026 The densest Authors.
+// Exponential-time exact oracles for tiny graphs — the ground truth the
+// test suite checks every other solver against.
+
+#ifndef DENSEST_FLOW_BRUTE_FORCE_H_
+#define DENSEST_FLOW_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/directed_graph.h"
+#include "graph/undirected_graph.h"
+
+namespace densest {
+
+/// \brief Output of the undirected brute-force search.
+struct BruteForceResult {
+  std::vector<NodeId> nodes;
+  double density = 0;
+};
+
+/// Enumerates all 2^n - 1 nonempty subsets (n <= 24 enforced) and returns
+/// the densest. Supports weighted graphs.
+StatusOr<BruteForceResult> BruteForceDensest(const UndirectedGraph& g);
+
+/// \brief Output of the directed brute-force search.
+struct BruteForceDirectedResult {
+  std::vector<NodeId> s_nodes;
+  std::vector<NodeId> t_nodes;
+  double density = 0;
+};
+
+/// Enumerates all nonempty (S, T) pairs (n <= 12 enforced) and returns the
+/// pair maximizing |E(S,T)| / sqrt(|S||T|). Unweighted arcs only.
+StatusOr<BruteForceDirectedResult> BruteForceDensestDirected(
+    const DirectedGraph& g);
+
+}  // namespace densest
+
+#endif  // DENSEST_FLOW_BRUTE_FORCE_H_

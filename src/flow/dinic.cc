@@ -1,0 +1,109 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace densest {
+
+namespace {
+// Flows below this are treated as zero to keep double arithmetic stable.
+constexpr double kFlowEps = 1e-11;
+}  // namespace
+
+Dinic::Dinic(int num_nodes)
+    : num_nodes_(num_nodes),
+      arcs_(num_nodes),
+      level_(num_nodes),
+      iter_(num_nodes) {}
+
+int Dinic::AddArc(int u, int v, double cap, double reverse_cap) {
+  int u_slot = static_cast<int>(arcs_[u].size());
+  int v_slot = static_cast<int>(arcs_[v].size());
+  if (u == v) {
+    // A self-arc pair would otherwise compute the wrong rev slots.
+    v_slot = u_slot + 1;
+  }
+  arcs_[u].push_back(Arc{v, v_slot, cap, cap});
+  arcs_[v].push_back(Arc{u, u_slot, reverse_cap, reverse_cap});
+  arc_index_.emplace_back(u, u_slot);
+  return static_cast<int>(arc_index_.size()) - 1;
+}
+
+void Dinic::SetArcCapacity(int arc_id, double cap) {
+  auto [u, slot] = arc_index_[arc_id];
+  arcs_[u][slot].capacity = cap;
+}
+
+void Dinic::ResetFlow() {
+  for (auto& list : arcs_) {
+    for (Arc& a : list) a.residual = a.capacity;
+  }
+}
+
+bool Dinic::Bfs(int s, int t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::deque<int> queue;
+  level_[s] = 0;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    int u = queue.front();
+    queue.pop_front();
+    for (const Arc& a : arcs_[u]) {
+      if (a.residual > kFlowEps && level_[a.to] < 0) {
+        level_[a.to] = level_[u] + 1;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+double Dinic::Dfs(int u, int t, double pushed) {
+  if (u == t) return pushed;
+  for (size_t& i = iter_[u]; i < arcs_[u].size(); ++i) {
+    Arc& a = arcs_[u][i];
+    if (a.residual > kFlowEps && level_[a.to] == level_[u] + 1) {
+      double got = Dfs(a.to, t, std::min(pushed, a.residual));
+      if (got > kFlowEps) {
+        a.residual -= got;
+        arcs_[a.to][a.rev].residual += got;
+        return got;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double Dinic::MaxFlow(int s, int t) {
+  double flow = 0.0;
+  while (Bfs(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (true) {
+      double pushed = Dfs(s, t, std::numeric_limits<double>::infinity());
+      if (pushed <= kFlowEps) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+std::vector<uint8_t> Dinic::MinCutSourceSide(int s) const {
+  std::vector<uint8_t> reachable(num_nodes_, 0);
+  std::deque<int> queue;
+  reachable[s] = 1;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    int u = queue.front();
+    queue.pop_front();
+    for (const Arc& a : arcs_[u]) {
+      if (a.residual > kFlowEps && !reachable[a.to]) {
+        reachable[a.to] = 1;
+        queue.push_back(a.to);
+      }
+    }
+  }
+  return reachable;
+}
+
+}  // namespace densest

@@ -1,0 +1,57 @@
+#include "gen/chung_lu.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+namespace densest {
+
+EdgeList ChungLu(const ChungLuOptions& options, uint64_t seed) {
+  const NodeId n = options.num_nodes;
+  EdgeList out(n);
+  if (n < 2 || options.num_edges == 0) return out;
+  Rng rng(seed);
+
+  // Cumulative weight table for endpoint sampling.
+  const double gamma = 1.0 / (options.exponent - 1.0);
+  std::vector<double> cumulative(n);
+  double total = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i) + options.rank_offset, -gamma);
+    cumulative[i] = total;
+  }
+
+  auto sample_node = [&]() -> NodeId {
+    double x = rng.UniformDouble() * total;
+    // Binary search the cumulative table.
+    NodeId lo = 0, hi = n - 1;
+    while (lo < hi) {
+      NodeId mid = lo + (hi - lo) / 2;
+      if (cumulative[mid] < x) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(options.num_edges * 2);
+  // Cap the attempt budget: extremely dense parameterizations could
+  // otherwise loop forever re-sampling duplicates.
+  const EdgeId max_attempts = options.num_edges * 20;
+  EdgeId attempts = 0;
+  while (out.num_edges() < options.num_edges && attempts < max_attempts) {
+    ++attempts;
+    NodeId u = sample_node();
+    NodeId v = sample_node();
+    if (u == v) continue;
+    if (!options.directed && u > v) std::swap(u, v);
+    uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) out.Add(u, v);
+  }
+  return out;
+}
+
+}  // namespace densest

@@ -1,0 +1,38 @@
+// Copyright 2026 The densest Authors.
+// Chung–Lu random graphs with power-law expected degrees — the main
+// generator for social-network stand-ins.
+
+#ifndef DENSEST_GEN_CHUNG_LU_H_
+#define DENSEST_GEN_CHUNG_LU_H_
+
+#include "common/random.h"
+#include "graph/edge_list.h"
+
+namespace densest {
+
+/// \brief Parameters for the Chung–Lu power-law generator.
+struct ChungLuOptions {
+  NodeId num_nodes = 10000;
+  /// Target edge count; the output has at most this many edges (duplicates
+  /// and self-loops from the sampling process are discarded).
+  EdgeId num_edges = 50000;
+  /// Power-law exponent beta of the expected degree sequence (typical
+  /// social graphs: 2.1 – 2.8). Expected degree of rank-i node is
+  /// proportional to (i + i0)^(-1/(beta-1)).
+  double exponent = 2.3;
+  /// Rank offset i0; larger values flatten the head of the distribution
+  /// (tames the largest hubs).
+  double rank_offset = 10.0;
+  /// Generate arcs instead of undirected edges.
+  bool directed = false;
+};
+
+/// Samples a Chung–Lu graph: endpoints of each edge are drawn independently
+/// with probability proportional to their expected degree, duplicates
+/// removed. Degree distribution follows the configured power law.
+/// Deterministic given the seed.
+EdgeList ChungLu(const ChungLuOptions& options, uint64_t seed);
+
+}  // namespace densest
+
+#endif  // DENSEST_GEN_CHUNG_LU_H_

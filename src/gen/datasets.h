@@ -1,0 +1,77 @@
+// Copyright 2026 The densest Authors.
+// Synthetic stand-ins for the paper's evaluation datasets.
+//
+// The paper evaluates on flickr (976K nodes / 7.6M edges), im (645M / 6.1B),
+// livejournal (4.84M / 68.9M), twitter (50.7M / 2.7B), plus seven SNAP
+// graphs for the quality study (Table 2). None of those are available
+// offline, and im/twitter exceed laptop scale, so this module generates
+// structurally matched stand-ins: heavy-tailed degree sequences (Chung–Lu /
+// R-MAT), plus planted dense structures that mimic the dense cores real
+// social graphs have. See DESIGN.md §3 for the substitution argument.
+
+#ifndef DENSEST_GEN_DATASETS_H_
+#define DENSEST_GEN_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.h"
+
+namespace densest {
+
+/// \brief Descriptor of a stand-in dataset: what the paper used and what we
+/// generate (Table 1 of the paper).
+struct DatasetInfo {
+  std::string name;           ///< e.g. "flickr-sim"
+  std::string paper_name;     ///< e.g. "flickr"
+  bool directed = false;
+  NodeId paper_nodes = 0;     ///< node count reported in the paper
+  EdgeId paper_edges = 0;     ///< edge count reported in the paper
+  NodeId sim_nodes = 0;       ///< node count we generate
+  EdgeId sim_edges = 0;       ///< approximate edge count we generate
+};
+
+/// Returns descriptors for the four Table 1 stand-ins, in paper order.
+std::vector<DatasetInfo> Table1Datasets();
+
+/// flickr stand-in: undirected Chung–Lu power law (beta=2.2) with two
+/// planted dense communities. ~100K nodes / ~760K edges (paper: 976K/7.6M).
+EdgeList MakeFlickrSim(uint64_t seed);
+
+/// im (Yahoo! Messenger) stand-in: undirected, flatter power law
+/// (beta=2.6) with one large planted community. ~250K nodes / ~2.4M edges
+/// (paper: 645M/6.1B — scaled ~2500x to laptop size).
+EdgeList MakeImSim(uint64_t seed);
+
+/// livejournal stand-in: directed R-MAT with a planted near-symmetric
+/// (S*, T*) block, |S*| ~ |T*| (best c near 1, as the paper observes).
+/// ~131K nodes / ~1.5M arcs (paper: 4.84M/68.9M).
+EdgeList MakeLiveJournalSim(uint64_t seed);
+
+/// twitter stand-in: directed, highly skewed — a pool of followers
+/// all following a small celebrity set, so the best c is far from 1
+/// (paper §6.4's observation about 600 users with >30M followers).
+/// ~131K nodes / ~1.6M arcs (paper: 50.7M/2.7B).
+EdgeList MakeTwitterSim(uint64_t seed);
+
+/// \brief One of the seven SNAP graphs in the paper's Table 2 quality study.
+struct SnapStandInSpec {
+  std::string name;     ///< paper's dataset name, e.g. "ca-AstroPh"
+  NodeId nodes;         ///< |V| as reported in Table 2
+  EdgeId edges;         ///< |E| as reported in Table 2
+  double paper_rho;     ///< rho*(G) the paper's LP reported
+  NodeId clique_size;   ///< planted near-clique size targeting paper_rho
+  double clique_p;      ///< internal edge probability of the planted block
+};
+
+/// The seven Table 2 rows with their paper-reported parameters.
+std::vector<SnapStandInSpec> Table2Specs();
+
+/// Generates the stand-in for one Table 2 row: Chung–Lu background with the
+/// row's |V| and |E|, plus a planted near-clique sized so the densest
+/// subgraph has roughly the paper-reported density.
+EdgeList MakeSnapStandIn(const SnapStandInSpec& spec, uint64_t seed);
+
+}  // namespace densest
+
+#endif  // DENSEST_GEN_DATASETS_H_

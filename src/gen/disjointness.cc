@@ -1,0 +1,46 @@
+#include "gen/disjointness.h"
+
+#include <cassert>
+
+namespace densest {
+
+DisjointnessInstance MakeDisjointnessInstance(NodeId num_indices, int q,
+                                              bool yes, double fill,
+                                              uint64_t seed) {
+  assert(q >= 2);
+  DisjointnessInstance out;
+  out.yes = yes;
+  const NodeId qn = static_cast<NodeId>(q);
+  out.edges = EdgeList(num_indices * qn);
+  Rng rng(seed);
+
+  // Player j holding index i contributes the star from u_{j,i} to every
+  // other node of gadget i (the lemma's q-1 edges).
+  auto add_player_edges = [&](NodeId gadget, int j) {
+    NodeId base = gadget * qn;
+    for (int j2 = 0; j2 < q; ++j2) {
+      if (j2 == j) continue;
+      out.edges.Add(base + static_cast<NodeId>(j),
+                    base + static_cast<NodeId>(j2));
+    }
+  };
+
+  out.special_gadget = yes ? static_cast<NodeId>(
+                                 rng.UniformU64(num_indices))
+                           : kInvalidNode;
+  for (NodeId i = 0; i < num_indices; ++i) {
+    if (yes && i == out.special_gadget) {
+      for (int j = 0; j < q; ++j) add_player_edges(i, j);
+    } else if (rng.Bernoulli(fill)) {
+      add_player_edges(i, static_cast<int>(rng.UniformU64(q)));
+    }
+  }
+  // YES: clique gadget with doubled edges -> 2 * C(q,2) weight / q nodes.
+  // NO: star gadget -> (q-1) weight / q nodes.
+  out.expected_density =
+      yes ? static_cast<double>(q - 1)
+          : (static_cast<double>(q) - 1.0) / static_cast<double>(q);
+  return out;
+}
+
+}  // namespace densest

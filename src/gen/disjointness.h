@@ -1,0 +1,41 @@
+// Copyright 2026 The densest Authors.
+// The Lemma 7 construction (§4.1.1): the multiparty set-disjointness
+// instances that prove any p-pass alpha-approximation needs
+// Omega(n/(p alpha^2)) space. A YES instance hides one q-clique among star
+// gadgets; a NO instance is all stars. Any algorithm with approximation
+// factor better than the rho_yes/rho_no = q gap distinguishes them.
+
+#ifndef DENSEST_GEN_DISJOINTNESS_H_
+#define DENSEST_GEN_DISJOINTNESS_H_
+
+#include "common/random.h"
+#include "graph/edge_list.h"
+
+namespace densest {
+
+/// \brief One reduction instance.
+struct DisjointnessInstance {
+  /// The constructed graph: num_indices disjoint gadgets of q nodes each.
+  /// Edges are a multigraph (parallel edges carry summed weight after
+  /// cleaning), matching the lemma's edge accounting.
+  EdgeList edges;
+  /// Whether this is a YES instance (one gadget is a q-clique).
+  bool yes = false;
+  /// Index of the clique gadget (YES instances only).
+  NodeId special_gadget = 0;
+  /// Density of the densest gadget: q-1 for YES, 1 - 1/q for NO.
+  double expected_density = 0;
+};
+
+/// Builds an instance with `num_indices` gadgets of `q` players each.
+/// In a NO instance every index is held by at most one player (gadgets are
+/// stars); in a YES instance one random index is held by all players (its
+/// gadget becomes a clique with doubled edges). Each gadget independently
+/// gets a player with probability `fill`, mirroring the promise problem.
+DisjointnessInstance MakeDisjointnessInstance(NodeId num_indices, int q,
+                                              bool yes, double fill,
+                                              uint64_t seed);
+
+}  // namespace densest
+
+#endif  // DENSEST_GEN_DISJOINTNESS_H_

@@ -1,0 +1,27 @@
+// Copyright 2026 The densest Authors.
+// Erdős–Rényi random graph generators.
+
+#ifndef DENSEST_GEN_ERDOS_RENYI_H_
+#define DENSEST_GEN_ERDOS_RENYI_H_
+
+#include "common/random.h"
+#include "graph/edge_list.h"
+
+namespace densest {
+
+/// Samples a simple undirected G(n, m) graph: m distinct edges chosen
+/// uniformly among the n(n-1)/2 possible. Requires m <= n(n-1)/2.
+/// Deterministic given the seed.
+EdgeList ErdosRenyiGnm(NodeId n, EdgeId m, uint64_t seed);
+
+/// Samples undirected G(n, p): each of the n(n-1)/2 edges present
+/// independently with probability p. Uses geometric skipping, so the cost is
+/// proportional to the number of edges generated, not n^2.
+EdgeList ErdosRenyiGnp(NodeId n, double p, uint64_t seed);
+
+/// Directed variant of G(n, m): m distinct arcs (u != v) chosen uniformly.
+EdgeList ErdosRenyiDirectedGnm(NodeId n, EdgeId m, uint64_t seed);
+
+}  // namespace densest
+
+#endif  // DENSEST_GEN_ERDOS_RENYI_H_

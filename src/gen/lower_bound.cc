@@ -1,0 +1,33 @@
+#include "gen/lower_bound.h"
+
+#include <cassert>
+
+#include "gen/regular.h"
+
+namespace densest {
+
+NodeId Lemma5NumNodes(int k) {
+  NodeId total = 0;
+  for (int i = 1; i <= k; ++i) {
+    total += static_cast<NodeId>(1) << (2 * k + 1 - i);
+  }
+  return total;
+}
+
+EdgeList Lemma5Construction(int k) {
+  assert(k >= 1 && k <= 12);
+  EdgeList out(Lemma5NumNodes(k));
+  NodeId base = 0;
+  for (int i = 1; i <= k; ++i) {
+    NodeId block_nodes = static_cast<NodeId>(1) << (2 * k + 1 - i);
+    NodeId degree = static_cast<NodeId>(1) << (i - 1);
+    EdgeList block = CirculantRegular(block_nodes, degree);
+    for (const Edge& e : block.edges()) {
+      out.Add(base + e.u, base + e.v);
+    }
+    base += block_nodes;
+  }
+  return out;
+}
+
+}  // namespace densest

@@ -1,0 +1,24 @@
+// Copyright 2026 The densest Authors.
+// The paper's pass-lower-bound constructions (§4.1.1).
+
+#ifndef DENSEST_GEN_LOWER_BOUND_H_
+#define DENSEST_GEN_LOWER_BOUND_H_
+
+#include "graph/edge_list.h"
+
+namespace densest {
+
+/// \brief The Lemma 5 construction: k disjoint blocks G_1..G_k where G_i is
+/// a 2^(i-1)-regular graph on 2^(2k+1-i) nodes, so every block has exactly
+/// 2^(2k-1) edges. Algorithm 1 peels only O(log k) blocks per pass, forcing
+/// Omega(log n / log log n) passes.
+///
+/// Node count is sum_i 2^(2k+1-i) ≈ 2^(2k); keep k <= 10 on a laptop.
+EdgeList Lemma5Construction(int k);
+
+/// Number of nodes of the Lemma 5 construction for a given k.
+NodeId Lemma5NumNodes(int k);
+
+}  // namespace densest
+
+#endif  // DENSEST_GEN_LOWER_BOUND_H_

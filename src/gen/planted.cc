@@ -1,0 +1,62 @@
+#include "gen/planted.h"
+
+#include "gen/erdos_renyi.h"
+
+namespace densest {
+
+PlantedGraph PlantDenseBlocks(NodeId n, EdgeId background_edges,
+                              const std::vector<PlantedBlock>& blocks,
+                              uint64_t seed) {
+  PlantedGraph out;
+  out.edges = ErdosRenyiGnm(n, background_edges, seed);
+  out.edges.set_num_nodes(n);
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+
+  NodeId total = 0;
+  for (const PlantedBlock& b : blocks) total += b.size;
+  std::vector<uint64_t> chosen = rng.SampleWithoutReplacement(n, total);
+
+  size_t cursor = 0;
+  for (const PlantedBlock& b : blocks) {
+    std::vector<NodeId> members;
+    members.reserve(b.size);
+    for (NodeId i = 0; i < b.size; ++i) {
+      members.push_back(static_cast<NodeId>(chosen[cursor++]));
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (rng.Bernoulli(b.internal_p)) {
+          out.edges.Add(members[i], members[j]);
+        }
+      }
+    }
+    out.blocks.push_back(std::move(members));
+  }
+  return out;
+}
+
+PlantedDirectedGraph PlantDirectedBlock(NodeId n, EdgeId background_edges,
+                                        NodeId s_size, NodeId t_size, double p,
+                                        uint64_t seed) {
+  PlantedDirectedGraph out;
+  out.arcs = ErdosRenyiDirectedGnm(n, background_edges, seed);
+  out.arcs.set_num_nodes(n);
+  Rng rng(seed ^ 0xc2b2ae3d27d4eb4fULL);
+
+  std::vector<uint64_t> chosen =
+      rng.SampleWithoutReplacement(n, s_size + t_size);
+  for (NodeId i = 0; i < s_size; ++i) {
+    out.s_nodes.push_back(static_cast<NodeId>(chosen[i]));
+  }
+  for (NodeId i = 0; i < t_size; ++i) {
+    out.t_nodes.push_back(static_cast<NodeId>(chosen[s_size + i]));
+  }
+  for (NodeId s : out.s_nodes) {
+    for (NodeId t : out.t_nodes) {
+      if (rng.Bernoulli(p)) out.arcs.Add(s, t);
+    }
+  }
+  return out;
+}
+
+}  // namespace densest

@@ -1,0 +1,53 @@
+// Copyright 2026 The densest Authors.
+// Planted dense-structure generators: a sparse background plus one or more
+// dense blocks whose location is known, so experiments have a ground truth.
+
+#ifndef DENSEST_GEN_PLANTED_H_
+#define DENSEST_GEN_PLANTED_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "graph/edge_list.h"
+
+namespace densest {
+
+/// \brief One planted dense undirected block.
+struct PlantedBlock {
+  /// Number of nodes in the block.
+  NodeId size = 50;
+  /// Internal edge probability (1.0 = clique).
+  double internal_p = 0.5;
+};
+
+/// \brief Result of a planted generation: the graph plus the ground truth.
+struct PlantedGraph {
+  EdgeList edges;
+  /// Node ids of each planted block, in the order the blocks were given.
+  std::vector<std::vector<NodeId>> blocks;
+};
+
+/// Plants dense ER blocks on disjoint random node subsets of a background
+/// G(n, m_background) graph. Blocks must fit: sum of sizes <= n.
+PlantedGraph PlantDenseBlocks(NodeId n, EdgeId background_edges,
+                              const std::vector<PlantedBlock>& blocks,
+                              uint64_t seed);
+
+/// \brief A planted directed (S*, T*) pair for the directed problem:
+/// every node of S* points to most of T* (arc probability `p`), on top of
+/// a directed background.
+struct PlantedDirectedGraph {
+  EdgeList arcs;
+  std::vector<NodeId> s_nodes;
+  std::vector<NodeId> t_nodes;
+};
+
+/// Plants an S->T dense bipartite-style block (|S| = s_size, |T| = t_size,
+/// arc prob p; S and T are disjoint) on a directed G(n, m) background.
+PlantedDirectedGraph PlantDirectedBlock(NodeId n, EdgeId background_edges,
+                                        NodeId s_size, NodeId t_size, double p,
+                                        uint64_t seed);
+
+}  // namespace densest
+
+#endif  // DENSEST_GEN_PLANTED_H_

@@ -1,0 +1,73 @@
+#include "gen/preferential_attachment.h"
+
+#include <vector>
+
+namespace densest {
+
+EdgeList BarabasiAlbert(NodeId num_nodes, NodeId edges_per_node,
+                        uint64_t seed) {
+  EdgeList out(num_nodes);
+  if (num_nodes < 2 || edges_per_node == 0) return out;
+  Rng rng(seed);
+
+  // Endpoint-repetition trick: sampling a uniform entry of `targets` is
+  // sampling a node proportional to its degree.
+  std::vector<NodeId> targets;
+  targets.reserve(static_cast<size_t>(num_nodes) * edges_per_node * 2);
+
+  // Seed graph: a single edge 0 - 1.
+  out.Add(0, 1);
+  targets.push_back(0);
+  targets.push_back(1);
+
+  std::vector<NodeId> chosen;
+  for (NodeId u = 2; u < num_nodes; ++u) {
+    chosen.clear();
+    NodeId want = std::min<NodeId>(edges_per_node, u);
+    // Rejection-sample distinct neighbors; u is small early on so cap tries.
+    int tries = 0;
+    while (chosen.size() < want && tries < 200) {
+      ++tries;
+      NodeId v = targets[rng.UniformU64(targets.size())];
+      bool dup = false;
+      for (NodeId c : chosen) {
+        if (c == v) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) chosen.push_back(v);
+    }
+    for (NodeId v : chosen) {
+      out.Add(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  return out;
+}
+
+EdgeList DeterministicWeightedPA(NodeId num_nodes) {
+  EdgeList out(num_nodes);
+  if (num_nodes < 2) return out;
+  // wdeg[v] = current weighted degree of v. Each arriving node distributes
+  // one unit of weight across all existing nodes proportionally to wdeg,
+  // so the total weight grows by exactly 1 per arrival and the resulting
+  // weighted degree sequence is a power law (Lemma 6).
+  std::vector<double> wdeg(num_nodes, 0.0);
+  for (NodeId u = 1; u < num_nodes; ++u) {
+    double total = 0;
+    for (NodeId v = 0; v < u; ++v) total += wdeg[v];
+    for (NodeId v = 0; v < u; ++v) {
+      double w = (total == 0) ? 1.0 / static_cast<double>(u)
+                              : wdeg[v] / total;
+      if (w <= 0) continue;
+      out.Add(u, v, w);
+      wdeg[v] += w;
+      wdeg[u] += w;
+    }
+  }
+  return out;
+}
+
+}  // namespace densest

@@ -1,0 +1,29 @@
+// Copyright 2026 The densest Authors.
+// Preferential attachment generators, including the deterministic weighted
+// variant used by the paper's Lemma 6 pass lower bound.
+
+#ifndef DENSEST_GEN_PREFERENTIAL_ATTACHMENT_H_
+#define DENSEST_GEN_PREFERENTIAL_ATTACHMENT_H_
+
+#include "common/random.h"
+#include "graph/edge_list.h"
+
+namespace densest {
+
+/// Barabási–Albert preferential attachment: nodes arrive one at a time,
+/// each attaching `edges_per_node` edges to existing nodes chosen with
+/// probability proportional to their current degree. Produces a power-law
+/// degree sequence. Deterministic given the seed.
+EdgeList BarabasiAlbert(NodeId num_nodes, NodeId edges_per_node,
+                        uint64_t seed);
+
+/// The deterministic weighted preferential-attachment process from the
+/// paper's Lemma 6: node u (arriving t-th) adds an edge to *every* existing
+/// node v with weight proportional to v's current weighted degree. The
+/// resulting weighted degree sequence follows a power law, which forces
+/// Algorithm 1 to take Omega(log n) passes. O(n^2) edges — keep n modest.
+EdgeList DeterministicWeightedPA(NodeId num_nodes);
+
+}  // namespace densest
+
+#endif  // DENSEST_GEN_PREFERENTIAL_ATTACHMENT_H_

@@ -1,0 +1,23 @@
+#include "gen/regular.h"
+
+#include <cassert>
+
+namespace densest {
+
+EdgeList CirculantRegular(NodeId n, NodeId d) {
+  assert(d < n);
+  assert(d % 2 == 0 || n % 2 == 0);
+  EdgeList out(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId k = 1; k <= d / 2; ++k) {
+      NodeId j = (i + k) % n;
+      out.Add(i, j);  // each {i, i+k} emitted once, by its lower offset side
+    }
+  }
+  if (d % 2 == 1) {
+    for (NodeId i = 0; i < n / 2; ++i) out.Add(i, i + n / 2);
+  }
+  return out;
+}
+
+}  // namespace densest

@@ -1,0 +1,18 @@
+// Copyright 2026 The densest Authors.
+// Regular graph constructions (circulant graphs).
+
+#ifndef DENSEST_GEN_REGULAR_H_
+#define DENSEST_GEN_REGULAR_H_
+
+#include "graph/edge_list.h"
+
+namespace densest {
+
+/// Builds a d-regular circulant graph on n nodes: node i is adjacent to
+/// i +- 1, ..., i +- d/2 (mod n); if d is odd, also to i + n/2 (requires n
+/// even). Requires d < n and (d even or n even). Density is exactly d/2.
+EdgeList CirculantRegular(NodeId n, NodeId d);
+
+}  // namespace densest
+
+#endif  // DENSEST_GEN_REGULAR_H_

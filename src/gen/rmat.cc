@@ -1,0 +1,61 @@
+#include "gen/rmat.h"
+
+#include <unordered_set>
+#include <utility>
+
+namespace densest {
+
+EdgeList Rmat(const RmatOptions& options, uint64_t seed) {
+  const NodeId n = static_cast<NodeId>(1) << options.scale;
+  EdgeList out(n);
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(options.num_edges * 2);
+
+  const EdgeId max_attempts = options.num_edges * 20;
+  EdgeId attempts = 0;
+  while (out.num_edges() < options.num_edges && attempts < max_attempts) {
+    ++attempts;
+    NodeId u = 0, v = 0;
+    double a = options.a, b = options.b, c = options.c, d = options.d;
+    for (int level = 0; level < options.scale; ++level) {
+      double r = rng.UniformDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+      // Multiplicative noise, renormalized (Graph500-style).
+      if (options.noise > 0) {
+        auto jitter = [&](double x) {
+          return x * (1.0 - options.noise / 2 +
+                      options.noise * rng.UniformDouble());
+        };
+        a = jitter(a);
+        b = jitter(b);
+        c = jitter(c);
+        d = jitter(d);
+        double s = a + b + c + d;
+        a /= s;
+        b /= s;
+        c /= s;
+        d /= s;
+      }
+    }
+    if (u == v) continue;
+    if (!options.directed && u > v) std::swap(u, v);
+    uint64_t key = (static_cast<uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) out.Add(u, v);
+  }
+  out.set_num_nodes(n);
+  return out;
+}
+
+}  // namespace densest

@@ -1,0 +1,35 @@
+// Copyright 2026 The densest Authors.
+// R-MAT recursive matrix graphs (Chakrabarti, Zhan, Faloutsos, SDM 2004):
+// skewed, community-structured graphs used as web/social stand-ins.
+
+#ifndef DENSEST_GEN_RMAT_H_
+#define DENSEST_GEN_RMAT_H_
+
+#include "common/random.h"
+#include "graph/edge_list.h"
+
+namespace densest {
+
+/// \brief Parameters for the R-MAT generator.
+struct RmatOptions {
+  /// log2 of the number of nodes (num_nodes = 2^scale).
+  int scale = 14;
+  /// Target number of edges (duplicates/self-loops discarded, so the output
+  /// has at most this many).
+  EdgeId num_edges = 1 << 18;
+  /// Quadrant probabilities; must sum to ~1. Defaults are the classic
+  /// Graph500-like skewed setting.
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+  /// Per-level multiplicative noise on the quadrant probabilities,
+  /// preventing exact self-similarity artifacts.
+  double noise = 0.1;
+  /// Emit arcs instead of undirected edges.
+  bool directed = false;
+};
+
+/// Generates an R-MAT graph. Deterministic given the seed.
+EdgeList Rmat(const RmatOptions& options, uint64_t seed);
+
+}  // namespace densest
+
+#endif  // DENSEST_GEN_RMAT_H_

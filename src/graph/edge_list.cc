@@ -1,0 +1,57 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace densest {
+
+void EdgeList::Add(NodeId u, NodeId v, Weight w) {
+  edges_.emplace_back(u, v, w);
+  NodeId needed = std::max(u, v) + 1;
+  if (needed > num_nodes_) num_nodes_ = needed;
+}
+
+void EdgeList::Append(const EdgeList& other) {
+  edges_.insert(edges_.end(), other.edges_.begin(), other.edges_.end());
+  set_num_nodes(other.num_nodes());
+}
+
+Weight EdgeList::TotalWeight() const {
+  Weight total = 0;
+  for (const Edge& e : edges_) total += e.w;
+  return total;
+}
+
+void EdgeList::CanonicalizeUndirected() {
+  for (Edge& e : edges_) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+}
+
+void EdgeList::DeduplicateSummingWeights() {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  size_t out = 0;
+  for (size_t i = 0; i < edges_.size();) {
+    Edge merged = edges_[i];
+    size_t j = i + 1;
+    while (j < edges_.size() && edges_[j].u == merged.u && edges_[j].v == merged.v) {
+      merged.w += edges_[j].w;
+      ++j;
+    }
+    edges_[out++] = merged;
+    i = j;
+  }
+  edges_.resize(out);
+}
+
+EdgeId EdgeList::RemoveSelfLoops() {
+  size_t before = edges_.size();
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const Edge& e) { return e.u == e.v; }),
+               edges_.end());
+  return before - edges_.size();
+}
+
+}  // namespace densest

@@ -1,0 +1,71 @@
+// Copyright 2026 The densest Authors.
+// A flat edge list: the universal interchange format between generators,
+// IO, streams, and CSR graph construction.
+
+#ifndef DENSEST_GRAPH_EDGE_LIST_H_
+#define DENSEST_GRAPH_EDGE_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace densest {
+
+/// \brief A list of edges plus the number of nodes in the graph.
+///
+/// Nodes are the contiguous range [0, num_nodes). The list may be directed
+/// or undirected depending on how the consumer interprets it; undirected
+/// consumers treat each entry as one undirected edge (not two arcs).
+class EdgeList {
+ public:
+  EdgeList() = default;
+  /// Creates an edge list over `num_nodes` nodes with no edges.
+  explicit EdgeList(NodeId num_nodes) : num_nodes_(num_nodes) {}
+  /// Creates an edge list from existing edges.
+  EdgeList(NodeId num_nodes, std::vector<Edge> edges)
+      : num_nodes_(num_nodes), edges_(std::move(edges)) {}
+
+  /// Number of nodes (ids are [0, num_nodes())).
+  NodeId num_nodes() const { return num_nodes_; }
+  /// Raises the node count (never lowers it).
+  void set_num_nodes(NodeId n) { if (n > num_nodes_) num_nodes_ = n; }
+
+  /// Number of edges.
+  EdgeId num_edges() const { return edges_.size(); }
+  /// True iff there are no edges.
+  bool empty() const { return edges_.empty(); }
+
+  /// Appends an edge; grows the node range to cover its endpoints.
+  void Add(NodeId u, NodeId v, Weight w = 1.0);
+
+  /// Appends all edges of `other` (node counts are merged).
+  void Append(const EdgeList& other);
+
+  /// Read access to the underlying edges.
+  const std::vector<Edge>& edges() const { return edges_; }
+  /// Mutable access (used by canonicalization and shufflers).
+  std::vector<Edge>& mutable_edges() { return edges_; }
+
+  /// Total weight of all edges.
+  Weight TotalWeight() const;
+
+  /// Reorders endpoints so u <= v within each edge (undirected canonical
+  /// form). Does not deduplicate.
+  void CanonicalizeUndirected();
+
+  /// Sorts edges lexicographically and merges duplicates by summing
+  /// weights. Self-loops are kept; call RemoveSelfLoops first if undesired.
+  void DeduplicateSummingWeights();
+
+  /// Drops all edges with u == v. Returns the number removed.
+  EdgeId RemoveSelfLoops();
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_GRAPH_EDGE_LIST_H_

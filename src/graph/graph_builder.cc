@@ -1,0 +1,37 @@
+#include "graph/graph_builder.h"
+
+namespace densest {
+
+StatusOr<EdgeList> GraphBuilder::BuildEdgeList(bool undirected) const {
+  EdgeList cleaned = edges_;
+  for (const Edge& e : cleaned.edges()) {
+    if (e.w < 0) {
+      return Status::InvalidArgument("negative edge weight");
+    }
+  }
+  if (options_.ignore_weights) {
+    for (Edge& e : cleaned.mutable_edges()) e.w = 1.0;
+  }
+  if (options_.remove_self_loops) cleaned.RemoveSelfLoops();
+  if (undirected) cleaned.CanonicalizeUndirected();
+  if (options_.deduplicate) cleaned.DeduplicateSummingWeights();
+  if (options_.ignore_weights) {
+    // Re-flatten: merged duplicates must not turn into weight-2 edges.
+    for (Edge& e : cleaned.mutable_edges()) e.w = 1.0;
+  }
+  return cleaned;
+}
+
+StatusOr<UndirectedGraph> GraphBuilder::BuildUndirected() const {
+  StatusOr<EdgeList> cleaned = BuildEdgeList(/*undirected=*/true);
+  if (!cleaned.ok()) return cleaned.status();
+  return UndirectedGraph::FromEdgeList(*cleaned);
+}
+
+StatusOr<DirectedGraph> GraphBuilder::BuildDirected() const {
+  StatusOr<EdgeList> cleaned = BuildEdgeList(/*undirected=*/false);
+  if (!cleaned.ok()) return cleaned.status();
+  return DirectedGraph::FromEdgeList(*cleaned);
+}
+
+}  // namespace densest

@@ -1,0 +1,67 @@
+// Copyright 2026 The densest Authors.
+// Graph construction with cleaning policies (dedup, self-loops, symmetry).
+
+#ifndef DENSEST_GRAPH_GRAPH_BUILDER_H_
+#define DENSEST_GRAPH_GRAPH_BUILDER_H_
+
+#include "common/status.h"
+#include "graph/directed_graph.h"
+#include "graph/edge_list.h"
+#include "graph/undirected_graph.h"
+
+namespace densest {
+
+/// \brief Options controlling how raw edge input is cleaned before CSR
+/// construction. Defaults match the paper's setting: simple graphs, no
+/// self-loops, duplicate edges merged.
+struct GraphBuilderOptions {
+  /// Drop edges with u == v.
+  bool remove_self_loops = true;
+  /// Merge duplicate edges. For weighted inputs the weights are summed;
+  /// for unweighted inputs this deduplicates.
+  bool deduplicate = true;
+  /// Treat weights as all-1 regardless of input (forces unweighted CSR).
+  bool ignore_weights = false;
+};
+
+/// \brief Accumulates edges and materializes cleaned CSR graphs.
+///
+/// Example:
+/// \code
+///   GraphBuilder b;
+///   b.Add(0, 1);
+///   b.Add(1, 2, 2.5);
+///   UndirectedGraph g = b.BuildUndirected().value();
+/// \endcode
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(GraphBuilderOptions options = {}) : options_(options) {}
+
+  /// Appends one edge (or arc, for directed builds).
+  void Add(NodeId u, NodeId v, Weight w = 1.0) { edges_.Add(u, v, w); }
+
+  /// Ensures the node range covers [0, n).
+  void ReserveNodes(NodeId n) { edges_.set_num_nodes(n); }
+
+  /// Number of raw (pre-cleaning) edges added so far.
+  EdgeId num_raw_edges() const { return edges_.num_edges(); }
+
+  /// Builds an undirected CSR graph, applying the cleaning options.
+  /// Fails with InvalidArgument on negative weights.
+  StatusOr<UndirectedGraph> BuildUndirected() const;
+
+  /// Builds a directed CSR graph, applying the cleaning options.
+  StatusOr<DirectedGraph> BuildDirected() const;
+
+  /// Cleans and returns the edge list without building a CSR graph
+  /// (interpreting edges as undirected iff `undirected`).
+  StatusOr<EdgeList> BuildEdgeList(bool undirected) const;
+
+ private:
+  GraphBuilderOptions options_;
+  EdgeList edges_;
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,99 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace densest {
+
+GraphStats ComputeStats(const UndirectedGraph& g) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    NodeId d = g.Degree(u);
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.isolated_nodes;
+  }
+  if (s.num_nodes > 0) {
+    s.avg_degree = 2.0 * static_cast<double>(s.num_edges) /
+                   static_cast<double>(s.num_nodes);
+    s.density = static_cast<double>(s.num_edges) /
+                static_cast<double>(s.num_nodes);
+  }
+  return s;
+}
+
+GraphStats ComputeStats(const DirectedGraph& g) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    NodeId d = std::max(g.OutDegree(u), g.InDegree(u));
+    s.max_degree = std::max(s.max_degree, d);
+    if (g.OutDegree(u) == 0 && g.InDegree(u) == 0) ++s.isolated_nodes;
+  }
+  if (s.num_nodes > 0) {
+    s.avg_degree = static_cast<double>(s.num_edges) /
+                   static_cast<double>(s.num_nodes);
+    s.density = s.avg_degree;
+  }
+  return s;
+}
+
+std::vector<EdgeId> DegreeHistogram(const UndirectedGraph& g) {
+  std::vector<EdgeId> hist(g.MaxDegree() + 1, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) ++hist[g.Degree(u)];
+  return hist;
+}
+
+double EstimatePowerLawExponent(const UndirectedGraph& g) {
+  std::vector<EdgeId> hist = DegreeHistogram(g);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (size_t d = 1; d < hist.size(); ++d) {
+    if (hist[d] == 0) continue;
+    double x = std::log(static_cast<double>(d));
+    double y = std::log(static_cast<double>(hist[d]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  double slope = (n * sxy - sx * sy) / denom;
+  return -slope;
+}
+
+namespace {
+
+std::string Humanize(double v) {
+  std::ostringstream os;
+  os.precision(3);
+  if (v >= 1e9) {
+    os << v / 1e9 << "B";
+  } else if (v >= 1e6) {
+    os << v / 1e6 << "M";
+  } else if (v >= 1e3) {
+    os << v / 1e3 << "K";
+  } else {
+    os << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string FormatStats(const GraphStats& s) {
+  std::ostringstream os;
+  os << "|V|=" << Humanize(static_cast<double>(s.num_nodes))
+     << " |E|=" << Humanize(static_cast<double>(s.num_edges))
+     << " avgdeg=" << s.avg_degree << " maxdeg=" << s.max_degree
+     << " rho(V)=" << s.density;
+  return os.str();
+}
+
+}  // namespace densest

@@ -1,0 +1,43 @@
+// Copyright 2026 The densest Authors.
+// Descriptive statistics over graphs (degree distribution, density report).
+
+#ifndef DENSEST_GRAPH_STATS_H_
+#define DENSEST_GRAPH_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/directed_graph.h"
+#include "graph/undirected_graph.h"
+
+namespace densest {
+
+/// \brief Summary parameters of a graph, as in the paper's Table 1.
+struct GraphStats {
+  NodeId num_nodes = 0;
+  EdgeId num_edges = 0;
+  double avg_degree = 0;
+  NodeId max_degree = 0;
+  double density = 0;       ///< |E| / |V| (half the average degree).
+  NodeId isolated_nodes = 0;
+};
+
+/// Computes summary stats for an undirected graph.
+GraphStats ComputeStats(const UndirectedGraph& g);
+/// Computes summary stats for a directed graph (max over in/out degree).
+GraphStats ComputeStats(const DirectedGraph& g);
+
+/// Degree histogram: entry d is the number of nodes with degree d.
+std::vector<EdgeId> DegreeHistogram(const UndirectedGraph& g);
+
+/// Fits log(count) ~ alpha * log(degree) by least squares over nonzero
+/// degrees; returns the estimated power-law exponent (negated slope).
+/// Returns 0 for degenerate inputs.
+double EstimatePowerLawExponent(const UndirectedGraph& g);
+
+/// Human-readable one-liner, e.g. "|V|=976K |E|=7.6M avgdeg=15.6 maxdeg=…".
+std::string FormatStats(const GraphStats& s);
+
+}  // namespace densest
+
+#endif  // DENSEST_GRAPH_STATS_H_

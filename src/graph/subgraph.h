@@ -1,0 +1,92 @@
+// Copyright 2026 The densest Authors.
+// Node subsets and induced subgraph extraction.
+
+#ifndef DENSEST_GRAPH_SUBGRAPH_H_
+#define DENSEST_GRAPH_SUBGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/directed_graph.h"
+#include "graph/edge_list.h"
+#include "graph/types.h"
+#include "graph/undirected_graph.h"
+
+namespace densest {
+
+/// \brief Dense bitmap over node ids with a maintained popcount.
+///
+/// This is the O(n)-memory set the streaming algorithms keep between passes.
+class NodeSet {
+ public:
+  NodeSet() = default;
+  /// Creates a set over the universe [0, n); initially empty or full.
+  explicit NodeSet(NodeId n, bool full = false)
+      : bits_(n, full ? 1 : 0), count_(full ? n : 0) {}
+
+  /// Universe size.
+  NodeId universe_size() const { return static_cast<NodeId>(bits_.size()); }
+  /// Number of members.
+  NodeId size() const { return count_; }
+  /// True iff no members.
+  bool empty() const { return count_ == 0; }
+  /// Membership test.
+  bool Contains(NodeId u) const { return bits_[u] != 0; }
+
+  /// Inserts u (no-op if present).
+  void Insert(NodeId u) {
+    if (!bits_[u]) {
+      bits_[u] = 1;
+      ++count_;
+    }
+  }
+  /// Removes u (no-op if absent).
+  void Remove(NodeId u) {
+    if (bits_[u]) {
+      bits_[u] = 0;
+      --count_;
+    }
+  }
+
+  /// Members in increasing order.
+  std::vector<NodeId> ToVector() const;
+
+  /// Builds a set from explicit members over universe [0, n).
+  static NodeSet FromVector(NodeId n, const std::vector<NodeId>& members);
+
+ private:
+  std::vector<uint8_t> bits_;
+  NodeId count_ = 0;
+};
+
+/// \brief Extracts the subgraph of `g` induced by `nodes`, relabeling nodes
+/// to [0, |nodes|). `mapping` (optional out-param) receives the original id
+/// of each new node.
+UndirectedGraph InducedSubgraph(const UndirectedGraph& g, const NodeSet& nodes,
+                                std::vector<NodeId>* mapping = nullptr);
+
+/// Directed version of InducedSubgraph: keeps arcs with both endpoints in
+/// `nodes`.
+DirectedGraph InducedSubgraphDirected(const DirectedGraph& g,
+                                      const NodeSet& nodes,
+                                      std::vector<NodeId>* mapping = nullptr);
+
+/// Number of edges of `g` with both endpoints in `nodes`, plus their total
+/// weight (equal for unweighted graphs).
+struct InducedEdgeCount {
+  EdgeId edges = 0;
+  Weight weight = 0;
+};
+InducedEdgeCount CountInducedEdges(const UndirectedGraph& g,
+                                   const NodeSet& nodes);
+
+/// Induced density rho(S) = induced weight / |S| (0 for empty S).
+double InducedDensity(const UndirectedGraph& g, const NodeSet& nodes);
+
+/// Directed density rho(S, T) = |E(S,T)| / sqrt(|S| |T|) (0 if either empty).
+double InducedDensityDirected(const DirectedGraph& g, const NodeSet& s,
+                              const NodeSet& t);
+
+}  // namespace densest
+
+#endif  // DENSEST_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,42 @@
+// Copyright 2026 The densest Authors.
+// Fundamental graph types shared across the library.
+
+#ifndef DENSEST_GRAPH_TYPES_H_
+#define DENSEST_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace densest {
+
+/// Node identifier. 32 bits covers every graph this library targets
+/// (laptop-scale reproductions of up to ~10^8 nodes).
+using NodeId = uint32_t;
+
+/// Edge count / index type. 64 bits: edge counts can exceed 2^32.
+using EdgeId = uint64_t;
+
+/// Edge weight. The unweighted algorithms use weight 1.0.
+using Weight = double;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// \brief A single (possibly weighted) edge.
+///
+/// For undirected graphs the pair is unordered (canonicalized u <= v by
+/// GraphBuilder); for directed graphs the edge is the arc u -> v.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  Weight w = 1.0;
+
+  Edge() = default;
+  Edge(NodeId u_in, NodeId v_in, Weight w_in = 1.0) : u(u_in), v(v_in), w(w_in) {}
+
+  bool operator==(const Edge& o) const { return u == o.u && v == o.v && w == o.w; }
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_GRAPH_TYPES_H_

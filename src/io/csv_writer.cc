@@ -1,0 +1,45 @@
+#include "io/csv_writer.h"
+
+#include <sstream>
+
+namespace densest {
+
+StatusOr<CsvWriter> CsvWriter::Open(const std::string& path,
+                                    const std::vector<std::string>& header) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  CsvWriter w(std::move(out));
+  w.WriteRow(header);
+  return w;
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& values) {
+  WriteRow(values);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& values) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out_ << ',';
+    const std::string& v = values[i];
+    if (v.find_first_of(",\"\n") != std::string::npos) {
+      out_ << '"';
+      for (char c : v) {
+        if (c == '"') out_ << '"';
+        out_ << c;
+      }
+      out_ << '"';
+    } else {
+      out_ << v;
+    }
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::Num(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace densest

@@ -1,0 +1,39 @@
+// Copyright 2026 The densest Authors.
+// Tiny CSV emitter used by the benchmark harness to persist table/figure
+// series alongside the human-readable console output.
+
+#ifndef DENSEST_IO_CSV_WRITER_H_
+#define DENSEST_IO_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace densest {
+
+/// \brief Appends rows to a CSV file. Values containing commas/quotes are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates) and emits the header row.
+  static StatusOr<CsvWriter> Open(const std::string& path,
+                                  const std::vector<std::string>& header);
+
+  /// Appends one row; the column count should match the header.
+  void AddRow(const std::vector<std::string>& values);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string Num(double v);
+
+ private:
+  explicit CsvWriter(std::ofstream out) : out_(std::move(out)) {}
+  void WriteRow(const std::vector<std::string>& values);
+
+  std::ofstream out_;
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_IO_CSV_WRITER_H_

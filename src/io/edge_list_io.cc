@@ -1,0 +1,52 @@
+#include "io/edge_list_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace densest {
+
+StatusOr<EdgeList> ReadEdgeListText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  EdgeList edges;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ss(line);
+    long long u, v;
+    double w = 1.0;
+    if (!(ss >> u >> v)) {
+      return Status::InvalidArgument("bad edge at " + path + ":" +
+                                     std::to_string(lineno));
+    }
+    ss >> w;  // optional weight
+    if (u < 0 || v < 0) {
+      return Status::InvalidArgument("negative node id at " + path + ":" +
+                                     std::to_string(lineno));
+    }
+    edges.Add(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+  }
+  return edges;
+}
+
+Status WriteEdgeListText(const std::string& path, const EdgeList& edges,
+                         bool weighted) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  for (const Edge& e : edges.edges()) {
+    if (weighted) {
+      out << e.u << ' ' << e.v << ' ' << e.w << '\n';
+    } else {
+      out << e.u << ' ' << e.v << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace densest

@@ -1,0 +1,41 @@
+#include "mapreduce/cost_model.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace densest {
+
+void JobStats::Accumulate(const JobStats& other) {
+  map_input_records += other.map_input_records;
+  map_output_records += other.map_output_records;
+  combine_output_records += other.combine_output_records;
+  shuffle_bytes += other.shuffle_bytes;
+  reduce_input_groups += other.reduce_input_groups;
+  reduce_output_records += other.reduce_output_records;
+  simulated_seconds += other.simulated_seconds;
+}
+
+std::string JobStats::ToString() const {
+  std::ostringstream os;
+  os << "map_in=" << map_input_records << " map_out=" << map_output_records
+     << " shuffle_bytes=" << shuffle_bytes
+     << " reduce_groups=" << reduce_input_groups
+     << " reduce_out=" << reduce_output_records
+     << " sim_seconds=" << simulated_seconds;
+  return os.str();
+}
+
+double SimulateJobSeconds(const CostModel& model, const JobStats& stats) {
+  const double mappers = std::max(1, model.num_mappers);
+  const double reducers = std::max(1, model.num_reducers);
+  double map_time = static_cast<double>(stats.map_input_records) *
+                    model.map_seconds_per_record / mappers;
+  double shuffle_time = static_cast<double>(stats.shuffle_bytes) *
+                        model.shuffle_seconds_per_byte / reducers;
+  double reduce_time = static_cast<double>(stats.combine_output_records) *
+                       model.reduce_seconds_per_record / reducers;
+  return model.job_overhead_seconds +
+         model.skew_factor * (map_time + shuffle_time + reduce_time);
+}
+
+}  // namespace densest

@@ -1,0 +1,175 @@
+#include "mapreduce/graph_jobs.h"
+
+namespace densest {
+
+MrEdges ToMrEdges(const std::vector<Edge>& edges) {
+  MrEdges out;
+  out.reserve(edges.size());
+  for (const Edge& e : edges) {
+    out.push_back(KV<NodeId, NodeId>{e.u, e.v});
+  }
+  return out;
+}
+
+std::vector<KV<NodeId, EdgeId>> MrDegreeJob(MapReduceEnv& env,
+                                            const MrEdges& edges,
+                                            JobStats* stats) {
+  // §5.2: duplicate each edge (u,v) as <u;v> and <v;u>; the reducer for u
+  // then sees all of u's neighbors and counts them.
+  return RunJob<NodeId, NodeId, NodeId, EdgeId>(
+      env, edges,
+      [](const NodeId& u, const NodeId& v, Emitter<NodeId, NodeId>& emit) {
+        emit.Emit(u, v);
+        emit.Emit(v, u);
+      },
+      [](const NodeId& u, const std::vector<NodeId>& neighbors,
+         Emitter<NodeId, EdgeId>& emit) {
+        emit.Emit(u, static_cast<EdgeId>(neighbors.size()));
+      },
+      stats);
+}
+
+std::vector<KV<NodeId, EdgeId>> MrDegreeJobCombined(MapReduceEnv& env,
+                                                    const MrEdges& edges,
+                                                    JobStats* stats) {
+  auto sum = [](const NodeId& u, const std::vector<EdgeId>& partials,
+                Emitter<NodeId, EdgeId>& emit) {
+    EdgeId total = 0;
+    for (EdgeId x : partials) total += x;
+    emit.Emit(u, total);
+  };
+  return RunJobWithCombiner<NodeId, EdgeId, NodeId, EdgeId>(
+      env, edges,
+      [](const NodeId& u, const NodeId& v, Emitter<NodeId, EdgeId>& emit) {
+        emit.Emit(u, 1);
+        emit.Emit(v, 1);
+      },
+      sum, sum, stats);
+}
+
+std::vector<KV<uint64_t, EdgeId>> MrDirectedDegreeJob(MapReduceEnv& env,
+                                                      const MrEdges& arcs,
+                                                      JobStats* stats) {
+  return RunJob<uint64_t, NodeId, uint64_t, EdgeId>(
+      env, arcs,
+      [](const NodeId& u, const NodeId& v, Emitter<uint64_t, NodeId>& emit) {
+        emit.Emit(2 * static_cast<uint64_t>(u), v);      // out-degree slot
+        emit.Emit(2 * static_cast<uint64_t>(v) + 1, u);  // in-degree slot
+      },
+      [](const uint64_t& key, const std::vector<NodeId>& endpoints,
+         Emitter<uint64_t, EdgeId>& emit) {
+        emit.Emit(key, static_cast<EdgeId>(endpoints.size()));
+      },
+      stats);
+}
+
+EdgeId MrCountEdgesJob(MapReduceEnv& env, const MrEdges& edges,
+                       JobStats* stats) {
+  std::vector<KV<NodeId, EdgeId>> totals =
+      RunJob<NodeId, EdgeId, NodeId, EdgeId>(
+          env, edges,
+          [](const NodeId&, const NodeId&, Emitter<NodeId, EdgeId>& emit) {
+            emit.Emit(0, 1);
+          },
+          [](const NodeId& key, const std::vector<EdgeId>& ones,
+             Emitter<NodeId, EdgeId>& emit) {
+            EdgeId total = 0;
+            for (EdgeId x : ones) total += x;
+            emit.Emit(key, total);
+          },
+          stats);
+  return totals.empty() ? 0 : totals.front().value;
+}
+
+namespace {
+
+/// Shared reducer of the removal passes: a key whose values contain the $
+/// marker (kInvalidNode) emits nothing; otherwise edges survive. `flip`
+/// restores the original orientation when pivoting on the second endpoint.
+void RemovalReduce(const NodeId& key, const std::vector<NodeId>& values,
+                   Emitter<NodeId, NodeId>& emit, bool flip) {
+  for (NodeId v : values) {
+    if (v == kInvalidNode) return;  // marked: drop all incident edges
+  }
+  for (NodeId v : values) {
+    if (flip) {
+      emit.Emit(v, key);
+    } else {
+      emit.Emit(key, v);
+    }
+  }
+}
+
+/// Appends one <v;$> marker record per marked node.
+void AppendMarkers(const NodeSet& marked, MrEdges& input) {
+  for (NodeId u = 0; u < marked.universe_size(); ++u) {
+    if (marked.Contains(u)) {
+      input.push_back(KV<NodeId, NodeId>{u, kInvalidNode});
+    }
+  }
+}
+
+}  // namespace
+
+MrEdges MrRemoveNodesJob(MapReduceEnv& env, const MrEdges& edges,
+                         const NodeSet& marked, JobStats* pass1_stats,
+                         JobStats* pass2_stats) {
+  // Pass 1: pivot on the first endpoint.
+  MrEdges input1 = edges;
+  AppendMarkers(marked, input1);
+  MrEdges survivors1 = RunJob<NodeId, NodeId, NodeId, NodeId>(
+      env, input1,
+      [](const NodeId& k, const NodeId& v, Emitter<NodeId, NodeId>& emit) {
+        emit.Emit(k, v);
+      },
+      [](const NodeId& k, const std::vector<NodeId>& values,
+         Emitter<NodeId, NodeId>& emit) {
+        RemovalReduce(k, values, emit, /*flip=*/false);
+      },
+      pass1_stats);
+
+  // Pass 2: pivot on the second endpoint; emit flipped back.
+  MrEdges input2;
+  input2.reserve(survivors1.size() + marked.size());
+  for (const auto& kv : survivors1) {
+    input2.push_back(KV<NodeId, NodeId>{kv.value, kv.key});
+  }
+  AppendMarkers(marked, input2);
+  return RunJob<NodeId, NodeId, NodeId, NodeId>(
+      env, input2,
+      [](const NodeId& k, const NodeId& v, Emitter<NodeId, NodeId>& emit) {
+        emit.Emit(k, v);
+      },
+      [](const NodeId& k, const std::vector<NodeId>& values,
+         Emitter<NodeId, NodeId>& emit) {
+        RemovalReduce(k, values, emit, /*flip=*/true);
+      },
+      pass2_stats);
+}
+
+MrEdges MrRemoveArcsJob(MapReduceEnv& env, const MrEdges& arcs,
+                        const NodeSet& marked, bool by_source,
+                        JobStats* stats) {
+  MrEdges input;
+  input.reserve(arcs.size() + marked.size());
+  for (const auto& kv : arcs) {
+    if (by_source) {
+      input.push_back(kv);
+    } else {
+      input.push_back(KV<NodeId, NodeId>{kv.value, kv.key});
+    }
+  }
+  AppendMarkers(marked, input);
+  return RunJob<NodeId, NodeId, NodeId, NodeId>(
+      env, input,
+      [](const NodeId& k, const NodeId& v, Emitter<NodeId, NodeId>& emit) {
+        emit.Emit(k, v);
+      },
+      [by_source](const NodeId& k, const std::vector<NodeId>& values,
+                  Emitter<NodeId, NodeId>& emit) {
+        RemovalReduce(k, values, emit, /*flip=*/!by_source);
+      },
+      stats);
+}
+
+}  // namespace densest

@@ -1,0 +1,67 @@
+// Copyright 2026 The densest Authors.
+// The paper's §5.2 graph primitives as MapReduce jobs over a distributed
+// edge list: density, per-node degrees, and the two-pass removal of marked
+// nodes and their incident edges.
+
+#ifndef DENSEST_MAPREDUCE_GRAPH_JOBS_H_
+#define DENSEST_MAPREDUCE_GRAPH_JOBS_H_
+
+#include <vector>
+
+#include "graph/subgraph.h"
+#include "graph/types.h"
+#include "mapreduce/job.h"
+
+namespace densest {
+
+/// A distributed edge list: one record per edge (key = first endpoint,
+/// value = second endpoint). Undirected edges appear once, in arbitrary
+/// orientation; arcs are (source; target).
+using MrEdges = std::vector<KV<NodeId, NodeId>>;
+
+/// Converts an in-memory edge vector into the MR representation.
+MrEdges ToMrEdges(const std::vector<Edge>& edges);
+
+/// §5.2 degree job: map (u;v) -> (u;v), (v;u); reduce counts neighbors.
+/// Output: one (u; deg) record per node with at least one incident edge.
+std::vector<KV<NodeId, EdgeId>> MrDegreeJob(MapReduceEnv& env,
+                                            const MrEdges& edges,
+                                            JobStats* stats = nullptr);
+
+/// Combiner-optimized degree job: maps to (u;1), (v;1) partial counts and
+/// sums them map-side before the shuffle (the classic Hadoop word-count
+/// optimization). Identical output to MrDegreeJob with far fewer shuffled
+/// records on graphs with heavy nodes.
+std::vector<KV<NodeId, EdgeId>> MrDegreeJobCombined(
+    MapReduceEnv& env, const MrEdges& edges, JobStats* stats = nullptr);
+
+/// Directed degree job: one pass computing both |E(i, T)| out-degrees and
+/// |E(S, j)| in-degrees. Keys encode (node, side): key = 2*node + side,
+/// side 0 = out, side 1 = in.
+std::vector<KV<uint64_t, EdgeId>> MrDirectedDegreeJob(
+    MapReduceEnv& env, const MrEdges& arcs, JobStats* stats = nullptr);
+
+/// §5.2 density job: a trivial aggregation counting the edges (the node
+/// count is driver state). Runs as a real job so the cost model charges
+/// the pass for it.
+EdgeId MrCountEdgesJob(MapReduceEnv& env, const MrEdges& edges,
+                       JobStats* stats = nullptr);
+
+/// §5.2 node-removal: two jobs. Pass 1 pivots on the first endpoint (map
+/// emits the edge keyed by u plus a (v;$) marker per removed node v;
+/// a reducer whose values contain $ drops its edges). Pass 2 pivots on the
+/// second endpoint. Returns the surviving edges; orientation is restored.
+/// `marked` flags the nodes being removed.
+MrEdges MrRemoveNodesJob(MapReduceEnv& env, const MrEdges& edges,
+                         const NodeSet& marked, JobStats* pass1_stats = nullptr,
+                         JobStats* pass2_stats = nullptr);
+
+/// One-sided removal for the directed algorithm: drops arcs whose
+/// *source* (if `by_source`) or *target* endpoint is marked. Single job.
+MrEdges MrRemoveArcsJob(MapReduceEnv& env, const MrEdges& arcs,
+                        const NodeSet& marked, bool by_source,
+                        JobStats* stats = nullptr);
+
+}  // namespace densest
+
+#endif  // DENSEST_MAPREDUCE_GRAPH_JOBS_H_

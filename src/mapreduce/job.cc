@@ -1,0 +1,4 @@
+#include "mapreduce/job.h"
+
+// RunJob is a header template; MapReduceEnv is header-only. This file
+// exists so the build has a stable TU for the module.

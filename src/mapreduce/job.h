@@ -1,0 +1,207 @@
+// Copyright 2026 The densest Authors.
+// A typed, in-process MapReduce engine. Jobs execute for real (multi-
+// threaded map and reduce with a hash-partitioned, sorted shuffle), so
+// algorithm results are testable; the cluster the paper used is modeled by
+// CostModel, which converts the observed record/byte counts into simulated
+// wall-clock.
+//
+// Determinism: map tasks keep per-chunk output buffers merged in chunk
+// order, and each reduce partition stable-sorts by key, so a job's output
+// is a pure function of its input.
+
+#ifndef DENSEST_MAPREDUCE_JOB_H_
+#define DENSEST_MAPREDUCE_JOB_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/random.h"
+#include "mapreduce/cost_model.h"
+#include "mapreduce/thread_pool.h"
+
+namespace densest {
+
+/// \brief One key-value record.
+template <typename K, typename V>
+struct KV {
+  K key;
+  V value;
+};
+
+/// \brief Collects the records a map or reduce function emits.
+template <typename K, typename V>
+class Emitter {
+ public:
+  explicit Emitter(std::vector<KV<K, V>>* out) : out_(out) {}
+  void Emit(K key, V value) {
+    out_->push_back(KV<K, V>{std::move(key), std::move(value)});
+  }
+
+ private:
+  std::vector<KV<K, V>>* out_;
+};
+
+/// \brief Shared execution context: thread pool, cost model, accumulated
+/// cluster statistics across all jobs run through it.
+class MapReduceEnv {
+ public:
+  /// `threads` local execution threads (0 = hardware concurrency). The
+  /// modeled cluster size lives in `model` and is independent of this.
+  explicit MapReduceEnv(const CostModel& model = {}, size_t threads = 0)
+      : model_(model), pool_(threads) {}
+
+  const CostModel& cost_model() const { return model_; }
+  ThreadPool& pool() { return pool_; }
+  /// Counters accumulated over every job run through this env.
+  const JobStats& totals() const { return totals_; }
+  void AccumulateTotals(const JobStats& s) { totals_.Accumulate(s); }
+
+ private:
+  CostModel model_;
+  ThreadPool pool_;
+  JobStats totals_;
+};
+
+/// Runs one MapReduce job, optionally with a Hadoop-style map-side
+/// combiner.
+///
+/// \tparam K2/V2 intermediate key/value (K2 needs operator< and ==;
+///         both should be trivially copyable for the byte accounting).
+/// \param map_fn     void(const K1&, const V1&, Emitter<K2,V2>&)
+/// \param combine_fn type-preserving partial reduction applied per map
+///        chunk before the shuffle:
+///        void(const K2&, const std::vector<V2>&, Emitter<K2,V2>&).
+///        Pass nullptr (NoCombiner) to skip. Must be associative and
+///        commutative for the job result to be combiner-invariant.
+/// \param reduce_fn  void(const K2&, const std::vector<V2>&, Emitter<K3,V3>&)
+/// \param stats_out  optional per-job counters (also accumulated into env).
+inline constexpr std::nullptr_t NoCombiner = nullptr;
+
+template <typename K2, typename V2, typename K3, typename V3, typename K1,
+          typename V1, typename MapFn, typename CombineFn, typename ReduceFn>
+std::vector<KV<K3, V3>> RunJobWithCombiner(
+    MapReduceEnv& env, const std::vector<KV<K1, V1>>& input, MapFn&& map_fn,
+    CombineFn&& combine_fn, ReduceFn&& reduce_fn,
+    JobStats* stats_out = nullptr) {
+  JobStats stats;
+  stats.map_input_records = input.size();
+
+  // ---- Map phase: chunked across the pool, per-chunk buffers. ----
+  const size_t threads = env.pool().num_threads();
+  const size_t num_chunks =
+      std::max<size_t>(1, std::min(input.size(), threads * 4));
+  const size_t chunk_size = (input.size() + num_chunks - 1) / num_chunks;
+  std::vector<std::vector<KV<K2, V2>>> map_out(num_chunks);
+  std::vector<uint64_t> raw_map_counts(num_chunks, 0);
+  env.pool().ParallelFor(num_chunks, [&](size_t c) {
+    size_t begin = c * chunk_size;
+    size_t end = std::min(input.size(), begin + chunk_size);
+    Emitter<K2, V2> emitter(&map_out[c]);
+    for (size_t i = begin; i < end; ++i) {
+      map_fn(input[i].key, input[i].value, emitter);
+    }
+    raw_map_counts[c] = map_out[c].size();
+    if constexpr (!std::is_same_v<std::decay_t<CombineFn>,
+                                  std::nullptr_t>) {
+      // Combine chunk-locally: group by key, partially reduce.
+      auto& chunk = map_out[c];
+      std::stable_sort(chunk.begin(), chunk.end(),
+                       [](const KV<K2, V2>& a, const KV<K2, V2>& b) {
+                         return a.key < b.key;
+                       });
+      std::vector<KV<K2, V2>> combined;
+      Emitter<K2, V2> combine_emitter(&combined);
+      std::vector<V2> values;
+      size_t i = 0;
+      while (i < chunk.size()) {
+        size_t j = i;
+        values.clear();
+        while (j < chunk.size() && chunk[j].key == chunk[i].key) {
+          values.push_back(chunk[j].value);
+          ++j;
+        }
+        combine_fn(chunk[i].key, values, combine_emitter);
+        i = j;
+      }
+      chunk = std::move(combined);
+    }
+  });
+
+  // ---- Shuffle: hash-partition, preserving chunk order within a key. ----
+  const size_t num_partitions = std::max<size_t>(1, threads * 2);
+  std::vector<std::vector<KV<K2, V2>>> partitions(num_partitions);
+  uint64_t combined_records = 0;
+  for (const auto& chunk : map_out) {
+    combined_records += chunk.size();
+  }
+  for (uint64_t c : raw_map_counts) stats.map_output_records += c;
+  stats.combine_output_records = combined_records;
+  stats.shuffle_bytes = combined_records * (sizeof(K2) + sizeof(V2));
+  for (auto& chunk : map_out) {
+    for (auto& kv : chunk) {
+      size_t p = Mix64(static_cast<uint64_t>(kv.key)) % num_partitions;
+      partitions[p].push_back(std::move(kv));
+    }
+    chunk.clear();
+    chunk.shrink_to_fit();
+  }
+
+  // ---- Reduce phase: group within each partition, reduce in parallel. ----
+  std::vector<std::vector<KV<K3, V3>>> reduce_out(num_partitions);
+  std::vector<uint64_t> group_counts(num_partitions, 0);
+  env.pool().ParallelFor(num_partitions, [&](size_t p) {
+    auto& part = partitions[p];
+    std::stable_sort(part.begin(), part.end(),
+                     [](const KV<K2, V2>& a, const KV<K2, V2>& b) {
+                       return a.key < b.key;
+                     });
+    Emitter<K3, V3> emitter(&reduce_out[p]);
+    std::vector<V2> values;
+    size_t i = 0;
+    while (i < part.size()) {
+      size_t j = i;
+      values.clear();
+      while (j < part.size() && part[j].key == part[i].key) {
+        values.push_back(part[j].value);
+        ++j;
+      }
+      reduce_fn(part[i].key, values, emitter);
+      ++group_counts[p];
+      i = j;
+    }
+  });
+
+  std::vector<KV<K3, V3>> output;
+  size_t total_out = 0;
+  for (const auto& part : reduce_out) total_out += part.size();
+  output.reserve(total_out);
+  for (auto& part : reduce_out) {
+    output.insert(output.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+  }
+  for (uint64_t c : group_counts) stats.reduce_input_groups += c;
+  stats.reduce_output_records = output.size();
+  stats.simulated_seconds = SimulateJobSeconds(env.cost_model(), stats);
+
+  env.AccumulateTotals(stats);
+  if (stats_out != nullptr) *stats_out = stats;
+  return output;
+}
+
+/// Combiner-free convenience wrapper (the common case).
+template <typename K2, typename V2, typename K3, typename V3, typename K1,
+          typename V1, typename MapFn, typename ReduceFn>
+std::vector<KV<K3, V3>> RunJob(MapReduceEnv& env,
+                               const std::vector<KV<K1, V1>>& input,
+                               MapFn&& map_fn, ReduceFn&& reduce_fn,
+                               JobStats* stats_out = nullptr) {
+  return RunJobWithCombiner<K2, V2, K3, V3>(
+      env, input, std::forward<MapFn>(map_fn), NoCombiner,
+      std::forward<ReduceFn>(reduce_fn), stats_out);
+}
+
+}  // namespace densest
+
+#endif  // DENSEST_MAPREDUCE_JOB_H_

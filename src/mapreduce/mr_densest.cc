@@ -1,0 +1,199 @@
+#include "mapreduce/mr_densest.h"
+
+#include <cmath>
+
+#include "graph/subgraph.h"
+
+namespace densest {
+
+StatusOr<MrDensestResult> RunMrDensestUndirected(
+    MapReduceEnv& env, const EdgeList& graph,
+    const MrDensestOptions& options) {
+  if (options.epsilon < 0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  const NodeId n = graph.num_nodes();
+  if (n == 0) return Status::InvalidArgument("graph has no nodes");
+
+  MrDensestResult out;
+  NodeSet alive(n, /*full=*/true);
+  NodeSet best = alive;
+  double best_density = -1.0;
+  MrEdges edges = ToMrEdges(graph.edges());
+
+  const double factor = 2.0 * (1.0 + options.epsilon);
+  std::vector<EdgeId> deg(n, 0);
+  uint64_t pass = 0;
+  while (!alive.empty() && pass < options.max_passes) {
+    ++pass;
+    double pass_sec = 0;
+
+    // Job 1 (§5.2 "density"): count the surviving edges.
+    JobStats density_stats;
+    EdgeId m = MrCountEdgesJob(env, edges, &density_stats);
+    pass_sec += density_stats.simulated_seconds;
+
+    // Job 2 (§5.2 "degrees"): per-node induced degrees.
+    JobStats degree_stats;
+    std::vector<KV<NodeId, EdgeId>> degrees =
+        MrDegreeJob(env, edges, &degree_stats);
+    pass_sec += degree_stats.simulated_seconds;
+
+    const double rho =
+        static_cast<double>(m) / static_cast<double>(alive.size());
+    if (rho > best_density) {
+      best_density = rho;
+      best = alive;
+    }
+
+    // Driver decision: mark every node at or below the threshold.
+    // (Nodes with no surviving edge have degree 0 and are always marked.)
+    std::fill(deg.begin(), deg.end(), 0);
+    for (const auto& kv : degrees) deg[kv.key] = kv.value;
+    const double threshold = factor * rho;
+    NodeSet marked(n);
+    for (NodeId u = 0; u < n; ++u) {
+      if (alive.Contains(u) && static_cast<double>(deg[u]) <= threshold) {
+        marked.Insert(u);
+        alive.Remove(u);
+      }
+    }
+
+    if (options.record_trace) {
+      PassSnapshot snap;
+      snap.pass = pass;
+      snap.nodes = static_cast<NodeId>(alive.size() + marked.size());
+      snap.edges = m;
+      snap.weight = static_cast<double>(m);
+      snap.density = rho;
+      snap.threshold = threshold;
+      snap.removed = marked.size();
+      out.result.trace.push_back(snap);
+    }
+
+    // Jobs 3+4 (§5.2 "removal"): delete marked nodes and incident edges.
+    if (!marked.empty() && !edges.empty()) {
+      JobStats removal1, removal2;
+      edges = MrRemoveNodesJob(env, edges, marked, &removal1, &removal2);
+      pass_sec += removal1.simulated_seconds + removal2.simulated_seconds;
+    }
+    out.pass_seconds.push_back(pass_sec);
+  }
+
+  out.result.nodes = best.ToVector();
+  out.result.density = best_density < 0 ? 0.0 : best_density;
+  out.result.passes = pass;
+  out.totals = env.totals();
+  return out;
+}
+
+StatusOr<MrDirectedResult> RunMrDensestDirected(
+    MapReduceEnv& env, const EdgeList& arcs_in,
+    const MrDirectedOptions& options) {
+  if (options.epsilon < 0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  if (!(options.c > 0)) return Status::InvalidArgument("c must be > 0");
+  const NodeId n = arcs_in.num_nodes();
+  if (n == 0) return Status::InvalidArgument("graph has no nodes");
+
+  MrDirectedResult out;
+  out.result.c = options.c;
+  NodeSet s(n, /*full=*/true), t(n, /*full=*/true);
+  NodeSet best_s = s, best_t = t;
+  double best_density = -1.0;
+  MrEdges arcs = ToMrEdges(arcs_in.edges());
+
+  std::vector<EdgeId> out_deg(n, 0), in_deg(n, 0);
+  uint64_t pass = 0;
+  while (!s.empty() && !t.empty() && pass < options.max_passes) {
+    ++pass;
+    double pass_sec = 0;
+
+    JobStats density_stats;
+    EdgeId m = MrCountEdgesJob(env, arcs, &density_stats);
+    pass_sec += density_stats.simulated_seconds;
+
+    JobStats degree_stats;
+    std::vector<KV<uint64_t, EdgeId>> degrees =
+        MrDirectedDegreeJob(env, arcs, &degree_stats);
+    pass_sec += degree_stats.simulated_seconds;
+
+    const double rho = static_cast<double>(m) /
+                       std::sqrt(static_cast<double>(s.size()) *
+                                 static_cast<double>(t.size()));
+    if (rho > best_density) {
+      best_density = rho;
+      best_s = s;
+      best_t = t;
+    }
+
+    std::fill(out_deg.begin(), out_deg.end(), 0);
+    std::fill(in_deg.begin(), in_deg.end(), 0);
+    for (const auto& kv : degrees) {
+      NodeId node = static_cast<NodeId>(kv.key >> 1);
+      if (kv.key & 1) {
+        in_deg[node] = kv.value;
+      } else {
+        out_deg[node] = kv.value;
+      }
+    }
+
+    const bool peel_s =
+        static_cast<double>(s.size()) / static_cast<double>(t.size()) >=
+        options.c;
+    NodeSet marked(n);
+    if (peel_s) {
+      const double threshold = (1.0 + options.epsilon) *
+                               static_cast<double>(m) /
+                               static_cast<double>(s.size());
+      for (NodeId u = 0; u < n; ++u) {
+        if (s.Contains(u) && static_cast<double>(out_deg[u]) <= threshold) {
+          marked.Insert(u);
+          s.Remove(u);
+        }
+      }
+    } else {
+      const double threshold = (1.0 + options.epsilon) *
+                               static_cast<double>(m) /
+                               static_cast<double>(t.size());
+      for (NodeId u = 0; u < n; ++u) {
+        if (t.Contains(u) && static_cast<double>(in_deg[u]) <= threshold) {
+          marked.Insert(u);
+          t.Remove(u);
+        }
+      }
+    }
+
+    if (options.record_trace) {
+      DirectedPassSnapshot snap;
+      snap.pass = pass;
+      snap.s_size = peel_s ? static_cast<NodeId>(s.size() + marked.size())
+                           : s.size();
+      snap.t_size = peel_s ? t.size()
+                           : static_cast<NodeId>(t.size() + marked.size());
+      snap.weight = static_cast<double>(m);
+      snap.density = rho;
+      snap.removed_from_s = peel_s;
+      snap.removed = marked.size();
+      out.result.trace.push_back(snap);
+    }
+
+    if (!marked.empty() && !arcs.empty()) {
+      JobStats removal_stats;
+      arcs = MrRemoveArcsJob(env, arcs, marked, /*by_source=*/peel_s,
+                             &removal_stats);
+      pass_sec += removal_stats.simulated_seconds;
+    }
+    out.pass_seconds.push_back(pass_sec);
+  }
+
+  out.result.s_nodes = best_s.ToVector();
+  out.result.t_nodes = best_t.ToVector();
+  out.result.density = best_density < 0 ? 0.0 : best_density;
+  out.result.passes = pass;
+  out.totals = env.totals();
+  return out;
+}
+
+}  // namespace densest

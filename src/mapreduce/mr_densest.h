@@ -1,0 +1,68 @@
+// Copyright 2026 The densest Authors.
+// Full MapReduce realizations of Algorithm 1 (undirected) and Algorithm 3
+// (directed): the drivers orchestrate the §5.2 jobs pass by pass, exactly
+// mirroring the streaming algorithms' decisions, and collect the simulated
+// per-pass cluster time (Figure 6.7).
+
+#ifndef DENSEST_MAPREDUCE_MR_DENSEST_H_
+#define DENSEST_MAPREDUCE_MR_DENSEST_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/density.h"
+#include "graph/edge_list.h"
+#include "mapreduce/graph_jobs.h"
+#include "mapreduce/job.h"
+
+namespace densest {
+
+/// \brief Knobs for the undirected MapReduce driver.
+struct MrDensestOptions {
+  double epsilon = 1.0;
+  uint64_t max_passes = 1000;
+  bool record_trace = true;
+};
+
+/// \brief Result plus cluster accounting.
+struct MrDensestResult {
+  UndirectedDensestResult result;
+  /// Simulated cluster seconds per pass (sums the pass's jobs) —
+  /// the series of Figure 6.7.
+  std::vector<double> pass_seconds;
+  /// Aggregate counters over all jobs.
+  JobStats totals;
+};
+
+/// Runs the MapReduce version of Algorithm 1 on an undirected edge list.
+/// Produces exactly the same subgraph as RunAlgorithm1 with the same
+/// epsilon (the drivers make identical decisions); only the execution
+/// substrate differs. Unweighted edges only (weights are ignored).
+StatusOr<MrDensestResult> RunMrDensestUndirected(MapReduceEnv& env,
+                                                 const EdgeList& graph,
+                                                 const MrDensestOptions& options);
+
+/// \brief Knobs for the directed MapReduce driver (one ratio c).
+struct MrDirectedOptions {
+  double c = 1.0;
+  double epsilon = 1.0;
+  uint64_t max_passes = 1000;
+  bool record_trace = true;
+};
+
+/// \brief Directed result plus cluster accounting.
+struct MrDirectedResult {
+  DirectedDensestResult result;
+  std::vector<double> pass_seconds;
+  JobStats totals;
+};
+
+/// Runs the MapReduce version of Algorithm 3 on a directed arc list.
+/// Matches RunAlgorithm3 with the same options (size-ratio rule).
+StatusOr<MrDirectedResult> RunMrDensestDirected(MapReduceEnv& env,
+                                                const EdgeList& arcs,
+                                                const MrDirectedOptions& options);
+
+}  // namespace densest
+
+#endif  // DENSEST_MAPREDUCE_MR_DENSEST_H_

@@ -1,0 +1,67 @@
+#include "mapreduce/thread_pool.h"
+
+#include <algorithm>
+
+namespace densest {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --outstanding_;
+      if (outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    outstanding_ += count;
+    for (size_t i = 0; i < count; ++i) {
+      queue_.push([&fn, i] { fn(i); });
+    }
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+}  // namespace densest

@@ -1,0 +1,49 @@
+// Copyright 2026 The densest Authors.
+// Minimal fixed-size thread pool used to execute map/reduce tasks in
+// parallel. Deterministic results are preserved by keeping per-task output
+// buffers and merging them in task order.
+
+#ifndef DENSEST_MAPREDUCE_THREAD_POOL_H_
+#define DENSEST_MAPREDUCE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace densest {
+
+/// \brief Fixed-size worker pool with a blocking ParallelFor.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = hardware concurrency, min 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(i) for i in [0, count) across the pool; returns when all
+  /// calls completed. fn must be safe to call concurrently for distinct i.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::queue<std::function<void()>> queue_;
+  size_t outstanding_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_MAPREDUCE_THREAD_POOL_H_

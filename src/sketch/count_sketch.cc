@@ -1,0 +1,56 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+
+namespace densest {
+
+StatusOr<CountSketch> CountSketch::Create(const CountSketchOptions& options,
+                                          uint64_t seed) {
+  if (options.tables <= 0) {
+    return Status::InvalidArgument("tables must be > 0");
+  }
+  if (options.buckets <= 0) {
+    return Status::InvalidArgument("buckets must be > 0");
+  }
+  return CountSketch(options, seed);
+}
+
+CountSketch::CountSketch(const CountSketchOptions& options, uint64_t seed)
+    : options_(options) {
+  uint64_t sm = seed;
+  seeds_.reserve(options.tables);
+  sign_seeds_.reserve(options.tables);
+  for (int i = 0; i < options.tables; ++i) {
+    seeds_.push_back(SplitMix64(sm));
+    sign_seeds_.push_back(SplitMix64(sm));
+  }
+  counters_.assign(static_cast<size_t>(options.tables) * options.buckets,
+                   0.0);
+}
+
+void CountSketch::Update(uint32_t x, double delta) {
+  for (int i = 0; i < options_.tables; ++i) {
+    counters_[static_cast<size_t>(i) * options_.buckets + Bucket(i, x)] +=
+        Sign(i, x) * delta;
+  }
+}
+
+double CountSketch::Estimate(uint32_t x) const {
+  // Median of t per-table estimates; t is tiny, so stack-sort.
+  double estimates[64];
+  int t = std::min(options_.tables, 64);
+  for (int i = 0; i < t; ++i) {
+    estimates[i] =
+        counters_[static_cast<size_t>(i) * options_.buckets + Bucket(i, x)] *
+        Sign(i, x);
+  }
+  std::sort(estimates, estimates + t);
+  if (t % 2 == 1) return estimates[t / 2];
+  return 0.5 * (estimates[t / 2 - 1] + estimates[t / 2]);
+}
+
+void CountSketch::Clear() {
+  std::fill(counters_.begin(), counters_.end(), 0.0);
+}
+
+}  // namespace densest

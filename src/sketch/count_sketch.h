@@ -1,0 +1,75 @@
+// Copyright 2026 The densest Authors.
+// Count-Sketch (Charikar, Chen, Farach-Colton, TCS 2004): sublinear-space
+// frequency estimation. The paper's §5.1 heuristic replaces the O(n) exact
+// degree counters with this sketch; high-degree nodes (the ones peeling
+// must not remove prematurely) get high-precision estimates.
+
+#ifndef DENSEST_SKETCH_COUNT_SKETCH_H_
+#define DENSEST_SKETCH_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace densest {
+
+/// \brief Knobs for the sketch dimensions.
+struct CountSketchOptions {
+  /// Number of independent hash tables t (the paper's experiments use 5).
+  int tables = 5;
+  /// Buckets per table b (the paper sweeps 30000–50000 for flickr).
+  int buckets = 30000;
+};
+
+/// \brief A t x b Count-Sketch over 32-bit keys with double-valued counts.
+///
+/// Update(x, delta) adds delta to x's frequency; Estimate(x) returns the
+/// median of the t per-table estimates. All hash functions are seeded, so
+/// two sketches with equal seeds are interchangeable.
+class CountSketch {
+ public:
+  /// Fails with InvalidArgument for non-positive dimensions.
+  static StatusOr<CountSketch> Create(const CountSketchOptions& options,
+                                      uint64_t seed);
+
+  /// Adds `delta` to the frequency of key x.
+  void Update(uint32_t x, double delta);
+
+  /// Median-of-tables estimate of x's frequency.
+  double Estimate(uint32_t x) const;
+
+  /// Zeroes all counters (dimensions and seeds are kept).
+  void Clear();
+
+  /// Words of counter state (t * b) — the memory the paper's Table 4
+  /// compares against the n words of exact counting.
+  uint64_t StateWords() const {
+    return static_cast<uint64_t>(options_.tables) * options_.buckets;
+  }
+
+  const CountSketchOptions& options() const { return options_; }
+
+ private:
+  CountSketch(const CountSketchOptions& options, uint64_t seed);
+
+  /// Bucket of key x in table i.
+  inline uint32_t Bucket(int i, uint32_t x) const {
+    return static_cast<uint32_t>(
+        Mix64(seeds_[i] ^ x) % static_cast<uint64_t>(options_.buckets));
+  }
+  /// Sign (+1/-1) of key x in table i.
+  inline double Sign(int i, uint32_t x) const {
+    return (Mix64(sign_seeds_[i] ^ x) & 1) ? 1.0 : -1.0;
+  }
+
+  CountSketchOptions options_;
+  std::vector<uint64_t> seeds_;       // one per table
+  std::vector<uint64_t> sign_seeds_;  // one per table
+  std::vector<double> counters_;      // t * b, row-major
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_SKETCH_COUNT_SKETCH_H_

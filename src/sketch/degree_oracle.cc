@@ -1,0 +1,3 @@
+#include "sketch/degree_oracle.h"
+
+// DegreeOracle is an interface; vtable anchor.

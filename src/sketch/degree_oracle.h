@@ -1,0 +1,71 @@
+// Copyright 2026 The densest Authors.
+// Degree oracles: the per-pass degree counting abstraction that lets the
+// peeling algorithm run on exact counters or on a Count-Sketch (§5.1)
+// without changing the algorithm.
+
+#ifndef DENSEST_SKETCH_DEGREE_ORACLE_H_
+#define DENSEST_SKETCH_DEGREE_ORACLE_H_
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "graph/types.h"
+#include "sketch/count_sketch.h"
+
+namespace densest {
+
+/// \brief Per-pass degree counting interface. A pass calls BeginPass once,
+/// AddIncidence for each surviving edge endpoint, then EstimateDegree
+/// during the removal sweep.
+class DegreeOracle {
+ public:
+  virtual ~DegreeOracle() = default;
+
+  /// Resets all counters (degrees are recounted every pass because the
+  /// alive set shrinks).
+  virtual void BeginPass() = 0;
+  /// Records weight `w` of an edge incident to node u.
+  virtual void AddIncidence(NodeId u, double w) = 0;
+  /// Estimated induced degree of u in the current pass.
+  virtual double EstimateDegree(NodeId u) const = 0;
+  /// Words of counter state (for the Table 4 memory comparison).
+  virtual uint64_t StateWords() const = 0;
+};
+
+/// \brief Exact O(n)-word counting (the default Algorithm 1 behaviour).
+class ExactDegreeOracle : public DegreeOracle {
+ public:
+  explicit ExactDegreeOracle(NodeId num_nodes) : degrees_(num_nodes, 0.0) {}
+
+  void BeginPass() override {
+    std::fill(degrees_.begin(), degrees_.end(), 0.0);
+  }
+  void AddIncidence(NodeId u, double w) override { degrees_[u] += w; }
+  double EstimateDegree(NodeId u) const override { return degrees_[u]; }
+  uint64_t StateWords() const override { return degrees_.size(); }
+
+ private:
+  std::vector<double> degrees_;
+};
+
+/// \brief Count-Sketch-backed counting using t*b words (§5.1).
+class SketchDegreeOracle : public DegreeOracle {
+ public:
+  explicit SketchDegreeOracle(CountSketch sketch)
+      : sketch_(std::move(sketch)) {}
+
+  void BeginPass() override { sketch_.Clear(); }
+  void AddIncidence(NodeId u, double w) override { sketch_.Update(u, w); }
+  double EstimateDegree(NodeId u) const override {
+    return sketch_.Estimate(u);
+  }
+  uint64_t StateWords() const override { return sketch_.StateWords(); }
+
+ private:
+  CountSketch sketch_;
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_SKETCH_DEGREE_ORACLE_H_

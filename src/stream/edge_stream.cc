@@ -1,0 +1,4 @@
+#include "stream/edge_stream.h"
+
+// EdgeStream is an interface; its virtual destructor anchor lives here so
+// the vtable is emitted in exactly one translation unit.

@@ -1,0 +1,50 @@
+// Copyright 2026 The densest Authors.
+// The semi-streaming substrate: edges arrive one at a time; algorithms may
+// rewind and take multiple passes. Only O(n) state may be kept between
+// passes (the streams themselves may be disk- or generator-backed).
+
+#ifndef DENSEST_STREAM_EDGE_STREAM_H_
+#define DENSEST_STREAM_EDGE_STREAM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/types.h"
+
+namespace densest {
+
+/// \brief A rewindable stream of edges — the input model of all streaming
+/// algorithms in this library (paper §1.1: nodes known in advance, edges
+/// streamed; multiple passes allowed).
+///
+/// Contract: after Reset(), successive Next() calls yield every edge of the
+/// graph exactly once (in an arbitrary but fixed order), then return false.
+class EdgeStream {
+ public:
+  virtual ~EdgeStream() = default;
+
+  /// Rewinds to the beginning of the stream (starts a new pass).
+  virtual void Reset() = 0;
+
+  /// Produces the next edge into *e; returns false at end of stream.
+  virtual bool Next(Edge* e) = 0;
+
+  /// Number of nodes in the graph (known in advance per the semi-streaming
+  /// model).
+  virtual NodeId num_nodes() const = 0;
+
+  /// Number of edges per pass, if known (0 if unknown).
+  virtual EdgeId SizeHint() const { return 0; }
+};
+
+/// Runs `fn` on every edge of one full pass (Reset + drain).
+template <typename Fn>
+void ForEachEdge(EdgeStream& stream, Fn&& fn) {
+  stream.Reset();
+  Edge e;
+  while (stream.Next(&e)) fn(e);
+}
+
+}  // namespace densest
+
+#endif  // DENSEST_STREAM_EDGE_STREAM_H_

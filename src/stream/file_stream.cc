@@ -1,0 +1,123 @@
+#include "stream/file_stream.h"
+
+#include <cstring>
+
+namespace densest {
+
+namespace {
+constexpr size_t kBufferBytes = 1 << 20;
+constexpr size_t kUnweightedRecord = 2 * sizeof(uint32_t);
+constexpr size_t kWeightedRecord = kUnweightedRecord + sizeof(double);
+}  // namespace
+
+Status WriteBinaryEdgeFile(const std::string& path, const EdgeList& edges,
+                           bool weighted) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+
+  BinaryEdgeFileHeader header;
+  header.num_nodes = edges.num_nodes();
+  header.num_edges = edges.num_edges();
+  header.flags = weighted ? 1 : 0;
+  if (std::fwrite(&header, sizeof(header), 1, f) != 1) {
+    std::fclose(f);
+    return Status::IOError("short write (header): " + path);
+  }
+
+  std::vector<unsigned char> buf;
+  buf.reserve(kBufferBytes);
+  const size_t record = weighted ? kWeightedRecord : kUnweightedRecord;
+  for (const Edge& e : edges.edges()) {
+    unsigned char rec[kWeightedRecord];
+    std::memcpy(rec, &e.u, sizeof(uint32_t));
+    std::memcpy(rec + sizeof(uint32_t), &e.v, sizeof(uint32_t));
+    if (weighted) std::memcpy(rec + kUnweightedRecord, &e.w, sizeof(double));
+    buf.insert(buf.end(), rec, rec + record);
+    if (buf.size() >= kBufferBytes) {
+      if (std::fwrite(buf.data(), 1, buf.size(), f) != buf.size()) {
+        std::fclose(f);
+        return Status::IOError("short write: " + path);
+      }
+      buf.clear();
+    }
+  }
+  if (!buf.empty() &&
+      std::fwrite(buf.data(), 1, buf.size(), f) != buf.size()) {
+    std::fclose(f);
+    return Status::IOError("short write: " + path);
+  }
+  if (std::fclose(f) != 0) return Status::IOError("close failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<BinaryFileEdgeStream>> BinaryFileEdgeStream::Open(
+    const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open: " + path);
+
+  BinaryEdgeFileHeader header;
+  if (std::fread(&header, sizeof(header), 1, f) != 1) {
+    std::fclose(f);
+    return Status::IOError("short read (header): " + path);
+  }
+  if (header.magic != BinaryEdgeFileHeader::kMagic) {
+    std::fclose(f);
+    return Status::InvalidArgument("bad magic in edge file: " + path);
+  }
+
+  auto stream = std::unique_ptr<BinaryFileEdgeStream>(new BinaryFileEdgeStream());
+  stream->file_ = f;
+  stream->header_ = header;
+  stream->weighted_ = (header.flags & 1) != 0;
+  stream->buffer_.resize(kBufferBytes);
+  stream->Reset();
+  return stream;
+}
+
+BinaryFileEdgeStream::~BinaryFileEdgeStream() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryFileEdgeStream::Reset() {
+  std::fseek(file_, sizeof(BinaryEdgeFileHeader), SEEK_SET);
+  emitted_ = 0;
+  buf_pos_ = 0;
+  buf_len_ = 0;
+}
+
+bool BinaryFileEdgeStream::FillBuffer() {
+  buf_len_ = std::fread(buffer_.data(), 1, buffer_.size(), file_);
+  bytes_read_ += buf_len_;
+  buf_pos_ = 0;
+  return buf_len_ > 0;
+}
+
+bool BinaryFileEdgeStream::Next(Edge* e) {
+  if (emitted_ >= header_.num_edges) return false;
+  const size_t record = weighted_ ? kWeightedRecord : kUnweightedRecord;
+  if (buf_len_ - buf_pos_ < record) {
+    // Records never straddle the 1 MiB buffer boundary only if record
+    // divides the buffer size; move the tail down and refill to be safe.
+    size_t tail = buf_len_ - buf_pos_;
+    std::memmove(buffer_.data(), buffer_.data() + buf_pos_, tail);
+    buf_len_ = tail + std::fread(buffer_.data() + tail, 1,
+                                 buffer_.size() - tail, file_);
+    bytes_read_ += buf_len_ - tail;
+    buf_pos_ = 0;
+    if (buf_len_ < record) return false;
+  }
+  std::memcpy(&e->u, buffer_.data() + buf_pos_, sizeof(uint32_t));
+  std::memcpy(&e->v, buffer_.data() + buf_pos_ + sizeof(uint32_t),
+              sizeof(uint32_t));
+  if (weighted_) {
+    std::memcpy(&e->w, buffer_.data() + buf_pos_ + kUnweightedRecord,
+                sizeof(double));
+  } else {
+    e->w = 1.0;
+  }
+  buf_pos_ += record;
+  ++emitted_;
+  return true;
+}
+
+}  // namespace densest

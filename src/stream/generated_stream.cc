@@ -1,0 +1,77 @@
+#include "stream/generated_stream.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace densest {
+
+GnpEdgeStream::GnpEdgeStream(NodeId n, double p, uint64_t seed)
+    : n_(n),
+      p_(p),
+      seed_(seed),
+      log1mp_(p > 0 && p < 1 ? std::log(1.0 - p) : 0.0),
+      rng_(seed) {
+  Reset();
+}
+
+void GnpEdgeStream::Reset() {
+  rng_ = Rng(seed_);
+  u_ = -1;
+  v_ = 1;
+  exhausted_ = (p_ <= 0.0 || n_ < 2);
+}
+
+bool GnpEdgeStream::Next(Edge* e) {
+  if (exhausted_) return false;
+  const int64_t n = static_cast<int64_t>(n_);
+  if (p_ >= 1.0) {
+    // Dense corner case: enumerate all pairs directly.
+    ++u_;
+    if (u_ >= v_) {
+      u_ = 0;
+      ++v_;
+      if (v_ >= n) {
+        exhausted_ = true;
+        return false;
+      }
+    }
+    *e = Edge(static_cast<NodeId>(u_), static_cast<NodeId>(v_));
+    return true;
+  }
+  // Geometric skip to the next present edge in the (u < v) enumeration.
+  double r = 1.0 - rng_.UniformDouble();
+  u_ += 1 + static_cast<int64_t>(std::floor(std::log(r) / log1mp_));
+  while (u_ >= v_ && v_ < n) {
+    u_ -= v_;
+    ++v_;
+  }
+  if (v_ >= n) {
+    exhausted_ = true;
+    return false;
+  }
+  *e = Edge(static_cast<NodeId>(u_), static_cast<NodeId>(v_));
+  return true;
+}
+
+CirculantEdgeStream::CirculantEdgeStream(NodeId n, NodeId d) : n_(n), d_(d) {
+  assert(d % 2 == 0 && d < n);
+  Reset();
+}
+
+void CirculantEdgeStream::Reset() {
+  node_ = 0;
+  offset_ = 1;
+}
+
+bool CirculantEdgeStream::Next(Edge* e) {
+  if (d_ == 0 || offset_ > d_ / 2) return false;
+  *e = Edge(node_, (node_ + offset_) % n_);
+  ++node_;
+  if (node_ == n_) {
+    node_ = 0;
+    ++offset_;  // the entry guard ends the stream once offset_ > d_/2
+  }
+  return true;
+}
+
+}  // namespace densest

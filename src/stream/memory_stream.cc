@@ -1,0 +1,49 @@
+#include "stream/memory_stream.h"
+
+namespace densest {
+
+bool EdgeListStream::Next(Edge* e) {
+  if (pos_ >= edges_->edges().size()) return false;
+  *e = edges_->edges()[pos_++];
+  return true;
+}
+
+bool UndirectedGraphStream::Next(Edge* e) {
+  while (node_ < g_->num_nodes()) {
+    auto nbrs = g_->Neighbors(node_);
+    auto ws = g_->NeighborWeights(node_);
+    while (idx_ < nbrs.size()) {
+      NodeId v = nbrs[idx_];
+      if (v >= node_) {
+        e->u = node_;
+        e->v = v;
+        e->w = ws.empty() ? 1.0 : ws[idx_];
+        ++idx_;
+        return true;
+      }
+      ++idx_;
+    }
+    ++node_;
+    idx_ = 0;
+  }
+  return false;
+}
+
+bool DirectedGraphStream::Next(Edge* e) {
+  while (node_ < g_->num_nodes()) {
+    auto nbrs = g_->OutNeighbors(node_);
+    auto ws = g_->OutNeighborWeights(node_);
+    if (idx_ < nbrs.size()) {
+      e->u = node_;
+      e->v = nbrs[idx_];
+      e->w = ws.empty() ? 1.0 : ws[idx_];
+      ++idx_;
+      return true;
+    }
+    ++node_;
+    idx_ = 0;
+  }
+  return false;
+}
+
+}  // namespace densest

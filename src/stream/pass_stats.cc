@@ -1,0 +1,14 @@
+#include "stream/pass_stats.h"
+
+#include <sstream>
+
+namespace densest {
+
+std::string PassStats::ToString() const {
+  std::ostringstream os;
+  os << "passes=" << passes << " edges_scanned=" << edges_scanned
+     << " peak_state_words=" << peak_state_words;
+  return os.str();
+}
+
+}  // namespace densest

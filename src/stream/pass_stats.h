@@ -1,0 +1,57 @@
+// Copyright 2026 The densest Authors.
+// Accounting for the streaming model: passes, edges scanned, bytes, memory.
+
+#ifndef DENSEST_STREAM_PASS_STATS_H_
+#define DENSEST_STREAM_PASS_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "stream/edge_stream.h"
+
+namespace densest {
+
+/// \brief Counters a streaming algorithm accumulates while consuming a
+/// stream. Passes are counted on Reset(); edges on Next().
+struct PassStats {
+  uint64_t passes = 0;
+  uint64_t edges_scanned = 0;
+  /// Peak words of between-pass state the algorithm reported via
+  /// ReportStateWords (the semi-streaming O(n) budget).
+  uint64_t peak_state_words = 0;
+
+  void ReportStateWords(uint64_t words) {
+    if (words > peak_state_words) peak_state_words = words;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief Decorator that counts passes and edges flowing through an
+/// underlying stream. Algorithms take an EdgeStream&; wrapping it in a
+/// CountingEdgeStream makes the pass/edge accounting externally visible.
+class CountingEdgeStream : public EdgeStream {
+ public:
+  CountingEdgeStream(EdgeStream& inner, PassStats& stats)
+      : inner_(&inner), stats_(&stats) {}
+
+  void Reset() override {
+    ++stats_->passes;
+    inner_->Reset();
+  }
+  bool Next(Edge* e) override {
+    bool has = inner_->Next(e);
+    if (has) ++stats_->edges_scanned;
+    return has;
+  }
+  NodeId num_nodes() const override { return inner_->num_nodes(); }
+  EdgeId SizeHint() const override { return inner_->SizeHint(); }
+
+ private:
+  EdgeStream* inner_;
+  PassStats* stats_;
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_STREAM_PASS_STATS_H_

@@ -1,0 +1,133 @@
+// Tests for Charikar's exact greedy peel (bucket queue and weighted heap).
+
+#include "core/charikar.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "flow/brute_force.h"
+#include "flow/goldberg.h"
+#include "gen/erdos_renyi.h"
+#include "gen/planted.h"
+#include "graph/graph_builder.h"
+#include "graph/subgraph.h"
+
+namespace densest {
+namespace {
+
+UndirectedGraph BuildUndirected(const EdgeList& e) {
+  GraphBuilder b;
+  b.ReserveNodes(e.num_nodes());
+  for (const Edge& edge : e.edges()) b.Add(edge.u, edge.v, edge.w);
+  return std::move(b.BuildUndirected()).value();
+}
+
+UndirectedGraph K5PlusTail() {
+  GraphBuilder b;
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = i + 1; j < 5; ++j) b.Add(i, j);
+  }
+  b.Add(4, 5);
+  b.Add(5, 6);
+  return std::move(b.BuildUndirected()).value();
+}
+
+TEST(CharikarTest, FindsCliqueOnCliquePlusTail) {
+  CharikarResult r = CharikarPeel(K5PlusTail());
+  EXPECT_DOUBLE_EQ(r.best.density, 2.0);  // K5: 10 edges / 5 nodes
+  EXPECT_EQ(r.best.nodes, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(CharikarTest, RemovalOrderIsPermutation) {
+  UndirectedGraph g = BuildUndirected(ErdosRenyiGnm(100, 400, 3));
+  CharikarResult r = CharikarPeel(g);
+  ASSERT_EQ(r.removal_order.size(), 100u);
+  std::set<NodeId> unique(r.removal_order.begin(), r.removal_order.end());
+  EXPECT_EQ(unique.size(), 100u);
+  EXPECT_EQ(r.best.passes, 100u);  // one removal step per node
+}
+
+TEST(CharikarTest, DensityMatchesReturnedNodes) {
+  UndirectedGraph g = BuildUndirected(ErdosRenyiGnm(80, 500, 11));
+  CharikarResult r = CharikarPeel(g);
+  NodeSet s = NodeSet::FromVector(g.num_nodes(), r.best.nodes);
+  EXPECT_NEAR(InducedDensity(g, s), r.best.density, 1e-9);
+}
+
+TEST(CharikarTest, EmptyAndTinyGraphs) {
+  UndirectedGraph empty;
+  CharikarResult r = CharikarPeel(empty);
+  EXPECT_EQ(r.best.nodes.size(), 0u);
+  EXPECT_EQ(r.best.density, 0.0);
+
+  GraphBuilder b;
+  b.Add(0, 1);
+  UndirectedGraph single = std::move(b.BuildUndirected()).value();
+  r = CharikarPeel(single);
+  EXPECT_DOUBLE_EQ(r.best.density, 0.5);
+  EXPECT_EQ(r.best.nodes.size(), 2u);
+}
+
+TEST(CharikarTest, HandlesIsolatedNodes) {
+  GraphBuilder b;
+  b.Add(0, 1);
+  b.Add(1, 2);
+  b.ReserveNodes(10);  // nodes 3..9 isolated
+  UndirectedGraph g = std::move(b.BuildUndirected()).value();
+  CharikarResult r = CharikarPeel(g);
+  // Best is the path {0,1,2} with density 2/3.
+  EXPECT_DOUBLE_EQ(r.best.density, 2.0 / 3.0);
+  EXPECT_EQ(r.removal_order.size(), 10u);
+}
+
+TEST(CharikarTest, WeightedMatchesUnweightedOnUnitWeights) {
+  UndirectedGraph g = BuildUndirected(ErdosRenyiGnm(120, 700, 17));
+  CharikarResult bucket = CharikarPeel(g);
+  CharikarResult heap = CharikarPeelWeighted(g);
+  EXPECT_DOUBLE_EQ(bucket.best.density, heap.best.density);
+}
+
+TEST(CharikarTest, WeightedPrefersHeavySubgraph) {
+  GraphBuilder b;
+  // Heavy pair vs a light clique.
+  b.Add(0, 1, 100.0);
+  for (NodeId i = 2; i < 8; ++i) {
+    for (NodeId j = i + 1; j < 8; ++j) b.Add(i, j, 1.0);
+  }
+  UndirectedGraph g = std::move(b.BuildUndirected()).value();
+  CharikarResult r = CharikarPeelWeighted(g);
+  EXPECT_DOUBLE_EQ(r.best.density, 50.0);
+  EXPECT_EQ(r.best.nodes, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(CharikarTest, TraceDensitiesConsistent) {
+  UndirectedGraph g = K5PlusTail();
+  CharikarResult r = CharikarPeel(g);
+  ASSERT_EQ(r.best.trace.size(), g.num_nodes() + 1);
+  EXPECT_DOUBLE_EQ(r.best.trace.front().density, g.Density());
+  EXPECT_DOUBLE_EQ(r.best.trace.back().density, 0.0);
+}
+
+// The classical guarantee: greedy >= rho*/2, verified against both oracles.
+class CharikarGuaranteeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CharikarGuaranteeTest, TwoApproximation) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  UndirectedGraph g = BuildUndirected(ErdosRenyiGnm(60, 300, seed));
+  auto exact = ExactDensestSubgraph(g);
+  ASSERT_TRUE(exact.ok());
+  CharikarResult greedy = CharikarPeel(g);
+  EXPECT_GE(greedy.best.density * 2.0, exact->density * (1 - 1e-9));
+  EXPECT_LE(greedy.best.density, exact->density + 1e-9);
+
+  CharikarResult weighted = CharikarPeelWeighted(g);
+  EXPECT_GE(weighted.best.density * 2.0, exact->density * (1 - 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(GreedySweep, CharikarGuaranteeTest,
+                         ::testing::Range(400, 412));
+
+}  // namespace
+}  // namespace densest

@@ -1,0 +1,245 @@
+// Tests for the CLI argument parser and command layer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli/args.h"
+#include "cli/commands.h"
+#include "gen/planted.h"
+#include "io/edge_list_io.h"
+
+namespace densest {
+namespace {
+
+StatusOr<Args> Parse(std::vector<std::string> tokens) {
+  return Args::Parse(tokens);
+}
+
+TEST(ArgsTest, PositionalAndFlagsMixed) {
+  // Note the grammar: a bare --flag consumes the next token as its value
+  // unless that token is another flag, so trailing positionals must come
+  // before bare flags (or use --flag=value).
+  auto args = Parse({"graph.txt", "out.txt", "--eps=0.5", "--trace"});
+  ASSERT_TRUE(args.ok());
+  ASSERT_EQ(args->positional().size(), 2u);
+  EXPECT_EQ(args->positional()[0], "graph.txt");
+  EXPECT_EQ(args->positional()[1], "out.txt");
+  EXPECT_TRUE(args->Has("eps"));
+  EXPECT_TRUE(args->GetBool("trace", false).value());
+}
+
+TEST(ArgsTest, EqualsAndSpaceSeparatedValues) {
+  auto args = Parse({"--eps=0.25", "--delta", "4", "--name", "x"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_EQ(args->GetDouble("eps", 0).value(), 0.25);
+  EXPECT_EQ(args->GetDouble("delta", 0).value(), 4.0);
+  EXPECT_EQ(args->GetString("name", ""), "x");
+}
+
+TEST(ArgsTest, BareFlagIsTrue) {
+  auto args = Parse({"--trace"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args->GetBool("trace", false).value());
+  EXPECT_FALSE(args->GetBool("absent", false).value());
+}
+
+TEST(ArgsTest, BareFlagFollowedByFlagStaysTrue) {
+  auto args = Parse({"--trace", "--eps=1"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_TRUE(args->GetBool("trace", false).value());
+}
+
+TEST(ArgsTest, TypeErrors) {
+  auto args = Parse({"--eps=abc", "--count=1.5x", "--flag=maybe"});
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(args->GetDouble("eps", 0).ok());
+  EXPECT_FALSE(args->GetInt("count", 0).ok());
+  EXPECT_FALSE(args->GetBool("flag", false).ok());
+}
+
+TEST(ArgsTest, MalformedFlagRejected) {
+  EXPECT_FALSE(Parse({"--=3"}).ok());
+  EXPECT_FALSE(Parse({"--"}).ok());
+}
+
+TEST(ArgsTest, UnusedFlagsTracked) {
+  auto args = Parse({"--known=1", "--typo=2"});
+  ASSERT_TRUE(args.ok());
+  (void)args->GetInt("known", 0);
+  auto unused = args->UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+class CliCommandTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/cli_graph.txt";
+    // Sparse background plus a planted near-clique of 20 nodes.
+    PlantedGraph pg = PlantDenseBlocks(500, 1000, {{20, 1.0}}, 3);
+    ASSERT_TRUE(WriteEdgeListText(path_, pg.edges).ok());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string Run(const std::string& command,
+                  std::vector<std::string> tokens, Status* status) {
+    tokens.insert(tokens.begin(), path_);
+    auto args = Args::Parse(tokens);
+    EXPECT_TRUE(args.ok());
+    std::ostringstream out;
+    *status = RunCliCommand(command, *args, out);
+    return out.str();
+  }
+
+  std::string path_;
+};
+
+TEST_F(CliCommandTest, StatsPrintsCounts) {
+  Status status;
+  std::string out = Run("stats", {}, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.find("|V|=500"), std::string::npos);
+  EXPECT_NE(out.find("power-law"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, UndirectedFindsPlantedClique) {
+  Status status;
+  std::string out = Run("undirected", {"--eps=0.1"}, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.find("algorithm 1"), std::string::npos);
+  // The 20-clique (plus any background edges that landed inside it).
+  EXPECT_NE(out.find("rho=9."), std::string::npos);
+  EXPECT_NE(out.find("|S|=20"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, UndirectedMinSizeUsesAlgorithm2) {
+  Status status;
+  std::string out = Run("undirected", {"--min-size=50"}, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.find("algorithm 2"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, UndirectedSketchPath) {
+  Status status;
+  std::string out =
+      Run("undirected", {"--sketch-buckets=512", "--eps=0.5"}, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.find("sketched"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, UndirectedTraceAndOutputFile) {
+  std::string out_path = ::testing::TempDir() + "/cli_nodes.txt";
+  Status status;
+  std::string out = Run(
+      "undirected", {"--trace", "--output=" + out_path, "--eps=0.1"},
+      &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.find("pass  nodes"), std::string::npos);
+  std::ifstream nodes(out_path);
+  ASSERT_TRUE(nodes.good());
+  int count = 0;
+  std::string line;
+  while (std::getline(nodes, line)) ++count;
+  EXPECT_EQ(count, 20);  // the planted clique
+  std::remove(out_path.c_str());
+}
+
+TEST_F(CliCommandTest, ExactMatchesKnownOptimum) {
+  Status status;
+  std::string out = Run("exact", {}, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.find("rho*=9."), std::string::npos);
+  EXPECT_NE(out.find("|S*|=20"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, EnumerateListsSubgraphs) {
+  Status status;
+  std::string out =
+      Run("enumerate", {"--count=2", "--min-density=1.5"}, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.find("dense subgraphs"), std::string::npos);
+  EXPECT_NE(out.find("#1"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, DirectedCSearchRuns) {
+  Status status;
+  std::string out = Run("directed", {"--eps=1"}, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.find("c-search"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, DirectedSingleC) {
+  Status status;
+  std::string out = Run("directed", {"--c=1", "--trace"}, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.find("algorithm 3"), std::string::npos);
+  EXPECT_NE(out.find("peel"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, UnknownFlagRejected) {
+  Status status;
+  Run("undirected", {"--epsilonn=1"}, &status);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("epsilonn"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, UnknownCommandRejected) {
+  Status status;
+  Run("frobnicate", {}, &status);
+  ASSERT_FALSE(status.ok());
+}
+
+TEST(CliGenerateTest, GenerateErRoundTrips) {
+  std::string path = ::testing::TempDir() + "/cli_gen.txt";
+  auto args = Args::Parse(
+      {"er", path, "--nodes=100", "--edges=300", "--seed=7"});
+  ASSERT_TRUE(args.ok());
+  std::ostringstream out;
+  Status status = RunCliCommand("generate", *args, out);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.str().find("|E|=300"), std::string::npos);
+  auto loaded = ReadEdgeListText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_edges(), 300u);
+  std::remove(path.c_str());
+}
+
+TEST(CliGenerateTest, GenerateBinaryFormat) {
+  std::string path = ::testing::TempDir() + "/cli_gen.bin";
+  auto args = Args::Parse({"er", path, "--nodes=50", "--edges=100",
+                           "--format=bin"});
+  ASSERT_TRUE(args.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCliCommand("generate", *args, out).ok());
+
+  // stats must be able to read it back.
+  auto stat_args = Args::Parse({path});
+  std::ostringstream stats_out;
+  Status status = RunCliCommand("stats", *stat_args, stats_out);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(stats_out.str().find("|E|=100"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliGenerateTest, RejectsUnknownDatasetAndFormat) {
+  std::ostringstream out;
+  auto bad_name = Args::Parse({"nope", "/tmp/x.txt"});
+  EXPECT_FALSE(RunCliCommand("generate", *bad_name, out).ok());
+  auto bad_format = Args::Parse({"er", "/tmp/x.txt", "--format=xml"});
+  EXPECT_FALSE(RunCliCommand("generate", *bad_format, out).ok());
+}
+
+TEST(CliUsageTest, MentionsAllCommands) {
+  std::string usage = CliUsage();
+  for (const char* cmd :
+       {"stats", "undirected", "directed", "exact", "enumerate", "generate"}) {
+    EXPECT_NE(usage.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+}  // namespace
+}  // namespace densest

@@ -1,0 +1,89 @@
+// Tests for the Lemma 7 disjointness construction and the separation it
+// proves: any constant-factor approximation distinguishes YES from NO.
+
+#include "gen/disjointness.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithm1.h"
+#include "flow/goldberg.h"
+#include "graph/graph_builder.h"
+
+namespace densest {
+namespace {
+
+UndirectedGraph BuildMultigraph(const EdgeList& e) {
+  // Parallel edges merge into weight-2 edges: the lemma's edge accounting.
+  GraphBuilder b;
+  b.ReserveNodes(e.num_nodes());
+  for (const Edge& edge : e.edges()) b.Add(edge.u, edge.v, edge.w);
+  return std::move(b.BuildUndirected()).value();
+}
+
+TEST(DisjointnessTest, NoInstanceDensity) {
+  DisjointnessInstance inst =
+      MakeDisjointnessInstance(50, 8, /*yes=*/false, /*fill=*/1.0, 1);
+  UndirectedGraph g = BuildMultigraph(inst.edges);
+  auto exact = ExactDensestSubgraph(g);
+  ASSERT_TRUE(exact.ok());
+  // Every gadget is a star: rho = (q-1)/q = 0.875.
+  EXPECT_NEAR(exact->density, inst.expected_density, 1e-9);
+  EXPECT_NEAR(exact->density, 0.875, 1e-9);
+}
+
+TEST(DisjointnessTest, YesInstanceDensity) {
+  DisjointnessInstance inst =
+      MakeDisjointnessInstance(50, 8, /*yes=*/true, /*fill=*/1.0, 2);
+  UndirectedGraph g = BuildMultigraph(inst.edges);
+  auto exact = ExactDensestSubgraph(g);
+  ASSERT_TRUE(exact.ok());
+  // The special gadget is a clique with doubled edges: rho = q-1 = 7.
+  EXPECT_NEAR(exact->density, inst.expected_density, 1e-9);
+  EXPECT_NEAR(exact->density, 7.0, 1e-9);
+  EXPECT_NE(inst.special_gadget, kInvalidNode);
+}
+
+TEST(DisjointnessTest, GadgetsAreDisjoint) {
+  DisjointnessInstance inst = MakeDisjointnessInstance(20, 5, true, 1.0, 3);
+  for (const Edge& e : inst.edges.edges()) {
+    EXPECT_EQ(e.u / 5, e.v / 5) << "edge crosses gadget boundary";
+  }
+}
+
+TEST(DisjointnessTest, ApproximationDistinguishesYesFromNo) {
+  // The lemma's punchline: the YES/NO density gap is a factor q, so any
+  // algorithm with a better-than-q approximation separates them. Our
+  // (2+2eps) Algorithm 1 separates easily at q = 8.
+  const int q = 8;
+  Algorithm1Options opt;
+  opt.epsilon = 0.5;  // worst-case factor 3 < q
+  opt.record_trace = false;
+
+  DisjointnessInstance yes = MakeDisjointnessInstance(100, q, true, 1.0, 4);
+  DisjointnessInstance no = MakeDisjointnessInstance(100, q, false, 1.0, 5);
+  auto yes_run = RunAlgorithm1(BuildMultigraph(yes.edges), opt);
+  auto no_run = RunAlgorithm1(BuildMultigraph(no.edges), opt);
+  ASSERT_TRUE(yes_run.ok());
+  ASSERT_TRUE(no_run.ok());
+
+  // Decision threshold from the promise gap.
+  double threshold = (static_cast<double>(q) - 1.0) /
+                     (2.0 + 2.0 * opt.epsilon);
+  EXPECT_GE(yes_run->density, threshold);
+  EXPECT_LT(no_run->density, threshold);
+}
+
+TEST(DisjointnessTest, SparseFillStillSeparates) {
+  const int q = 10;
+  DisjointnessInstance yes = MakeDisjointnessInstance(200, q, true, 0.3, 6);
+  DisjointnessInstance no = MakeDisjointnessInstance(200, q, false, 0.3, 7);
+  auto yes_exact = ExactDensestSubgraph(BuildMultigraph(yes.edges));
+  auto no_exact = ExactDensestSubgraph(BuildMultigraph(no.edges));
+  ASSERT_TRUE(yes_exact.ok());
+  ASSERT_TRUE(no_exact.ok());
+  EXPECT_NEAR(yes_exact->density, 9.0, 1e-9);
+  EXPECT_LE(no_exact->density, 1.0);
+}
+
+}  // namespace
+}  // namespace densest

@@ -1,0 +1,89 @@
+// Unit tests for EdgeList cleaning primitives.
+
+#include "graph/edge_list.h"
+
+#include <gtest/gtest.h>
+
+namespace densest {
+namespace {
+
+TEST(EdgeListTest, AddGrowsNodeRange) {
+  EdgeList e;
+  EXPECT_EQ(e.num_nodes(), 0u);
+  e.Add(3, 7);
+  EXPECT_EQ(e.num_nodes(), 8u);
+  e.Add(1, 2);
+  EXPECT_EQ(e.num_nodes(), 8u);  // never shrinks
+  EXPECT_EQ(e.num_edges(), 2u);
+}
+
+TEST(EdgeListTest, SetNumNodesOnlyRaises) {
+  EdgeList e(10);
+  e.set_num_nodes(5);
+  EXPECT_EQ(e.num_nodes(), 10u);
+  e.set_num_nodes(20);
+  EXPECT_EQ(e.num_nodes(), 20u);
+}
+
+TEST(EdgeListTest, TotalWeightSumsWeights) {
+  EdgeList e;
+  e.Add(0, 1, 2.5);
+  e.Add(1, 2, 0.5);
+  EXPECT_DOUBLE_EQ(e.TotalWeight(), 3.0);
+}
+
+TEST(EdgeListTest, CanonicalizeOrdersEndpoints) {
+  EdgeList e;
+  e.Add(5, 2);
+  e.Add(1, 4);
+  e.CanonicalizeUndirected();
+  EXPECT_EQ(e.edges()[0].u, 2u);
+  EXPECT_EQ(e.edges()[0].v, 5u);
+  EXPECT_EQ(e.edges()[1].u, 1u);
+  EXPECT_EQ(e.edges()[1].v, 4u);
+}
+
+TEST(EdgeListTest, DeduplicateSumsWeights) {
+  EdgeList e;
+  e.Add(0, 1, 1.0);
+  e.Add(0, 1, 2.0);
+  e.Add(1, 2, 1.0);
+  e.DeduplicateSummingWeights();
+  ASSERT_EQ(e.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(e.edges()[0].w, 3.0);
+  EXPECT_DOUBLE_EQ(e.edges()[1].w, 1.0);
+}
+
+TEST(EdgeListTest, DeduplicateTreatsOrientationAsDistinct) {
+  // (1,0) and (0,1) are different arcs unless canonicalized first.
+  EdgeList e;
+  e.Add(1, 0);
+  e.Add(0, 1);
+  e.DeduplicateSummingWeights();
+  EXPECT_EQ(e.num_edges(), 2u);
+  e.CanonicalizeUndirected();
+  e.DeduplicateSummingWeights();
+  EXPECT_EQ(e.num_edges(), 1u);
+}
+
+TEST(EdgeListTest, RemoveSelfLoops) {
+  EdgeList e;
+  e.Add(0, 0);
+  e.Add(0, 1);
+  e.Add(2, 2);
+  EXPECT_EQ(e.RemoveSelfLoops(), 2u);
+  EXPECT_EQ(e.num_edges(), 1u);
+  EXPECT_EQ(e.edges()[0].v, 1u);
+}
+
+TEST(EdgeListTest, AppendMergesNodesAndEdges) {
+  EdgeList a(5), b;
+  a.Add(0, 1);
+  b.Add(6, 7);
+  a.Append(b);
+  EXPECT_EQ(a.num_edges(), 2u);
+  EXPECT_EQ(a.num_nodes(), 8u);
+}
+
+}  // namespace
+}  // namespace densest

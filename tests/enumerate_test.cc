@@ -1,0 +1,100 @@
+// Tests for node-disjoint dense subgraph enumeration.
+
+#include "core/enumerate.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/planted.h"
+#include "graph/graph_builder.h"
+
+namespace densest {
+namespace {
+
+UndirectedGraph BuildUndirected(const EdgeList& e) {
+  GraphBuilder b;
+  b.ReserveNodes(e.num_nodes());
+  for (const Edge& edge : e.edges()) b.Add(edge.u, edge.v, edge.w);
+  return std::move(b.BuildUndirected()).value();
+}
+
+TEST(EnumerateTest, FindsTwoPlantedCommunities) {
+  // Two planted communities with well-separated densities: with a small
+  // epsilon the peel isolates the denser one first rather than returning
+  // their union as one intermediate set.
+  PlantedGraph pg =
+      PlantDenseBlocks(600, 900, {{40, 0.95}, {28, 0.7}}, 51);
+  UndirectedGraph g = BuildUndirected(pg.edges);
+
+  EnumerateOptions opt;
+  opt.max_subgraphs = 2;
+  opt.epsilon = 0.0;
+  opt.min_density = 2.0;
+  auto r = EnumerateDenseSubgraphs(g, opt);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+
+  // Densest first.
+  EXPECT_GE((*r)[0].density, (*r)[1].density);
+  // Both should be clearly denser than the background (~1.5 avg degree).
+  EXPECT_GT((*r)[1].density, 5.0);
+
+  // Node-disjointness.
+  std::set<NodeId> seen((*r)[0].nodes.begin(), (*r)[0].nodes.end());
+  for (NodeId u : (*r)[1].nodes) {
+    EXPECT_TRUE(seen.insert(u).second) << "subgraphs overlap at " << u;
+  }
+}
+
+TEST(EnumerateTest, RespectsMaxSubgraphs) {
+  PlantedGraph pg =
+      PlantDenseBlocks(500, 800, {{25, 0.9}, {25, 0.9}, {25, 0.9}}, 52);
+  UndirectedGraph g = BuildUndirected(pg.edges);
+  EnumerateOptions opt;
+  opt.max_subgraphs = 1;
+  auto r = EnumerateDenseSubgraphs(g, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(EnumerateTest, MinDensityCutsOff) {
+  PlantedGraph pg = PlantDenseBlocks(400, 300, {{30, 1.0}}, 53);
+  UndirectedGraph g = BuildUndirected(pg.edges);
+  EnumerateOptions opt;
+  opt.max_subgraphs = 10;
+  opt.min_density = 5.0;  // only the clique qualifies
+  opt.min_relative_density = 0.0;
+  auto r = EnumerateDenseSubgraphs(g, opt);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->size(), 1u);
+  for (const auto& sub : *r) EXPECT_GE(sub.density, 5.0);
+  EXPECT_LT(r->size(), 10u);  // background never reaches 5.0
+}
+
+TEST(EnumerateTest, RelativeDensityCutoff) {
+  PlantedGraph pg = PlantDenseBlocks(400, 600, {{40, 1.0}}, 54);
+  UndirectedGraph g = BuildUndirected(pg.edges);
+  EnumerateOptions opt;
+  opt.max_subgraphs = 20;
+  opt.min_density = 0.0;
+  opt.min_relative_density = 0.5;  // half the clique density: ~9.75
+  auto r = EnumerateDenseSubgraphs(g, opt);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->size(), 1u);
+  for (size_t i = 1; i < r->size(); ++i) {
+    EXPECT_GE((*r)[i].density, 0.5 * (*r)[0].density);
+  }
+}
+
+TEST(EnumerateTest, EdgelessGraphReturnsNothing) {
+  GraphBuilder b;
+  b.ReserveNodes(10);
+  UndirectedGraph g = std::move(b.BuildUndirected()).value();
+  auto r = EnumerateDenseSubgraphs(g, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+}  // namespace
+}  // namespace densest

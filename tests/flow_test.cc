@@ -1,0 +1,253 @@
+// Tests for Dinic max-flow, the Goldberg exact solver, and the brute-force
+// oracles themselves.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "flow/brute_force.h"
+#include "flow/dinic.h"
+#include "flow/goldberg.h"
+#include "gen/erdos_renyi.h"
+#include "gen/planted.h"
+#include "graph/graph_builder.h"
+#include "graph/subgraph.h"
+
+namespace densest {
+namespace {
+
+UndirectedGraph BuildUndirected(const EdgeList& e) {
+  GraphBuilder b;
+  b.ReserveNodes(e.num_nodes());
+  for (const Edge& edge : e.edges()) b.Add(edge.u, edge.v, edge.w);
+  return std::move(b.BuildUndirected()).value();
+}
+
+TEST(DinicTest, SingleArc) {
+  Dinic d(2);
+  d.AddArc(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(d.MaxFlow(0, 1), 5.0);
+}
+
+TEST(DinicTest, SeriesBottleneck) {
+  Dinic d(3);
+  d.AddArc(0, 1, 5.0);
+  d.AddArc(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(d.MaxFlow(0, 2), 3.0);
+}
+
+TEST(DinicTest, ParallelPaths) {
+  Dinic d(4);
+  d.AddArc(0, 1, 2.0);
+  d.AddArc(1, 3, 2.0);
+  d.AddArc(0, 2, 3.0);
+  d.AddArc(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(d.MaxFlow(0, 3), 3.0);
+}
+
+TEST(DinicTest, ClassicResidualExample) {
+  // Diamond with a cross arc: needs residual arcs to reach the optimum.
+  Dinic d(4);
+  d.AddArc(0, 1, 10.0);
+  d.AddArc(0, 2, 10.0);
+  d.AddArc(1, 2, 1.0);
+  d.AddArc(1, 3, 10.0);
+  d.AddArc(2, 3, 10.0);
+  EXPECT_DOUBLE_EQ(d.MaxFlow(0, 3), 20.0);
+}
+
+TEST(DinicTest, DisconnectedSinkHasZeroFlow) {
+  Dinic d(4);
+  d.AddArc(0, 1, 7.0);
+  EXPECT_DOUBLE_EQ(d.MaxFlow(0, 3), 0.0);
+}
+
+TEST(DinicTest, MinCutSourceSide) {
+  Dinic d(4);
+  d.AddArc(0, 1, 10.0);
+  d.AddArc(1, 2, 1.0);  // the bottleneck
+  d.AddArc(2, 3, 10.0);
+  EXPECT_DOUBLE_EQ(d.MaxFlow(0, 3), 1.0);
+  auto side = d.MinCutSourceSide(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(DinicTest, ResetFlowAllowsResolving) {
+  Dinic d(2);
+  int arc = d.AddArc(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(d.MaxFlow(0, 1), 5.0);
+  d.SetArcCapacity(arc, 2.0);
+  d.ResetFlow();
+  EXPECT_DOUBLE_EQ(d.MaxFlow(0, 1), 2.0);
+}
+
+TEST(DinicTest, UndirectedEdgePairBothDirections) {
+  Dinic d(3);
+  d.AddArc(0, 1, 1.0, 1.0);  // undirected edge as opposed arc pair
+  d.AddArc(1, 2, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.MaxFlow(0, 2), 1.0);
+  d.ResetFlow();
+  EXPECT_DOUBLE_EQ(d.MaxFlow(2, 0), 1.0);
+}
+
+TEST(GoldbergTest, CliquePlusTailExact) {
+  GraphBuilder b;
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) b.Add(i, j);
+  }
+  b.Add(3, 4);
+  UndirectedGraph g = std::move(b.BuildUndirected()).value();
+  auto r = ExactDensestSubgraph(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->density, 1.5);  // K4
+  EXPECT_EQ(r->nodes, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(GoldbergTest, PathOfThree) {
+  GraphBuilder b;
+  b.Add(0, 1);
+  b.Add(1, 2);
+  UndirectedGraph g = std::move(b.BuildUndirected()).value();
+  auto r = ExactDensestSubgraph(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->density, 2.0 / 3.0);  // the whole path
+  EXPECT_EQ(r->nodes.size(), 3u);
+}
+
+TEST(GoldbergTest, EdgelessGraph) {
+  GraphBuilder b;
+  b.ReserveNodes(5);
+  UndirectedGraph g = std::move(b.BuildUndirected()).value();
+  auto r = ExactDensestSubgraph(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->density, 0.0);
+}
+
+TEST(GoldbergTest, WholeGraphWhenRegular) {
+  // A cycle: every subgraph has density <= 1, the full cycle achieves it.
+  GraphBuilder b;
+  for (NodeId i = 0; i < 10; ++i) b.Add(i, (i + 1) % 10);
+  UndirectedGraph g = std::move(b.BuildUndirected()).value();
+  auto r = ExactDensestSubgraph(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->density, 1.0);
+  EXPECT_EQ(r->nodes.size(), 10u);
+}
+
+TEST(GoldbergTest, WeightedExactness) {
+  GraphBuilder b;
+  b.Add(0, 1, 3.0);
+  b.Add(1, 2, 1.0);
+  b.Add(3, 4, 2.0);
+  UndirectedGraph g = std::move(b.BuildUndirected()).value();
+  auto r = ExactDensestSubgraph(g);
+  ASSERT_TRUE(r.ok());
+  // Best: {0,1} with 3/2 = 1.5 (vs {0,1,2}: 4/3; {3,4}: 1).
+  EXPECT_DOUBLE_EQ(r->density, 1.5);
+  EXPECT_EQ(r->nodes, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(GoldbergTest, ConvergesInFewIterations) {
+  UndirectedGraph g = BuildUndirected(ErdosRenyiGnm(500, 4000, 99));
+  auto r = ExactDensestSubgraph(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->flow_iterations, 30);
+}
+
+TEST(GoldbergTest, PlantedCliqueRecovered) {
+  PlantedGraph pg = PlantDenseBlocks(300, 600, {{20, 1.0}}, 71);
+  UndirectedGraph g = BuildUndirected(pg.edges);
+  auto r = ExactDensestSubgraph(g);
+  ASSERT_TRUE(r.ok());
+  // The 20-clique has density 9.5; optimum may add a few attached nodes
+  // but can never fall below the clique itself.
+  EXPECT_GE(r->density, 9.5 - 1e-9);
+}
+
+TEST(BruteForceTest, TriangleExact) {
+  GraphBuilder b;
+  b.Add(0, 1);
+  b.Add(1, 2);
+  b.Add(0, 2);
+  b.Add(2, 3);
+  UndirectedGraph g = std::move(b.BuildUndirected()).value();
+  auto r = BruteForceDensest(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->density, 1.0);
+  EXPECT_EQ(r->nodes, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(BruteForceTest, SizeLimitEnforced) {
+  UndirectedGraph g = BuildUndirected(ErdosRenyiGnm(30, 50, 1));
+  EXPECT_FALSE(BruteForceDensest(g).ok());
+}
+
+TEST(BruteForceDirectedTest, StarExact) {
+  // Arcs 1->0, 2->0, 3->0: best is S={1,2,3}, T={0}: 3/sqrt(3) = sqrt(3).
+  GraphBuilder b;
+  b.Add(1, 0);
+  b.Add(2, 0);
+  b.Add(3, 0);
+  DirectedGraph g = std::move(b.BuildDirected()).value();
+  auto r = BruteForceDensestDirected(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->density, std::sqrt(3.0), 1e-12);
+  EXPECT_EQ(r->t_nodes, (std::vector<NodeId>{0}));
+  EXPECT_EQ(r->s_nodes.size(), 3u);
+}
+
+// ---- The central oracle consistency sweep: Goldberg == brute force. ----
+
+class ExactOracleAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ExactOracleAgreementTest, GoldbergMatchesBruteForce) {
+  auto [seed, edges] = GetParam();
+  UndirectedGraph g = BuildUndirected(
+      ErdosRenyiGnm(13, static_cast<EdgeId>(edges),
+                    static_cast<uint64_t>(seed)));
+  auto brute = BruteForceDensest(g);
+  auto flow = ExactDensestSubgraph(g);
+  ASSERT_TRUE(brute.ok());
+  ASSERT_TRUE(flow.ok());
+  EXPECT_NEAR(flow->density, brute->density, 1e-9)
+      << "seed=" << seed << " m=" << edges;
+  // The returned set must actually attain the reported density.
+  NodeSet s = NodeSet::FromVector(g.num_nodes(), flow->nodes);
+  EXPECT_NEAR(InducedDensity(g, s), flow->density, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OracleSweep, ExactOracleAgreementTest,
+    ::testing::Combine(::testing::Range(500, 515),
+                       ::testing::Values(10, 25, 45, 70)));
+
+// Weighted agreement sweep.
+class WeightedOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WeightedOracleTest, GoldbergMatchesBruteForceWeighted) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed);
+  GraphBuilder b;
+  b.ReserveNodes(12);
+  EdgeList base = ErdosRenyiGnm(12, 30, seed);
+  for (const Edge& e : base.edges()) {
+    b.Add(e.u, e.v, 0.25 + 4.0 * rng.UniformDouble());
+  }
+  UndirectedGraph g = std::move(b.BuildUndirected()).value();
+  auto brute = BruteForceDensest(g);
+  auto flow = ExactDensestSubgraph(g);
+  ASSERT_TRUE(brute.ok());
+  ASSERT_TRUE(flow.ok());
+  EXPECT_NEAR(flow->density, brute->density, 1e-7) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightedSweep, WeightedOracleTest,
+                         ::testing::Range(600, 612));
+
+}  // namespace
+}  // namespace densest

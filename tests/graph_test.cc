@@ -1,0 +1,210 @@
+// Unit tests for CSR graphs, GraphBuilder, and graph stats.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/directed_graph.h"
+#include "graph/graph_builder.h"
+#include "graph/stats.h"
+#include "graph/undirected_graph.h"
+
+namespace densest {
+namespace {
+
+EdgeList Triangle() {
+  EdgeList e(3);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  e.Add(0, 2);
+  return e;
+}
+
+TEST(UndirectedGraphTest, TriangleBasics) {
+  UndirectedGraph g = UndirectedGraph::FromEdgeList(Triangle());
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 3.0);
+  EXPECT_FALSE(g.is_weighted());
+  for (NodeId u = 0; u < 3; ++u) EXPECT_EQ(g.Degree(u), 2u);
+  EXPECT_DOUBLE_EQ(g.Density(), 1.0);
+  EXPECT_EQ(g.MaxDegree(), 2u);
+}
+
+TEST(UndirectedGraphTest, NeighborsAreSymmetric) {
+  UndirectedGraph g = UndirectedGraph::FromEdgeList(Triangle());
+  for (NodeId u = 0; u < 3; ++u) {
+    for (NodeId v : g.Neighbors(u)) {
+      auto nbrs = g.Neighbors(v);
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), u), nbrs.end());
+    }
+  }
+}
+
+TEST(UndirectedGraphTest, WeightedDegrees) {
+  EdgeList e(3);
+  e.Add(0, 1, 2.0);
+  e.Add(1, 2, 3.0);
+  UndirectedGraph g = UndirectedGraph::FromEdgeList(e);
+  EXPECT_TRUE(g.is_weighted());
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 2.0);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(1), 5.0);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(2), 3.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 5.0);
+}
+
+TEST(UndirectedGraphTest, SelfLoopOccupiesOneSlot) {
+  EdgeList e(2);
+  e.Add(0, 0);
+  e.Add(0, 1);
+  UndirectedGraph g = UndirectedGraph::FromEdgeList(e);
+  EXPECT_EQ(g.Degree(0), 2u);  // one slot for the loop, one for edge to 1
+  EXPECT_EQ(g.Degree(1), 1u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(UndirectedGraphTest, RoundTripsThroughEdgeList) {
+  EdgeList e(5);
+  e.Add(0, 4);
+  e.Add(1, 3);
+  e.Add(2, 4);
+  UndirectedGraph g = UndirectedGraph::FromEdgeList(e);
+  EdgeList back = g.ToEdgeList();
+  EXPECT_EQ(back.num_edges(), 3u);
+  UndirectedGraph g2 = UndirectedGraph::FromEdgeList(back);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(g.Degree(u), g2.Degree(u));
+}
+
+TEST(UndirectedGraphTest, EmptyGraph) {
+  UndirectedGraph g = UndirectedGraph::FromEdgeList(EdgeList(0));
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.Density(), 0.0);
+  EXPECT_EQ(g.MaxDegree(), 0u);
+}
+
+TEST(DirectedGraphTest, OutAndInAdjacency) {
+  EdgeList arcs(3);
+  arcs.Add(0, 1);
+  arcs.Add(0, 2);
+  arcs.Add(2, 1);
+  DirectedGraph g = DirectedGraph::FromEdgeList(arcs);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+  EXPECT_EQ(g.OutDegree(1), 0u);
+  EXPECT_EQ(g.OutDegree(2), 1u);
+  EXPECT_EQ(g.InDegree(2), 1u);
+
+  auto in1 = g.InNeighbors(1);
+  std::set<NodeId> sources(in1.begin(), in1.end());
+  EXPECT_TRUE(sources.count(0));
+  EXPECT_TRUE(sources.count(2));
+}
+
+TEST(DirectedGraphTest, RoundTripPreservesArcCount) {
+  EdgeList arcs(4);
+  arcs.Add(0, 1);
+  arcs.Add(1, 0);  // opposite arcs are distinct
+  arcs.Add(2, 3);
+  DirectedGraph g = DirectedGraph::FromEdgeList(arcs);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.ToEdgeList().num_edges(), 3u);
+}
+
+TEST(GraphBuilderTest, DefaultCleaningPolicy) {
+  GraphBuilder b;
+  b.Add(0, 0);  // self loop: dropped
+  b.Add(0, 1);
+  b.Add(1, 0);  // duplicate after canonicalization: merged
+  b.Add(1, 2);
+  auto g = b.BuildUndirected();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_EQ(g->Degree(0), 1u);
+}
+
+TEST(GraphBuilderTest, RejectsNegativeWeights) {
+  GraphBuilder b;
+  b.Add(0, 1, -1.0);
+  auto g = b.BuildUndirected();
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, IgnoreWeightsKeepsDeduplicatedUnit) {
+  GraphBuilderOptions opt;
+  opt.ignore_weights = true;
+  GraphBuilder b(opt);
+  b.Add(0, 1, 5.0);
+  b.Add(1, 0, 7.0);
+  auto g = b.BuildUndirected();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+  EXPECT_FALSE(g->is_weighted());
+  EXPECT_DOUBLE_EQ(g->total_weight(), 1.0);
+}
+
+TEST(GraphBuilderTest, DirectedKeepsBothOrientations) {
+  GraphBuilder b;
+  b.Add(0, 1);
+  b.Add(1, 0);
+  auto g = b.BuildDirected();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, ReserveNodesCoversIsolated) {
+  GraphBuilder b;
+  b.ReserveNodes(10);
+  b.Add(0, 1);
+  auto g = b.BuildUndirected();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 10u);
+}
+
+TEST(GraphStatsTest, TriangleStats) {
+  UndirectedGraph g = UndirectedGraph::FromEdgeList(Triangle());
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 3u);
+  EXPECT_EQ(s.num_edges, 3u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.density, 1.0);
+  EXPECT_EQ(s.isolated_nodes, 0u);
+}
+
+TEST(GraphStatsTest, CountsIsolatedNodes) {
+  EdgeList e(5);
+  e.Add(0, 1);
+  UndirectedGraph g = UndirectedGraph::FromEdgeList(e);
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.isolated_nodes, 3u);
+}
+
+TEST(GraphStatsTest, DegreeHistogramSumsToN) {
+  EdgeList e(4);
+  e.Add(0, 1);
+  e.Add(1, 2);
+  e.Add(1, 3);
+  UndirectedGraph g = UndirectedGraph::FromEdgeList(e);
+  auto hist = DegreeHistogram(g);
+  EdgeId total = 0;
+  for (EdgeId c : hist) total += c;
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(hist[3], 1u);  // node 1
+  EXPECT_EQ(hist[1], 3u);  // nodes 0, 2, 3
+}
+
+TEST(GraphStatsTest, FormatStatsHumanizes) {
+  GraphStats s;
+  s.num_nodes = 976000;
+  s.num_edges = 7600000;
+  std::string str = FormatStats(s);
+  EXPECT_NE(str.find("976K"), std::string::npos);
+  EXPECT_NE(str.find("7.6M"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace densest

@@ -1,0 +1,107 @@
+// Unit tests for text edge-list IO and the CSV writer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "io/csv_writer.h"
+#include "io/edge_list_io.h"
+
+namespace densest {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(IoTest, EdgeListTextRoundTrip) {
+  path_ = ::testing::TempDir() + "/edges.txt";
+  EdgeList e(4);
+  e.Add(0, 1);
+  e.Add(2, 3);
+  ASSERT_TRUE(WriteEdgeListText(path_, e).ok());
+  auto back = ReadEdgeListText(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_edges(), 2u);
+  EXPECT_EQ(back->num_nodes(), 4u);
+  EXPECT_EQ(back->edges()[1].u, 2u);
+}
+
+TEST_F(IoTest, WeightedRoundTrip) {
+  path_ = ::testing::TempDir() + "/wedges.txt";
+  EdgeList e(2);
+  e.Add(0, 1, 3.5);
+  ASSERT_TRUE(WriteEdgeListText(path_, e, /*weighted=*/true).ok());
+  auto back = ReadEdgeListText(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->edges()[0].w, 3.5);
+}
+
+TEST_F(IoTest, SkipsCommentsAndBlankLines) {
+  path_ = ::testing::TempDir() + "/comments.txt";
+  std::ofstream out(path_);
+  out << "# SNAP-style comment\n\n% matrix-market comment\n5 6\n";
+  out.close();
+  auto back = ReadEdgeListText(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_edges(), 1u);
+  EXPECT_EQ(back->num_nodes(), 7u);
+}
+
+TEST_F(IoTest, RejectsMalformedLine) {
+  path_ = ::testing::TempDir() + "/bad.txt";
+  std::ofstream out(path_);
+  out << "1 2\nnot an edge\n";
+  out.close();
+  auto back = ReadEdgeListText(path_);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(back.status().message().find(":2"), std::string::npos);
+}
+
+TEST_F(IoTest, RejectsNegativeIds) {
+  path_ = ::testing::TempDir() + "/neg.txt";
+  std::ofstream out(path_);
+  out << "-1 2\n";
+  out.close();
+  EXPECT_FALSE(ReadEdgeListText(path_).ok());
+}
+
+TEST_F(IoTest, MissingFileIsIOError) {
+  auto r = ReadEdgeListText("/nonexistent/void.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kIOError);
+}
+
+TEST_F(IoTest, CsvWriterQuotesSpecialValues) {
+  path_ = ::testing::TempDir() + "/out.csv";
+  {
+    auto w = CsvWriter::Open(path_, {"name", "value"});
+    ASSERT_TRUE(w.ok());
+    w->AddRow({"plain", "1"});
+    w->AddRow({"with,comma", "2"});
+    w->AddRow({"with\"quote", "3"});
+  }
+  std::ifstream in(path_);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string content = ss.str();
+  EXPECT_NE(content.find("name,value\n"), std::string::npos);
+  EXPECT_NE(content.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(content.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST_F(IoTest, CsvNumFormatsCompactly) {
+  EXPECT_EQ(CsvWriter::Num(1.5), "1.5");
+  EXPECT_EQ(CsvWriter::Num(2), "2");
+}
+
+}  // namespace
+}  // namespace densest

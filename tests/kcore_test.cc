@@ -1,0 +1,125 @@
+// Tests for k-core decomposition and the max-core baseline.
+
+#include "core/kcore.h"
+
+#include <gtest/gtest.h>
+
+#include "flow/goldberg.h"
+#include "gen/erdos_renyi.h"
+#include "gen/regular.h"
+#include "graph/graph_builder.h"
+#include "graph/subgraph.h"
+
+namespace densest {
+namespace {
+
+UndirectedGraph BuildUndirected(const EdgeList& e) {
+  GraphBuilder b;
+  b.ReserveNodes(e.num_nodes());
+  for (const Edge& edge : e.edges()) b.Add(edge.u, edge.v, edge.w);
+  return std::move(b.BuildUndirected()).value();
+}
+
+UndirectedGraph CliqueWithTail(NodeId clique, NodeId tail) {
+  GraphBuilder b;
+  for (NodeId i = 0; i < clique; ++i) {
+    for (NodeId j = i + 1; j < clique; ++j) b.Add(i, j);
+  }
+  for (NodeId i = 0; i < tail; ++i) b.Add(clique - 1 + i, clique + i);
+  return std::move(b.BuildUndirected()).value();
+}
+
+TEST(KCoreTest, CliqueCoreNumbers) {
+  UndirectedGraph g = CliqueWithTail(5, 3);
+  CoreDecomposition dec = KCoreDecomposition(g);
+  EXPECT_EQ(dec.degeneracy, 4u);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(dec.core[u], 4u);
+  for (NodeId u = 5; u < 8; ++u) EXPECT_EQ(dec.core[u], 1u);
+}
+
+TEST(KCoreTest, PathCoreNumbersAreOne) {
+  GraphBuilder b;
+  for (NodeId i = 0; i < 9; ++i) b.Add(i, i + 1);
+  UndirectedGraph g = std::move(b.BuildUndirected()).value();
+  CoreDecomposition dec = KCoreDecomposition(g);
+  EXPECT_EQ(dec.degeneracy, 1u);
+  for (NodeId u = 0; u < 10; ++u) EXPECT_EQ(dec.core[u], 1u);
+}
+
+TEST(KCoreTest, RegularGraphCoreEqualsDegree) {
+  UndirectedGraph g = BuildUndirected(CirculantRegular(30, 6));
+  CoreDecomposition dec = KCoreDecomposition(g);
+  EXPECT_EQ(dec.degeneracy, 6u);
+  for (NodeId u = 0; u < 30; ++u) EXPECT_EQ(dec.core[u], 6u);
+}
+
+TEST(KCoreTest, EmptyGraph) {
+  UndirectedGraph g;
+  CoreDecomposition dec = KCoreDecomposition(g);
+  EXPECT_EQ(dec.degeneracy, 0u);
+  EXPECT_TRUE(dec.core.empty());
+}
+
+TEST(KCoreTest, IsolatedNodesHaveCoreZero) {
+  GraphBuilder b;
+  b.Add(0, 1);
+  b.ReserveNodes(4);
+  UndirectedGraph g = std::move(b.BuildUndirected()).value();
+  CoreDecomposition dec = KCoreDecomposition(g);
+  EXPECT_EQ(dec.core[2], 0u);
+  EXPECT_EQ(dec.core[3], 0u);
+}
+
+/// Reference d-core: iteratively strip nodes with degree < d.
+NodeSet ReferenceDCore(const UndirectedGraph& g, NodeId d) {
+  NodeSet s(g.num_nodes(), /*full=*/true);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (!s.Contains(u)) continue;
+      NodeId deg = 0;
+      for (NodeId v : g.Neighbors(u)) {
+        if (v != u && s.Contains(v)) ++deg;
+      }
+      if (deg < d) {
+        s.Remove(u);
+        changed = true;
+      }
+    }
+  }
+  return s;
+}
+
+TEST(KCoreTest, DCoreMatchesIterativeStripping) {
+  UndirectedGraph g = BuildUndirected(ErdosRenyiGnm(100, 500, 77));
+  for (NodeId d : {1u, 3u, 5u, 8u}) {
+    NodeSet via_core = DCore(g, d);
+    NodeSet reference = ReferenceDCore(g, d);
+    EXPECT_EQ(via_core.size(), reference.size()) << "d=" << d;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      EXPECT_EQ(via_core.Contains(u), reference.Contains(u))
+          << "d=" << d << " u=" << u;
+    }
+  }
+}
+
+TEST(KCoreTest, MaxCoreBaselineIsTwoApproximation) {
+  UndirectedGraph g = BuildUndirected(ErdosRenyiGnm(80, 600, 9));
+  auto exact = ExactDensestSubgraph(g);
+  ASSERT_TRUE(exact.ok());
+  UndirectedDensestResult core = MaxCoreBaseline(g);
+  EXPECT_GE(core.density * 2.0, exact->density * (1 - 1e-9));
+  NodeSet s = NodeSet::FromVector(g.num_nodes(), core.nodes);
+  EXPECT_NEAR(InducedDensity(g, s), core.density, 1e-9);
+}
+
+TEST(KCoreTest, MaxCoreDensityAtLeastHalfDegeneracy) {
+  UndirectedGraph g = BuildUndirected(ErdosRenyiGnm(200, 1500, 13));
+  CoreDecomposition dec = KCoreDecomposition(g);
+  UndirectedDensestResult core = MaxCoreBaseline(g);
+  EXPECT_GE(core.density, static_cast<double>(dec.degeneracy) / 2.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace densest

@@ -1,0 +1,248 @@
+// Cross-cutting property tests: invariances every implementation of the
+// paper's algorithms must satisfy, plus failure injection on the IO paths.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <tuple>
+
+#include "core/algorithm1.h"
+#include "core/algorithm3.h"
+#include "core/charikar.h"
+#include "flow/brute_force.h"
+#include "flow/goldberg.h"
+#include "gen/erdos_renyi.h"
+#include "graph/graph_builder.h"
+#include "graph/subgraph.h"
+#include "stream/file_stream.h"
+#include "stream/memory_stream.h"
+
+namespace densest {
+namespace {
+
+UndirectedGraph BuildUndirected(const EdgeList& e) {
+  GraphBuilder b;
+  b.ReserveNodes(e.num_nodes());
+  for (const Edge& edge : e.edges()) b.Add(edge.u, edge.v, edge.w);
+  return std::move(b.BuildUndirected()).value();
+}
+
+// ---- Stream-order invariance: one pass accumulates degree counters, so
+// any permutation of the edges must give identical results. ----
+
+class OrderInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrderInvarianceTest, ShuffledStreamGivesIdenticalResult) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  EdgeList el = ErdosRenyiGnm(300, 2400, seed);
+  EdgeList shuffled = el;
+  Rng rng(seed ^ 0xabc);
+  rng.Shuffle(shuffled.mutable_edges());
+
+  Algorithm1Options opt;
+  opt.epsilon = 0.5;
+  EdgeListStream a(el), b(shuffled);
+  auto ra = RunAlgorithm1(a, opt);
+  auto rb = RunAlgorithm1(b, opt);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->nodes, rb->nodes);
+  EXPECT_DOUBLE_EQ(ra->density, rb->density);
+  EXPECT_EQ(ra->passes, rb->passes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shuffles, OrderInvarianceTest,
+                         ::testing::Range(900, 906));
+
+// ---- Relabeling invariance: densities are label-free. ----
+
+class RelabelInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelabelInvarianceTest, PermutedLabelsPreserveDensity) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  EdgeList el = ErdosRenyiGnm(120, 800, seed);
+  const NodeId n = 120;
+  std::vector<NodeId> perm(n);
+  for (NodeId i = 0; i < n; ++i) perm[i] = i;
+  Rng rng(seed ^ 0x9);
+  rng.Shuffle(perm);
+
+  EdgeList relabeled(n);
+  for (const Edge& e : el.edges()) relabeled.Add(perm[e.u], perm[e.v]);
+
+  UndirectedGraph g1 = BuildUndirected(el);
+  UndirectedGraph g2 = BuildUndirected(relabeled);
+
+  auto e1 = ExactDensestSubgraph(g1);
+  auto e2 = ExactDensestSubgraph(g2);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_NEAR(e1->density, e2->density, 1e-9);
+
+  CharikarResult c1 = CharikarPeel(g1);
+  CharikarResult c2 = CharikarPeel(g2);
+  EXPECT_NEAR(c1.best.density, c2.best.density, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Relabels, RelabelInvarianceTest,
+                         ::testing::Range(910, 916));
+
+// ---- Weight scaling: scaling all weights by w scales every density by w
+// and leaves the chosen subgraphs unchanged. ----
+
+class WeightScalingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeightScalingTest, UniformScaleActsLinearly) {
+  const double scale = GetParam();
+  EdgeList el = ErdosRenyiGnm(150, 900, 77);
+  EdgeList scaled(el.num_nodes());
+  for (const Edge& e : el.edges()) scaled.Add(e.u, e.v, scale);
+
+  Algorithm1Options opt;
+  opt.epsilon = 0.5;
+  auto plain = RunAlgorithm1(BuildUndirected(el), opt);
+  auto weighted = RunAlgorithm1(BuildUndirected(scaled), opt);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_EQ(plain->nodes, weighted->nodes);
+  EXPECT_NEAR(weighted->density, scale * plain->density,
+              1e-9 * scale * plain->density);
+
+  auto exact_plain = ExactDensestSubgraph(BuildUndirected(el));
+  auto exact_scaled = ExactDensestSubgraph(BuildUndirected(scaled));
+  ASSERT_TRUE(exact_plain.ok());
+  ASSERT_TRUE(exact_scaled.ok());
+  EXPECT_NEAR(exact_scaled->density, scale * exact_plain->density,
+              1e-7 * scale * exact_plain->density);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, WeightScalingTest,
+                         ::testing::Values(0.5, 2.0, 16.0, 1000.0));
+
+// ---- Symmetrization: for a symmetric digraph, rho_dir(S,S) counts each
+// undirected edge twice, so the directed optimum is at least twice the
+// undirected optimum. ----
+
+class SymmetrizationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SymmetrizationTest, DirectedOptimumAtLeastTwiceUndirected) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  EdgeList undirected = ErdosRenyiGnm(10, 22, seed);
+  EdgeList arcs(10);
+  for (const Edge& e : undirected.edges()) {
+    arcs.Add(e.u, e.v);
+    arcs.Add(e.v, e.u);
+  }
+  UndirectedGraph ug = BuildUndirected(undirected);
+  DirectedGraph dg = DirectedGraph::FromEdgeList(arcs);
+
+  auto und = BruteForceDensest(ug);
+  auto dir = BruteForceDensestDirected(dg);
+  ASSERT_TRUE(und.ok());
+  ASSERT_TRUE(dir.ok());
+  EXPECT_GE(dir->density, 2.0 * und->density - 1e-9) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Symmetrize, SymmetrizationTest,
+                         ::testing::Range(920, 928));
+
+// ---- Monotonicity: adding an edge never decreases rho*. ----
+
+class EdgeMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeMonotonicityTest, AddingEdgesNeverDecreasesOptimum) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  EdgeList el = ErdosRenyiGnm(60, 200, seed);
+  UndirectedGraph before = BuildUndirected(el);
+  auto rho_before = ExactDensestSubgraph(before);
+  ASSERT_TRUE(rho_before.ok());
+
+  // Add 20 fresh random edges.
+  Rng rng(seed ^ 0x77);
+  EdgeList extended = el;
+  for (int i = 0; i < 20; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformU64(60));
+    NodeId v = static_cast<NodeId>(rng.UniformU64(60));
+    if (u != v) extended.Add(u, v);
+  }
+  UndirectedGraph after = BuildUndirected(extended);
+  auto rho_after = ExactDensestSubgraph(after);
+  ASSERT_TRUE(rho_after.ok());
+  EXPECT_GE(rho_after->density, rho_before->density - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Monotone, EdgeMonotonicityTest,
+                         ::testing::Range(930, 936));
+
+// ---- Failure injection on the binary edge file reader. ----
+
+TEST(FileFailureTest, TruncatedFileYieldsFewerEdgesNotCorruption) {
+  std::string path = ::testing::TempDir() + "/truncated.bin";
+  EdgeList el = ErdosRenyiGnm(100, 500, 3);
+  ASSERT_TRUE(WriteBinaryEdgeFile(path, el, false).ok());
+
+  // Chop off the last 100 bytes (12.5 records).
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() - 100));
+  }
+
+  auto stream = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(stream.ok());  // header is intact
+  Edge e;
+  EdgeId count = 0;
+  (*stream)->Reset();
+  while ((*stream)->Next(&e)) {
+    EXPECT_LT(e.u, 100u);  // no garbage records
+    EXPECT_LT(e.v, 100u);
+    ++count;
+  }
+  EXPECT_LT(count, 500u);
+  EXPECT_GE(count, 487u);  // only the tail is lost
+  std::remove(path.c_str());
+}
+
+TEST(FileFailureTest, HeaderOnlyFileYieldsNoEdges) {
+  std::string path = ::testing::TempDir() + "/header_only.bin";
+  EdgeList el(10);  // zero edges
+  ASSERT_TRUE(WriteBinaryEdgeFile(path, el, false).ok());
+  auto stream = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(stream.ok());
+  Edge e;
+  (*stream)->Reset();
+  EXPECT_FALSE((*stream)->Next(&e));
+  std::remove(path.c_str());
+}
+
+// ---- Directed peel: S~ and T~ sizes respect the c regime loosely: for
+// extreme c the surviving side collapses fast. ----
+
+TEST(DirectedRegimeTest, PeeledSideFollowsSizeRatioRule) {
+  EdgeList arcs = ErdosRenyiDirectedGnm(200, 2000, 5);
+  DirectedGraph g = DirectedGraph::FromEdgeList(arcs);
+  for (double c : {0.01, 1.0, 200.0}) {
+    Algorithm3Options opt;
+    opt.c = c;
+    opt.epsilon = 1.0;
+    auto r = RunAlgorithm3(g, opt);
+    ASSERT_TRUE(r.ok());
+    for (const auto& snap : r->trace) {
+      // The pass-start sizes decide the side: peel S iff |S|/|T| >= c.
+      bool should_peel_s = static_cast<double>(snap.s_size) /
+                               static_cast<double>(snap.t_size) >=
+                           c;
+      EXPECT_EQ(snap.removed_from_s, should_peel_s)
+          << "c=" << c << " pass=" << snap.pass;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace densest

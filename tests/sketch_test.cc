@@ -1,0 +1,174 @@
+// Tests for Count-Sketch, degree oracles, and the sketched Algorithm 1.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/algorithm1.h"
+#include "gen/erdos_renyi.h"
+#include "gen/planted.h"
+#include "graph/graph_builder.h"
+#include "graph/subgraph.h"
+#include "sketch/count_sketch.h"
+#include "sketch/degree_oracle.h"
+#include "sketch/sketched_algorithm1.h"
+#include "stream/memory_stream.h"
+
+namespace densest {
+namespace {
+
+UndirectedGraph BuildUndirected(const EdgeList& e) {
+  GraphBuilder b;
+  b.ReserveNodes(e.num_nodes());
+  for (const Edge& edge : e.edges()) b.Add(edge.u, edge.v, edge.w);
+  return std::move(b.BuildUndirected()).value();
+}
+
+TEST(CountSketchTest, RejectsBadDimensions) {
+  EXPECT_FALSE(CountSketch::Create({.tables = 0, .buckets = 10}, 1).ok());
+  EXPECT_FALSE(CountSketch::Create({.tables = 5, .buckets = 0}, 1).ok());
+}
+
+TEST(CountSketchTest, ExactWhenNoCollisions) {
+  // Few keys, many buckets: estimates should be exact.
+  auto sketch = CountSketch::Create({.tables = 5, .buckets = 4096}, 7);
+  ASSERT_TRUE(sketch.ok());
+  for (uint32_t x = 0; x < 10; ++x) {
+    for (uint32_t k = 0; k <= x; ++k) sketch->Update(x, 1.0);
+  }
+  for (uint32_t x = 0; x < 10; ++x) {
+    EXPECT_NEAR(sketch->Estimate(x), x + 1.0, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(CountSketchTest, UnseenKeyNearZero) {
+  auto sketch = CountSketch::Create({.tables = 5, .buckets = 4096}, 7);
+  ASSERT_TRUE(sketch.ok());
+  for (uint32_t x = 0; x < 20; ++x) sketch->Update(x, 1.0);
+  EXPECT_NEAR(sketch->Estimate(12345), 0.0, 1.0);
+}
+
+TEST(CountSketchTest, HeavyHitterAccurateUnderCollisions) {
+  // 20k light keys + 1 heavy key, only 2k buckets: the heavy key's
+  // relative error must stay small (the Count-Sketch guarantee).
+  auto sketch = CountSketch::Create({.tables = 7, .buckets = 2048}, 11);
+  ASSERT_TRUE(sketch.ok());
+  for (uint32_t x = 1; x <= 20000; ++x) sketch->Update(x, 1.0);
+  sketch->Update(0, 5000.0);
+  EXPECT_NEAR(sketch->Estimate(0), 5000.0, 250.0);
+}
+
+TEST(CountSketchTest, ClearZeroesCounters) {
+  auto sketch = CountSketch::Create({.tables = 3, .buckets = 64}, 3);
+  ASSERT_TRUE(sketch.ok());
+  sketch->Update(5, 100.0);
+  sketch->Clear();
+  EXPECT_DOUBLE_EQ(sketch->Estimate(5), 0.0);
+}
+
+TEST(CountSketchTest, StateWordsIsTablesTimesBuckets) {
+  auto sketch = CountSketch::Create({.tables = 5, .buckets = 30000}, 1);
+  ASSERT_TRUE(sketch.ok());
+  EXPECT_EQ(sketch->StateWords(), 150000u);
+}
+
+TEST(CountSketchTest, NegativeUpdatesSupported) {
+  auto sketch = CountSketch::Create({.tables = 5, .buckets = 1024}, 5);
+  ASSERT_TRUE(sketch.ok());
+  sketch->Update(42, 10.0);
+  sketch->Update(42, -4.0);
+  EXPECT_NEAR(sketch->Estimate(42), 6.0, 1e-12);
+}
+
+TEST(DegreeOracleTest, ExactOracleCountsDegrees) {
+  ExactDegreeOracle oracle(5);
+  oracle.BeginPass();
+  oracle.AddIncidence(0, 1.0);
+  oracle.AddIncidence(0, 2.0);
+  oracle.AddIncidence(3, 1.0);
+  EXPECT_DOUBLE_EQ(oracle.EstimateDegree(0), 3.0);
+  EXPECT_DOUBLE_EQ(oracle.EstimateDegree(3), 1.0);
+  EXPECT_DOUBLE_EQ(oracle.EstimateDegree(1), 0.0);
+  EXPECT_EQ(oracle.StateWords(), 5u);
+  oracle.BeginPass();
+  EXPECT_DOUBLE_EQ(oracle.EstimateDegree(0), 0.0);
+}
+
+TEST(SketchedAlgorithm1Test, ExactOracleReproducesAlgorithm1) {
+  EdgeList el = ErdosRenyiGnm(400, 3000, 61);
+  UndirectedGraph g = BuildUndirected(el);
+  Algorithm1Options opt;
+  opt.epsilon = 0.5;
+
+  auto reference = RunAlgorithm1(g, opt);
+  ASSERT_TRUE(reference.ok());
+
+  UndirectedGraphStream stream(g);
+  ExactDegreeOracle oracle(g.num_nodes());
+  auto via_oracle = RunAlgorithm1WithOracle(stream, oracle, opt);
+  ASSERT_TRUE(via_oracle.ok());
+
+  EXPECT_EQ(via_oracle->result.nodes, reference->nodes);
+  EXPECT_DOUBLE_EQ(via_oracle->result.density, reference->density);
+  EXPECT_EQ(via_oracle->result.passes, reference->passes);
+  EXPECT_DOUBLE_EQ(via_oracle->memory_ratio, 1.0);
+}
+
+TEST(SketchedAlgorithm1Test, LargeSketchNearExactQuality) {
+  // Table 4 regime: counter memory well below n, quality ratio stays high.
+  PlantedGraph pg = PlantDenseBlocks(20000, 60000, {{60, 0.9}}, 63);
+  UndirectedGraph g = BuildUndirected(pg.edges);
+  Algorithm1Options opt;
+  opt.epsilon = 0.5;
+  auto exact_run = RunAlgorithm1(g, opt);
+  ASSERT_TRUE(exact_run.ok());
+
+  UndirectedGraphStream stream(g);
+  auto sketched = RunSketchedAlgorithm1(
+      stream, {.tables = 5, .buckets = 2048}, 17, opt);
+  ASSERT_TRUE(sketched.ok());
+  EXPECT_GE(sketched->result.density, 0.5 * exact_run->density);
+  EXPECT_LT(sketched->memory_ratio, 1.0)
+      << "sketch should use less counter memory than exact";
+}
+
+TEST(SketchedAlgorithm1Test, ReportedDensityIsExactForReturnedSet) {
+  // Even with sketched degrees, the tracked density is exact.
+  PlantedGraph pg = PlantDenseBlocks(1000, 3000, {{25, 0.9}}, 67);
+  UndirectedGraph g = BuildUndirected(pg.edges);
+  UndirectedGraphStream stream(g);
+  Algorithm1Options opt;
+  opt.epsilon = 1.0;
+  auto sketched = RunSketchedAlgorithm1(
+      stream, {.tables = 5, .buckets = 1024}, 19, opt);
+  ASSERT_TRUE(sketched.ok());
+  NodeSet s = NodeSet::FromVector(g.num_nodes(), sketched->result.nodes);
+  EXPECT_NEAR(InducedDensity(g, s), sketched->result.density, 1e-9);
+}
+
+TEST(SketchedAlgorithm1Test, TerminatesEvenWithTinySketch) {
+  // A pathologically small sketch must not loop forever.
+  UndirectedGraph g = BuildUndirected(ErdosRenyiGnm(200, 1000, 69));
+  UndirectedGraphStream stream(g);
+  Algorithm1Options opt;
+  opt.epsilon = 0.5;
+  opt.max_passes = 5000;
+  auto sketched =
+      RunSketchedAlgorithm1(stream, {.tables = 1, .buckets = 4}, 23, opt);
+  ASSERT_TRUE(sketched.ok());
+  EXPECT_LT(sketched->result.passes, 5000u);
+}
+
+TEST(SketchedAlgorithm1Test, MemoryRatioMatchesTable4Formula) {
+  UndirectedGraph g = BuildUndirected(ErdosRenyiGnm(976, 2000, 71));
+  UndirectedGraphStream stream(g);
+  Algorithm1Options opt;
+  opt.epsilon = 0.5;
+  auto sketched =
+      RunSketchedAlgorithm1(stream, {.tables = 5, .buckets = 30}, 29, opt);
+  ASSERT_TRUE(sketched.ok());
+  EXPECT_DOUBLE_EQ(sketched->memory_ratio, 150.0 / 976.0);
+}
+
+}  // namespace
+}  // namespace densest

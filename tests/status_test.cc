@@ -1,0 +1,70 @@
+// Unit tests for Status / StatusOr.
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace densest {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::IOError("x").code(), Status::Code::kIOError);
+  EXPECT_EQ(Status::OutOfRange("x").code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            Status::Code::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+  EXPECT_FALSE(Status::Internal("x").ok());
+  EXPECT_EQ(Status::Internal("boom").message(), "boom");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("eps < 0").ToString(),
+            "InvalidArgument: eps < 0");
+  EXPECT_EQ(Status::IOError("").ToString(), "IOError");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IOError("a"), Status::IOError("a"));
+  EXPECT_FALSE(Status::IOError("a") == Status::IOError("b"));
+  EXPECT_FALSE(Status::IOError("a") == Status::Internal("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), Status::Code::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("hello");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+}  // namespace
+}  // namespace densest

@@ -1,0 +1,140 @@
+// Unit tests for NodeSet and induced subgraph extraction.
+
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace densest {
+namespace {
+
+TEST(NodeSetTest, InsertRemoveContains) {
+  NodeSet s(10);
+  EXPECT_TRUE(s.empty());
+  s.Insert(3);
+  s.Insert(3);  // idempotent
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Contains(3));
+  s.Remove(3);
+  s.Remove(3);  // idempotent
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(NodeSetTest, FullConstruction) {
+  NodeSet s(5, /*full=*/true);
+  EXPECT_EQ(s.size(), 5u);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_TRUE(s.Contains(u));
+}
+
+TEST(NodeSetTest, ToVectorAscending) {
+  NodeSet s(10);
+  s.Insert(7);
+  s.Insert(2);
+  s.Insert(5);
+  auto v = s.ToVector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 2u);
+  EXPECT_EQ(v[1], 5u);
+  EXPECT_EQ(v[2], 7u);
+}
+
+TEST(NodeSetTest, FromVectorRoundTrip) {
+  NodeSet s = NodeSet::FromVector(10, {1, 4, 9});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.Contains(9));
+  EXPECT_FALSE(s.Contains(0));
+}
+
+UndirectedGraph K4PlusPendant() {
+  // Clique on {0,1,2,3} plus pendant edge 3-4.
+  GraphBuilder b;
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = i + 1; j < 4; ++j) b.Add(i, j);
+  }
+  b.Add(3, 4);
+  return std::move(b.BuildUndirected()).value();
+}
+
+TEST(InducedSubgraphTest, ExtractsCliqueWithMapping) {
+  UndirectedGraph g = K4PlusPendant();
+  NodeSet s = NodeSet::FromVector(5, {0, 1, 2, 3});
+  std::vector<NodeId> mapping;
+  UndirectedGraph sub = InducedSubgraph(g, s, &mapping);
+  EXPECT_EQ(sub.num_nodes(), 4u);
+  EXPECT_EQ(sub.num_edges(), 6u);
+  ASSERT_EQ(mapping.size(), 4u);
+  for (NodeId i = 0; i < 4; ++i) EXPECT_EQ(mapping[i], i);
+}
+
+TEST(InducedSubgraphTest, DropsCrossEdges) {
+  UndirectedGraph g = K4PlusPendant();
+  NodeSet s = NodeSet::FromVector(5, {3, 4});
+  UndirectedGraph sub = InducedSubgraph(g, s);
+  EXPECT_EQ(sub.num_nodes(), 2u);
+  EXPECT_EQ(sub.num_edges(), 1u);  // only 3-4 survives
+}
+
+TEST(InducedSubgraphTest, EmptySelection) {
+  UndirectedGraph g = K4PlusPendant();
+  NodeSet s(5);
+  UndirectedGraph sub = InducedSubgraph(g, s);
+  EXPECT_EQ(sub.num_nodes(), 0u);
+  EXPECT_EQ(sub.num_edges(), 0u);
+}
+
+TEST(CountInducedEdgesTest, CliqueSubsetCounts) {
+  UndirectedGraph g = K4PlusPendant();
+  NodeSet s = NodeSet::FromVector(5, {0, 1, 2});
+  auto c = CountInducedEdges(g, s);
+  EXPECT_EQ(c.edges, 3u);
+  EXPECT_DOUBLE_EQ(c.weight, 3.0);
+  EXPECT_DOUBLE_EQ(InducedDensity(g, s), 1.0);
+}
+
+TEST(InducedDensityTest, EmptySetIsZero) {
+  UndirectedGraph g = K4PlusPendant();
+  EXPECT_DOUBLE_EQ(InducedDensity(g, NodeSet(5)), 0.0);
+}
+
+TEST(InducedSubgraphDirectedTest, KeepsInternalArcs) {
+  GraphBuilder b;
+  b.Add(0, 1);
+  b.Add(1, 2);
+  b.Add(2, 0);
+  b.Add(0, 3);
+  DirectedGraph g = std::move(b.BuildDirected()).value();
+  NodeSet s = NodeSet::FromVector(4, {0, 1, 2});
+  std::vector<NodeId> mapping;
+  DirectedGraph sub = InducedSubgraphDirected(g, s, &mapping);
+  EXPECT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 3u);
+}
+
+TEST(InducedDensityDirectedTest, MatchesDefinition) {
+  GraphBuilder b;
+  b.Add(0, 2);
+  b.Add(0, 3);
+  b.Add(1, 2);
+  b.Add(1, 3);
+  DirectedGraph g = std::move(b.BuildDirected()).value();
+  NodeSet s = NodeSet::FromVector(4, {0, 1});
+  NodeSet t = NodeSet::FromVector(4, {2, 3});
+  // |E(S,T)| = 4, sqrt(|S||T|) = 2 -> rho = 2.
+  EXPECT_DOUBLE_EQ(InducedDensityDirected(g, s, t), 2.0);
+  EXPECT_DOUBLE_EQ(InducedDensityDirected(g, NodeSet(4), t), 0.0);
+}
+
+TEST(InducedDensityDirectedTest, OverlappingSetsAllowed) {
+  // S and T need not be disjoint (paper Definition 2).
+  GraphBuilder b;
+  b.Add(0, 1);
+  b.Add(1, 0);
+  DirectedGraph g = std::move(b.BuildDirected()).value();
+  NodeSet both = NodeSet::FromVector(2, {0, 1});
+  // E(S,T) = 2 arcs, sqrt(2*2) = 2 -> rho = 1.
+  EXPECT_DOUBLE_EQ(InducedDensityDirected(g, both, both), 1.0);
+}
+
+}  // namespace
+}  // namespace densest
