@@ -6,8 +6,9 @@
 #define DENSEST_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
-#include <sys/stat.h>
+#include <system_error>
 #include <vector>
 
 #include "io/csv_writer.h"
@@ -24,16 +25,24 @@ inline void Banner(const std::string& artifact, const std::string& what) {
 }
 
 /// Ensures ./bench_results exists and returns the CSV path for `name`.
-inline std::string CsvPath(const std::string& name) {
-  ::mkdir("bench_results", 0755);
+/// Fails with IOError when the directory cannot be created (the old POSIX
+/// mkdir call ignored errors, so the CSV writer failed silently later).
+inline StatusOr<std::string> CsvPath(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (ec) {
+    return Status::IOError("cannot create bench_results/: " + ec.message());
+  }
   return "bench_results/" + name + ".csv";
 }
 
-/// Opens the CSV for a harness binary; on failure returns a writer that is
-/// not usable, and the caller just skips CSV output.
+/// Opens the CSV for a harness binary; on failure returns the error status,
+/// and the caller just skips CSV output.
 inline StatusOr<CsvWriter> OpenCsv(const std::string& name,
                                    const std::vector<std::string>& header) {
-  return CsvWriter::Open(CsvPath(name), header);
+  StatusOr<std::string> path = CsvPath(name);
+  if (!path.ok()) return path.status();
+  return CsvWriter::Open(*path, header);
 }
 
 }  // namespace densest::bench

@@ -1,4 +1,4 @@
-#include "mapreduce/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <algorithm>
 

@@ -1,10 +1,10 @@
 // Copyright 2026 The densest Authors.
-// Minimal fixed-size thread pool used to execute map/reduce tasks in
-// parallel. Deterministic results are preserved by keeping per-task output
-// buffers and merging them in task order.
+// Minimal fixed-size thread pool shared by the MapReduce simulator and the
+// streaming pass engine. Deterministic results are preserved by keeping
+// per-task output buffers and merging them in task order.
 
-#ifndef DENSEST_MAPREDUCE_THREAD_POOL_H_
-#define DENSEST_MAPREDUCE_THREAD_POOL_H_
+#ifndef DENSEST_COMMON_THREAD_POOL_H_
+#define DENSEST_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
@@ -46,4 +46,4 @@ class ThreadPool {
 
 }  // namespace densest
 
-#endif  // DENSEST_MAPREDUCE_THREAD_POOL_H_
+#endif  // DENSEST_COMMON_THREAD_POOL_H_

@@ -2,31 +2,10 @@
 
 #include <vector>
 
-#include "core/peel_state.h"
+#include "core/pass_engine.h"
 #include "stream/memory_stream.h"
 
 namespace densest {
-
-namespace {
-
-/// One pass worth of work shared by the stream and buffer paths:
-/// accumulates degrees and totals over edges whose endpoints are alive.
-struct PassAccumulator {
-  const NodeSet* alive;
-  std::vector<double>* degrees;
-  UndirectedPassResult stats;
-
-  inline void Consume(const Edge& e) {
-    if (alive->Contains(e.u) && alive->Contains(e.v)) {
-      (*degrees)[e.u] += e.w;
-      (*degrees)[e.v] += e.w;
-      stats.weight += e.w;
-      ++stats.edges;
-    }
-  }
-};
-
-}  // namespace
 
 StatusOr<UndirectedDensestResult> RunAlgorithm1(
     EdgeStream& stream, const Algorithm1Options& options) {
@@ -36,6 +15,8 @@ StatusOr<UndirectedDensestResult> RunAlgorithm1(
   const NodeId n = stream.num_nodes();
   if (n == 0) return Status::InvalidArgument("graph has no nodes");
 
+  PassEngine& engine =
+      options.engine != nullptr ? *options.engine : DefaultPassEngine();
   NodeSet alive(n, /*full=*/true);
   std::vector<double> degrees(n, 0.0);
 
@@ -55,39 +36,22 @@ StatusOr<UndirectedDensestResult> RunAlgorithm1(
   while (!alive.empty() &&
          (options.max_passes == 0 || pass < options.max_passes)) {
     ++pass;
-    std::fill(degrees.begin(), degrees.end(), 0.0);
-    PassAccumulator acc{&alive, &degrees, {}};
-
+    UndirectedPassResult stats;
     if (use_buffer) {
       // Pure in-memory pass; dead edges are filtered out as we go so the
       // buffer keeps shrinking with the graph.
-      size_t out = 0;
-      for (const Edge& e : buffer) {
-        if (alive.Contains(e.u) && alive.Contains(e.v)) {
-          acc.Consume(e);
-          buffer[out++] = e;
-        }
-      }
-      buffer.resize(out);
+      stats = engine.RunUndirectedBuffer(buffer, alive, degrees,
+                                         /*compact=*/true);
+    } else if (compact_this_pass) {
+      ++io_passes;
+      stats = engine.RunUndirectedCollect(stream, alive, degrees, &buffer);
+      use_buffer = true;
     } else {
       ++io_passes;
-      stream.Reset();
-      Edge e;
-      if (compact_this_pass) {
-        while (stream.Next(&e)) {
-          if (alive.Contains(e.u) && alive.Contains(e.v)) {
-            acc.Consume(e);
-            buffer.push_back(e);
-          }
-        }
-        use_buffer = true;
-      } else {
-        while (stream.Next(&e)) acc.Consume(e);
-      }
+      stats = engine.RunUndirected(stream, alive, degrees);
     }
 
-    const double rho =
-        acc.stats.weight / static_cast<double>(alive.size());
+    const double rho = stats.weight / static_cast<double>(alive.size());
 
     // Algorithm 1 line 5: S~ tracks the densest intermediate subgraph.
     // (Pass 1 sees S = V, matching the S~ <- V initialization.)
@@ -107,20 +71,20 @@ StatusOr<UndirectedDensestResult> RunAlgorithm1(
     }
 
     // Arm compaction for the next pass once the survivor count is small.
-    // (The surviving edge count after removal is at most acc.stats.edges.)
+    // (The surviving edge count after removal is at most stats.edges.)
     if (!use_buffer && !compact_this_pass &&
         options.compact_below_edges > 0 &&
-        acc.stats.edges <= options.compact_below_edges) {
+        stats.edges <= options.compact_below_edges) {
       compact_this_pass = true;
-      buffer.reserve(static_cast<size_t>(acc.stats.edges));
+      buffer.reserve(static_cast<size_t>(stats.edges));
     }
 
     if (options.record_trace) {
       PassSnapshot snap;
       snap.pass = pass;
       snap.nodes = static_cast<NodeId>(alive.size() + removed);
-      snap.edges = acc.stats.edges;
-      snap.weight = acc.stats.weight;
+      snap.edges = stats.edges;
+      snap.weight = stats.weight;
       snap.density = rho;
       snap.threshold = threshold;
       snap.removed = removed;

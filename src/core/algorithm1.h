@@ -12,6 +12,8 @@
 
 namespace densest {
 
+class PassEngine;
+
 /// \brief Knobs for Algorithm 1.
 struct Algorithm1Options {
   /// The epsilon of the paper: each pass removes every node with
@@ -33,6 +35,11 @@ struct Algorithm1Options {
   /// result is bit-identical to the uncompacted run — only IO changes.
   /// 0 disables compaction.
   EdgeId compact_below_edges = 0;
+  /// Pass engine to execute streaming passes on. nullptr uses the shared
+  /// DefaultPassEngine(); callers running algorithms concurrently from
+  /// several threads must each supply a private engine (the shared one
+  /// holds mutable scratch and is not thread-safe).
+  PassEngine* engine = nullptr;
 };
 
 /// Runs Algorithm 1 over an edge stream (one Reset+scan per pass). The

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <vector>
 
-#include "core/peel_state.h"
+#include "core/pass_engine.h"
 #include "stream/memory_stream.h"
 
 namespace densest {
@@ -20,6 +20,8 @@ StatusOr<UndirectedDensestResult> RunAlgorithm2(
     return Status::InvalidArgument("min_size exceeds the node count");
   }
 
+  PassEngine& engine =
+      options.engine != nullptr ? *options.engine : DefaultPassEngine();
   NodeSet alive(n, /*full=*/true);
   std::vector<double> degrees(n, 0.0);
   std::vector<NodeId> candidates;
@@ -34,7 +36,7 @@ StatusOr<UndirectedDensestResult> RunAlgorithm2(
   while (alive.size() >= options.min_size && !alive.empty() &&
          (options.max_passes == 0 || pass < options.max_passes)) {
     ++pass;
-    UndirectedPassResult stats = RunUndirectedPass(stream, alive, degrees);
+    UndirectedPassResult stats = engine.RunUndirected(stream, alive, degrees);
     const double rho = stats.weight / static_cast<double>(alive.size());
 
     // Algorithm 2 line 6: best intermediate subgraph with |S| >= k.

@@ -13,6 +13,8 @@
 
 namespace densest {
 
+class PassEngine;
+
 /// \brief Knobs for Algorithm 2.
 struct Algorithm2Options {
   /// Minimum size of the returned subgraph.
@@ -26,6 +28,9 @@ struct Algorithm2Options {
   uint64_t max_passes = 1000000;
   /// Record a PassSnapshot per pass.
   bool record_trace = true;
+  /// Pass engine to run on; nullptr = shared DefaultPassEngine() (not
+  /// thread-safe — supply a private engine for concurrent runs).
+  PassEngine* engine = nullptr;
 };
 
 /// Runs Algorithm 2 over an edge stream. Returns the densest intermediate

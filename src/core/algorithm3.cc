@@ -3,7 +3,7 @@
 #include <cmath>
 #include <vector>
 
-#include "core/peel_state.h"
+#include "core/pass_engine.h"
 #include "stream/memory_stream.h"
 
 namespace densest {
@@ -48,6 +48,8 @@ StatusOr<DirectedDensestResult> RunAlgorithm3(
   const NodeId n = stream.num_nodes();
   if (n == 0) return Status::InvalidArgument("graph has no nodes");
 
+  PassEngine& engine =
+      options.engine != nullptr ? *options.engine : DefaultPassEngine();
   NodeSet s(n, /*full=*/true);
   NodeSet t(n, /*full=*/true);
   std::vector<double> out_to_t(n, 0.0);
@@ -64,7 +66,7 @@ StatusOr<DirectedDensestResult> RunAlgorithm3(
          (options.max_passes == 0 || pass < options.max_passes)) {
     ++pass;
     DirectedPassResult stats =
-        RunDirectedPass(stream, s, t, out_to_t, in_from_s);
+        engine.RunDirected(stream, s, t, out_to_t, in_from_s);
     const double rho =
         stats.weight / std::sqrt(static_cast<double>(s.size()) *
                                  static_cast<double>(t.size()));
@@ -157,6 +159,7 @@ StatusOr<CSearchResult> RunCSearch(EdgeStream& stream,
     run.rule = options.rule;
     run.max_passes = options.max_passes;
     run.record_trace = options.record_trace;
+    run.engine = options.engine;
     StatusOr<DirectedDensestResult> r = RunAlgorithm3(stream, run);
     if (!r.ok()) return r.status();
     if (r->density > best_density) {

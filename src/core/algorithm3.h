@@ -15,6 +15,8 @@
 
 namespace densest {
 
+class PassEngine;
+
 /// \brief Which set to peel when both are nonempty.
 enum class DirectedRemovalRule {
   /// The paper's preferred rule: peel S when |S|/|T| >= c, else T.
@@ -40,6 +42,9 @@ struct Algorithm3Options {
   uint64_t max_passes = 100000;
   /// Record a DirectedPassSnapshot per pass (Figure 6.5 needs this).
   bool record_trace = true;
+  /// Pass engine to run on; nullptr = shared DefaultPassEngine() (not
+  /// thread-safe — supply a private engine for concurrent runs).
+  PassEngine* engine = nullptr;
 };
 
 /// Runs Algorithm 3 for one ratio c over an arc stream.
@@ -61,6 +66,8 @@ struct CSearchOptions {
   uint64_t max_passes = 100000;
   /// Record traces in the per-c results (memory heavy for big sweeps).
   bool record_trace = false;
+  /// Pass engine for every run of the sweep; nullptr = DefaultPassEngine().
+  PassEngine* engine = nullptr;
 };
 
 /// \brief Result of the c-search: the best run plus the whole sweep

@@ -4,6 +4,10 @@
 #include <queue>
 #include <vector>
 
+#include "core/pass_engine.h"
+#include "graph/edge_list.h"
+#include "graph/subgraph.h"
+
 namespace densest {
 
 namespace {
@@ -55,7 +59,7 @@ CharikarResult CharikarPeel(const UndirectedGraph& g) {
   for (NodeId u = 0; u < n; ++u) {
     buckets[deg[u]].push_back(u);
   }
-  std::vector<uint8_t> alive(n, 1);
+  NodeSet alive(n, /*full=*/true);
 
   std::vector<NodeId> removal_order;
   removal_order.reserve(n);
@@ -71,7 +75,7 @@ CharikarResult CharikarPeel(const UndirectedGraph& g) {
     // Find the minimum-degree alive node.
     while (cur_min < buckets.size() &&
            (buckets[cur_min].empty() ||
-            !alive[buckets[cur_min].back()] ||
+            !alive.Contains(buckets[cur_min].back()) ||
             deg[buckets[cur_min].back()] != cur_min)) {
       if (buckets[cur_min].empty()) {
         ++cur_min;
@@ -82,7 +86,7 @@ CharikarResult CharikarPeel(const UndirectedGraph& g) {
     NodeId u = buckets[cur_min].back();
     buckets[cur_min].pop_back();
 
-    alive[u] = 0;
+    alive.Remove(u);
     --remaining;
     removal_order.push_back(u);
     for (NodeId v : g.Neighbors(u)) {
@@ -90,7 +94,7 @@ CharikarResult CharikarPeel(const UndirectedGraph& g) {
         --cur_edges;
         continue;
       }
-      if (!alive[v]) continue;
+      if (!alive.Contains(v)) continue;
       --cur_edges;
       --deg[v];
       buckets[deg[v]].push_back(v);
@@ -104,6 +108,29 @@ CharikarResult CharikarPeel(const UndirectedGraph& g) {
   return BuildResult(g, std::move(removal_order), density_after_step);
 }
 
+namespace {
+
+/// One batched engine pass over the stream, materialized as a CSR graph.
+UndirectedGraph MaterializeStream(EdgeStream& stream) {
+  EdgeList edges(stream.num_nodes());
+  if (EdgeId hint = stream.SizeHint(); hint > 0) {
+    edges.mutable_edges().reserve(static_cast<size_t>(hint));
+  }
+  DefaultPassEngine().ForEachEdgeBatched(
+      stream, [&](const Edge& e) { edges.Add(e.u, e.v, e.w); });
+  return UndirectedGraph::FromEdgeList(edges);
+}
+
+}  // namespace
+
+CharikarResult CharikarPeel(EdgeStream& stream) {
+  return CharikarPeel(MaterializeStream(stream));
+}
+
+CharikarResult CharikarPeelWeighted(EdgeStream& stream) {
+  return CharikarPeelWeighted(MaterializeStream(stream));
+}
+
 CharikarResult CharikarPeelWeighted(const UndirectedGraph& g) {
   const NodeId n = g.num_nodes();
   std::vector<double> wdeg(n);
@@ -113,7 +140,7 @@ CharikarResult CharikarPeelWeighted(const UndirectedGraph& g) {
   using Entry = std::pair<double, NodeId>;  // (weighted degree, node)
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
   for (NodeId u = 0; u < n; ++u) heap.emplace(wdeg[u], u);
-  std::vector<uint8_t> alive(n, 1);
+  NodeSet alive(n, /*full=*/true);
 
   std::vector<NodeId> removal_order;
   removal_order.reserve(n);
@@ -126,9 +153,9 @@ CharikarResult CharikarPeelWeighted(const UndirectedGraph& g) {
   while (remaining > 0) {
     auto [d, u] = heap.top();
     heap.pop();
-    if (!alive[u] || d != wdeg[u]) continue;  // stale entry
+    if (!alive.Contains(u) || d != wdeg[u]) continue;  // stale entry
 
-    alive[u] = 0;
+    alive.Remove(u);
     --remaining;
     removal_order.push_back(u);
     auto nbrs = g.Neighbors(u);
@@ -140,7 +167,7 @@ CharikarResult CharikarPeelWeighted(const UndirectedGraph& g) {
         cur_weight -= w;
         continue;
       }
-      if (!alive[v]) continue;
+      if (!alive.Contains(v)) continue;
       cur_weight -= w;
       wdeg[v] -= w;
       heap.emplace(wdeg[v], v);

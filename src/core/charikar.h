@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "core/density.h"
 #include "graph/undirected_graph.h"
+#include "stream/edge_stream.h"
 
 namespace densest {
 
@@ -30,6 +31,12 @@ CharikarResult CharikarPeel(const UndirectedGraph& g);
 /// Weighted greedy via a lazy binary heap: O(m log n). Matches
 /// CharikarPeel on unweighted inputs (up to ties).
 CharikarResult CharikarPeelWeighted(const UndirectedGraph& g);
+
+/// Stream front ends: ingest the stream's edges with one batched pass of
+/// the shared pass engine (the only scan Charikar needs — the peel itself
+/// requires the graph in memory), then run the greedy peel.
+CharikarResult CharikarPeel(EdgeStream& stream);
+CharikarResult CharikarPeelWeighted(EdgeStream& stream);
 
 }  // namespace densest
 

@@ -1,0 +1,524 @@
+#include "core/pass_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+namespace densest {
+
+namespace {
+
+/// Contiguous row range of a CSR kernel shard.
+struct RowShard {
+  NodeId begin = 0;
+  NodeId end = 0;  // exclusive
+};
+
+/// Splits [0, n) into row ranges of roughly `entries_per_shard` adjacency
+/// entries each (rows are never split). Depends only on the graph shape,
+/// so shard boundaries are identical for every thread count.
+template <typename DegreeFn>
+std::vector<RowShard> ShardRows(NodeId n, const DegreeFn& degree,
+                                size_t entries_per_shard) {
+  std::vector<RowShard> shards;
+  RowShard cur;
+  size_t entries = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    entries += degree(u);
+    if (entries >= entries_per_shard) {
+      cur.end = u + 1;
+      shards.push_back(cur);
+      cur.begin = u + 1;
+      entries = 0;
+    }
+  }
+  cur.end = n;
+  if (cur.end > cur.begin) shards.push_back(cur);
+  return shards;
+}
+
+}  // namespace
+
+PassEngine::PassEngine(const PassEngineOptions& options) {
+  num_threads_ = options.num_threads;
+  if (num_threads_ == 0) {
+    num_threads_ = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
+  slot_weight_.fill(0.0);
+  slot_edges_.fill(0);
+}
+
+PassEngine::~PassEngine() = default;
+
+void PassEngine::EnsureBatchBuffer() {
+  batch_.resize(kShardSlots * kShardEdges);
+}
+
+void PassEngine::EnsureAccumulators(size_t n, size_t planes) {
+  acc_.resize(planes * kShardSlots);
+  for (std::vector<double>& slot : acc_) {
+    // Slots are zero here by invariant: fresh allocations start zeroed and
+    // ReduceAndClear re-zeroes after every pass. A size change re-zeroes.
+    if (slot.size() != n) slot.assign(n, 0.0);
+  }
+  slot_weight_.fill(0.0);
+  slot_edges_.fill(0);
+}
+
+size_t PassEngine::FillShards(
+    EdgeStream& stream, std::array<std::span<const Edge>, kShardSlots>& shards) {
+  size_t count = 0;
+  while (count < kShardSlots) {
+    std::span<const Edge> view =
+        stream.NextView(batch_.data() + count * kShardEdges, kShardEdges);
+    if (view.empty()) break;
+    shards[count++] = view;
+  }
+  return count;
+}
+
+void PassEngine::DispatchRound(size_t shards,
+                               const std::function<void(size_t)>& fn) {
+  if (pool_ != nullptr && shards > 1) {
+    pool_->ParallelFor(shards, fn);
+  } else {
+    for (size_t i = 0; i < shards; ++i) fn(i);
+  }
+}
+
+void PassEngine::ReduceAndClear(size_t plane, std::vector<double>& degrees) {
+  const size_t n = degrees.size();
+  std::vector<double>* slots = acc_.data() + plane * kShardSlots;
+  for (size_t u = 0; u < n; ++u) {
+    double total = 0.0;
+    for (size_t s = 0; s < kShardSlots; ++s) {
+      total += slots[s][u];
+      slots[s][u] = 0.0;
+    }
+    degrees[u] = total;
+  }
+}
+
+UndirectedPassResult PassEngine::RunUndirected(EdgeStream& stream,
+                                               const NodeSet& alive,
+                                               std::vector<double>& degrees) {
+  return RunUndirectedImpl(stream, alive, degrees, nullptr);
+}
+
+UndirectedPassResult PassEngine::RunUndirectedCollect(
+    EdgeStream& stream, const NodeSet& alive, std::vector<double>& degrees,
+    std::vector<Edge>* survivors) {
+  return RunUndirectedImpl(stream, alive, degrees, survivors);
+}
+
+UndirectedPassResult PassEngine::RunUndirectedImpl(
+    EdgeStream& stream, const NodeSet& alive, std::vector<double>& degrees,
+    std::vector<Edge>* survivors) {
+  if (survivors == nullptr) {
+    if (const UndirectedGraph* g = stream.UndirectedCsrView()) {
+      stream.Reset();  // keeps pass accounting uniform with the batch path
+      return RunUndirectedCsr(*g, alive, degrees);
+    }
+  }
+  EnsureBatchBuffer();
+  stream.Reset();
+
+  if (UseDirectPath(stream)) {
+    // Unit weights, sequential: accumulate straight into `degrees`. Exact
+    // integer-valued sums make this bit-identical to any slotted schedule.
+    std::fill(degrees.begin(), degrees.end(), 0.0);
+    UndirectedPassResult out;
+    double weight = 0.0;
+    for (;;) {
+      std::span<const Edge> view =
+          stream.NextView(batch_.data(), batch_.size());
+      if (view.empty()) break;
+      if (survivors != nullptr) {
+        for (const Edge& e : view) {
+          if (alive.ContainsBoth(e.u, e.v)) {
+            degrees[e.u] += 1.0;
+            degrees[e.v] += 1.0;
+            weight += 1.0;
+            survivors->push_back(e);
+          }
+        }
+      } else {
+        // Branchless: dead edges add 0.0 (a no-op on the degree values),
+        // so the loop carries no unpredictable branch.
+        for (const Edge& e : view) {
+          const double keep = alive.ContainsBoth(e.u, e.v) ? 1.0 : 0.0;
+          degrees[e.u] += keep;
+          degrees[e.v] += keep;
+          weight += keep;
+        }
+      }
+    }
+    out.weight = weight;
+    out.edges = static_cast<EdgeId>(weight);  // unit weights: count == sum
+    return out;
+  }
+
+  EnsureAccumulators(degrees.size(), /*planes=*/1);
+  std::array<std::span<const Edge>, kShardSlots> shards;
+  for (;;) {
+    const size_t count = FillShards(stream, shards);
+    if (count == 0) break;
+    DispatchRound(count, [&](size_t s) {
+      std::vector<double>& acc = acc_[s];
+      std::vector<Edge>* out =
+          survivors != nullptr ? &slot_survivors_[s] : nullptr;
+      if (out != nullptr) out->clear();
+      double weight = 0.0;
+      EdgeId edges = 0;
+      for (const Edge& e : shards[s]) {
+        if (alive.ContainsBoth(e.u, e.v)) {
+          acc[e.u] += e.w;
+          acc[e.v] += e.w;
+          weight += e.w;
+          ++edges;
+          if (out != nullptr) out->push_back(e);
+        }
+      }
+      slot_weight_[s] += weight;
+      slot_edges_[s] += edges;
+    });
+    if (survivors != nullptr) {
+      // Slot order == stream order: survivors stay in stream order.
+      for (size_t s = 0; s < count; ++s) {
+        survivors->insert(survivors->end(), slot_survivors_[s].begin(),
+                          slot_survivors_[s].end());
+      }
+    }
+    if (count < kShardSlots) break;
+  }
+
+  UndirectedPassResult out;
+  for (size_t s = 0; s < kShardSlots; ++s) {
+    out.weight += slot_weight_[s];
+    out.edges += slot_edges_[s];
+  }
+  ReduceAndClear(/*plane=*/0, degrees);
+  return out;
+}
+
+UndirectedPassResult PassEngine::RunUndirectedCsr(
+    const UndirectedGraph& g, const NodeSet& alive,
+    std::vector<double>& degrees) {
+  const NodeId n = g.num_nodes();
+  const bool weighted = g.is_weighted();
+  // Every undirected edge {u, v} occupies the adjacency slot (u, v) AND
+  // (v, u) — a self-loop only (u, u). Walking ALL slots therefore adds each
+  // edge's weight to both endpoint degrees with purely sequential reads;
+  // edge/weight totals are halved at the end (self-loops counted twice via
+  // `self` so the halving stays exact).
+  if (pool_ == nullptr && !weighted) {
+    std::fill(degrees.begin(), degrees.end(), 0.0);
+    double twice_weight = 0.0;
+    double self_weight = 0.0;
+    if (!g.has_self_loops()) {
+      // Two-way unroll with independent row accumulators: breaks the
+      // serial FP-add dependency chain. Reassociation is safe — unit
+      // weights sum exactly, so every order gives the same bits.
+      for (NodeId u = 0; u < n; ++u) {
+        if (!alive.Contains(u)) continue;  // whole dead rows cost nothing
+        auto nbrs = g.Neighbors(u);
+        double row0 = 0.0, row1 = 0.0;
+        size_t i = 0;
+        for (; i + 2 <= nbrs.size(); i += 2) {
+          const NodeId v0 = nbrs[i];
+          const NodeId v1 = nbrs[i + 1];
+          const double k0 = alive.Contains(v0) ? 1.0 : 0.0;
+          const double k1 = alive.Contains(v1) ? 1.0 : 0.0;
+          degrees[v0] += k0;
+          degrees[v1] += k1;
+          row0 += k0;
+          row1 += k1;
+        }
+        if (i < nbrs.size()) {
+          const NodeId v = nbrs[i];
+          const double k = alive.Contains(v) ? 1.0 : 0.0;
+          degrees[v] += k;
+          row0 += k;
+        }
+        twice_weight += row0 + row1;
+      }
+    } else {
+      for (NodeId u = 0; u < n; ++u) {
+        if (!alive.Contains(u)) continue;
+        auto nbrs = g.Neighbors(u);
+        double row = 0.0;
+        for (NodeId v : nbrs) {
+          const double keep = alive.Contains(v) ? 1.0 : 0.0;
+          degrees[v] += keep;
+          row += keep;
+          if (v == u) {  // self-loop: single slot, degree counts it twice
+            degrees[u] += keep;
+            self_weight += keep;
+          }
+        }
+        twice_weight += row;
+      }
+    }
+    UndirectedPassResult out;
+    out.weight = (twice_weight + self_weight) / 2.0;
+    out.edges = static_cast<EdgeId>(twice_weight + self_weight) / 2;
+    return out;
+  }
+
+  EnsureAccumulators(n, /*planes=*/1);
+  const std::vector<RowShard> shards = ShardRows(
+      n, [&g](NodeId u) { return g.Degree(u); }, 2 * kShardEdges);
+  std::array<double, kShardSlots> slot_self_weight{};
+  std::array<EdgeId, kShardSlots> slot_self_edges{};
+  for (size_t base = 0; base < shards.size(); base += kShardSlots) {
+    const size_t count = std::min(kShardSlots, shards.size() - base);
+    DispatchRound(count, [&](size_t s) {
+      const RowShard shard = shards[base + s];
+      std::vector<double>& acc = acc_[s];
+      double twice_weight = 0.0;
+      double self_weight = 0.0;
+      EdgeId twice_edges = 0;
+      EdgeId self_edges = 0;
+      for (NodeId u = shard.begin; u < shard.end; ++u) {
+        if (!alive.Contains(u)) continue;
+        auto nbrs = g.Neighbors(u);
+        auto ws = g.NeighborWeights(u);
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          const NodeId v = nbrs[i];
+          if (!alive.Contains(v)) continue;
+          const double w = weighted ? ws[i] : 1.0;
+          acc[v] += w;
+          twice_weight += w;
+          ++twice_edges;
+          if (v == u) {
+            acc[u] += w;
+            self_weight += w;
+            ++self_edges;
+          }
+        }
+      }
+      slot_weight_[s] += twice_weight;
+      slot_self_weight[s] += self_weight;
+      slot_edges_[s] += twice_edges;
+      slot_self_edges[s] += self_edges;
+    });
+  }
+  double twice_weight = 0.0;
+  double self_weight = 0.0;
+  EdgeId twice_edges = 0;
+  EdgeId self_edges = 0;
+  for (size_t s = 0; s < kShardSlots; ++s) {
+    twice_weight += slot_weight_[s];
+    self_weight += slot_self_weight[s];
+    twice_edges += slot_edges_[s];
+    self_edges += slot_self_edges[s];
+  }
+  UndirectedPassResult out;
+  out.weight = (twice_weight + self_weight) / 2.0;
+  out.edges = (twice_edges + self_edges) / 2;
+  ReduceAndClear(/*plane=*/0, degrees);
+  return out;
+}
+
+UndirectedPassResult PassEngine::RunUndirectedBuffer(
+    std::vector<Edge>& edges, const NodeSet& alive,
+    std::vector<double>& degrees, bool compact) {
+  EnsureAccumulators(degrees.size(), /*planes=*/1);
+  const size_t total = edges.size();
+  const size_t round_cap = kShardSlots * kShardEdges;
+  size_t write = 0;
+  std::array<size_t, kShardSlots> kept{};
+  for (size_t start = 0; start < total; start += round_cap) {
+    const size_t round_edges = std::min(round_cap, total - start);
+    const size_t shards = (round_edges + kShardEdges - 1) / kShardEdges;
+    DispatchRound(shards, [&](size_t s) {
+      Edge* base = edges.data() + start + s * kShardEdges;
+      const size_t count = std::min(kShardEdges, round_edges - s * kShardEdges);
+      std::vector<double>& acc = acc_[s];
+      double weight = 0.0;
+      EdgeId kept_edges = 0;
+      size_t out_i = 0;
+      for (size_t i = 0; i < count; ++i) {
+        const Edge e = base[i];
+        if (alive.ContainsBoth(e.u, e.v)) {
+          acc[e.u] += e.w;
+          acc[e.v] += e.w;
+          weight += e.w;
+          ++kept_edges;
+          if (compact) base[out_i++] = e;
+        }
+      }
+      kept[s] = compact ? out_i : count;
+      slot_weight_[s] += weight;
+      slot_edges_[s] += kept_edges;
+    });
+    if (compact) {
+      // Stitch the per-shard survivor runs back together in shard order;
+      // the relative edge order is exactly the original stream order.
+      for (size_t s = 0; s < shards; ++s) {
+        Edge* base = edges.data() + start + s * kShardEdges;
+        if (kept[s] > 0 && edges.data() + write != base) {
+          std::memmove(edges.data() + write, base, kept[s] * sizeof(Edge));
+        }
+        write += kept[s];
+      }
+    }
+  }
+  if (compact) edges.resize(write);
+
+  UndirectedPassResult out;
+  for (size_t s = 0; s < kShardSlots; ++s) {
+    out.weight += slot_weight_[s];
+    out.edges += slot_edges_[s];
+  }
+  ReduceAndClear(/*plane=*/0, degrees);
+  return out;
+}
+
+DirectedPassResult PassEngine::RunDirected(EdgeStream& stream,
+                                           const NodeSet& s_set,
+                                           const NodeSet& t_set,
+                                           std::vector<double>& out_to_t,
+                                           std::vector<double>& in_from_s) {
+  if (const DirectedGraph* g = stream.DirectedCsrView()) {
+    stream.Reset();
+    return RunDirectedCsr(*g, s_set, t_set, out_to_t, in_from_s);
+  }
+  EnsureBatchBuffer();
+  stream.Reset();
+
+  if (UseDirectPath(stream)) {
+    std::fill(out_to_t.begin(), out_to_t.end(), 0.0);
+    std::fill(in_from_s.begin(), in_from_s.end(), 0.0);
+    DirectedPassResult out;
+    for (;;) {
+      std::span<const Edge> view =
+          stream.NextView(batch_.data(), batch_.size());
+      if (view.empty()) break;
+      for (const Edge& e : view) {
+        if (s_set.Contains(e.u) && t_set.Contains(e.v)) {
+          out_to_t[e.u] += e.w;
+          in_from_s[e.v] += e.w;
+          out.weight += e.w;
+          ++out.arcs;
+        }
+      }
+    }
+    return out;
+  }
+
+  EnsureAccumulators(out_to_t.size(), /*planes=*/2);
+  std::array<std::span<const Edge>, kShardSlots> shards;
+  for (;;) {
+    const size_t count = FillShards(stream, shards);
+    if (count == 0) break;
+    DispatchRound(count, [&](size_t s) {
+      std::vector<double>& out_acc = acc_[s];
+      std::vector<double>& in_acc = acc_[kShardSlots + s];
+      double weight = 0.0;
+      EdgeId arcs = 0;
+      for (const Edge& e : shards[s]) {
+        if (s_set.Contains(e.u) && t_set.Contains(e.v)) {
+          out_acc[e.u] += e.w;
+          in_acc[e.v] += e.w;
+          weight += e.w;
+          ++arcs;
+        }
+      }
+      slot_weight_[s] += weight;
+      slot_edges_[s] += arcs;
+    });
+    if (count < kShardSlots) break;
+  }
+
+  DirectedPassResult out;
+  for (size_t s = 0; s < kShardSlots; ++s) {
+    out.weight += slot_weight_[s];
+    out.arcs += slot_edges_[s];
+  }
+  ReduceAndClear(/*plane=*/0, out_to_t);
+  ReduceAndClear(/*plane=*/1, in_from_s);
+  return out;
+}
+
+DirectedPassResult PassEngine::RunDirectedCsr(const DirectedGraph& g,
+                                              const NodeSet& s_set,
+                                              const NodeSet& t_set,
+                                              std::vector<double>& out_to_t,
+                                              std::vector<double>& in_from_s) {
+  const NodeId n = g.num_nodes();
+  const bool weighted = g.is_weighted();
+  // Arcs occupy exactly one adjacency slot, so no halving is needed; the
+  // out-degree of a row accumulates in a register and stores once.
+  if (pool_ == nullptr && !weighted) {
+    std::fill(out_to_t.begin(), out_to_t.end(), 0.0);
+    std::fill(in_from_s.begin(), in_from_s.end(), 0.0);
+    DirectedPassResult out;
+    for (NodeId u = 0; u < n; ++u) {
+      if (!s_set.Contains(u)) continue;
+      auto nbrs = g.OutNeighbors(u);
+      double row = 0.0;
+      for (NodeId v : nbrs) {
+        const double keep = t_set.Contains(v) ? 1.0 : 0.0;
+        in_from_s[v] += keep;
+        row += keep;
+      }
+      out_to_t[u] = row;
+      out.weight += row;
+    }
+    out.arcs = static_cast<EdgeId>(out.weight);
+    return out;
+  }
+
+  EnsureAccumulators(n, /*planes=*/2);
+  const std::vector<RowShard> shards = ShardRows(
+      n, [&g](NodeId u) { return g.OutDegree(u); }, 2 * kShardEdges);
+  for (size_t base = 0; base < shards.size(); base += kShardSlots) {
+    const size_t count = std::min(kShardSlots, shards.size() - base);
+    DispatchRound(count, [&](size_t s) {
+      const RowShard shard = shards[base + s];
+      std::vector<double>& out_acc = acc_[s];
+      std::vector<double>& in_acc = acc_[kShardSlots + s];
+      double weight = 0.0;
+      EdgeId arcs = 0;
+      for (NodeId u = shard.begin; u < shard.end; ++u) {
+        if (!s_set.Contains(u)) continue;
+        auto nbrs = g.OutNeighbors(u);
+        auto ws = g.OutNeighborWeights(u);
+        double row = 0.0;
+        for (size_t i = 0; i < nbrs.size(); ++i) {
+          const NodeId v = nbrs[i];
+          if (!t_set.Contains(v)) continue;
+          const double w = weighted ? ws[i] : 1.0;
+          in_acc[v] += w;
+          row += w;
+          ++arcs;
+        }
+        out_acc[u] += row;
+        weight += row;
+      }
+      slot_weight_[s] += weight;
+      slot_edges_[s] += arcs;
+    });
+  }
+  DirectedPassResult out;
+  for (size_t s = 0; s < kShardSlots; ++s) {
+    out.weight += slot_weight_[s];
+    out.arcs += slot_edges_[s];
+  }
+  ReduceAndClear(/*plane=*/0, out_to_t);
+  ReduceAndClear(/*plane=*/1, in_from_s);
+  return out;
+}
+
+PassEngine& DefaultPassEngine() {
+  // Leaked singleton: worker threads must not be joined during static
+  // destruction, where other statics they might touch are already gone.
+  static PassEngine* engine = new PassEngine(PassEngineOptions{});
+  return *engine;
+}
+
+}  // namespace densest

@@ -1,0 +1,203 @@
+// Copyright 2026 The densest Authors.
+// The shared high-throughput implementation of a streaming pass. Every
+// peeling algorithm in the library (Algorithms 1-3, Charikar ingestion, the
+// sketched variant) drains its stream through this engine instead of the
+// one-virtual-call-per-edge scalar loop.
+//
+// The engine is fast at three layers:
+//   1. batching    — edges are pulled kShardEdges at a time through
+//                    EdgeStream::NextBatch, so the per-edge virtual dispatch
+//                    disappears from the hot loop;
+//   2. word-packed — alive-set membership is tested with NodeSet's
+//                    branchless word-packed ContainsBoth;
+//   3. parallel    — each round of kShardSlots shards fans out across a
+//                    ThreadPool into per-slot degree accumulators.
+//
+// Determinism: shard boundaries are fixed by the stream order (never by the
+// thread count), shard i of every round feeds accumulator slot i, and the
+// final reduction sums slots in index order. Results are therefore
+// bit-identical for 1, 2, ... N threads — threading changes only who
+// executes a shard, never what any accumulator sums or in which order.
+
+#ifndef DENSEST_CORE_PASS_ENGINE_H_
+#define DENSEST_CORE_PASS_ENGINE_H_
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "graph/subgraph.h"
+#include "graph/types.h"
+#include "stream/edge_stream.h"
+
+namespace densest {
+
+/// \brief One streaming pass worth of undirected statistics over the alive
+/// set S: induced edge count and induced total weight.
+struct UndirectedPassResult {
+  EdgeId edges = 0;
+  double weight = 0;
+};
+
+/// \brief One streaming pass of directed statistics: |E(S,T)| count and
+/// weight.
+struct DirectedPassResult {
+  EdgeId arcs = 0;
+  double weight = 0;
+};
+
+/// \brief Knobs for a PassEngine.
+struct PassEngineOptions {
+  /// Worker threads for shard accumulation. 0 = hardware concurrency;
+  /// 1 = fully sequential (no pool is created). Any value yields
+  /// bit-identical pass results; it only changes wall-clock time.
+  size_t num_threads = 0;
+};
+
+/// \brief Batched, optionally multi-threaded executor of streaming passes.
+///
+/// Holds reusable scratch (the batch buffer and the per-slot accumulators),
+/// so one engine should be reused across the passes of an algorithm run.
+/// An engine is NOT safe for concurrent use from multiple threads; create
+/// one engine per concurrent algorithm run instead (every algorithm
+/// options struct accepts an `engine` pointer for this).
+/// Memory: the deterministic parallel path keeps kShardSlots accumulator
+/// vectors of n doubles per plane (8n doubles undirected, 16n directed) —
+/// still O(n), but a constant worth knowing at paper scale. Sequential
+/// unit-weight passes skip the slots entirely.
+class PassEngine {
+ public:
+  /// Edges per shard. A shard is the unit of work handed to one thread and
+  /// the granularity of the deterministic reduction.
+  static constexpr size_t kShardEdges = 1 << 14;
+  /// Shards (and accumulator slots) per round. Fixed independently of the
+  /// thread count so that results never depend on parallelism.
+  static constexpr size_t kShardSlots = 8;
+
+  explicit PassEngine(const PassEngineOptions& options = {});
+  ~PassEngine();
+
+  PassEngine(const PassEngine&) = delete;
+  PassEngine& operator=(const PassEngine&) = delete;
+
+  /// Resolved worker count (1 means sequential).
+  size_t num_threads() const { return num_threads_; }
+
+  /// Streams all edges once and accumulates deg_S for alive nodes.
+  /// `degrees` must have size num_nodes and is overwritten.
+  UndirectedPassResult RunUndirected(EdgeStream& stream, const NodeSet& alive,
+                                     std::vector<double>& degrees);
+
+  /// Same pass, but additionally appends every surviving edge (both
+  /// endpoints alive) to *survivors in stream order — the ingestion step of
+  /// the paper's §6.3 in-memory compaction.
+  UndirectedPassResult RunUndirectedCollect(EdgeStream& stream,
+                                            const NodeSet& alive,
+                                            std::vector<double>& degrees,
+                                            std::vector<Edge>* survivors);
+
+  /// In-memory pass over an edge buffer (the post-compaction §6.3 path).
+  /// When `compact` is true, dead edges are filtered out of `edges` in
+  /// place (preserving order), so the buffer keeps shrinking with S.
+  UndirectedPassResult RunUndirectedBuffer(std::vector<Edge>& edges,
+                                           const NodeSet& alive,
+                                           std::vector<double>& degrees,
+                                           bool compact);
+
+  /// Streams all arcs once; accumulates out_to_t[u] over u in S and
+  /// in_from_s[v] over v in T. Both vectors must have size num_nodes and
+  /// are overwritten.
+  DirectedPassResult RunDirected(EdgeStream& stream, const NodeSet& s,
+                                 const NodeSet& t,
+                                 std::vector<double>& out_to_t,
+                                 std::vector<double>& in_from_s);
+
+  /// Batched drain: invokes fn(edge) sequentially, in stream order, for
+  /// every edge of one full pass. Replaces scalar ForEachEdge on hot paths
+  /// whose per-edge work is not a degree accumulation (graph ingestion,
+  /// sketch updates). Zero-copy where the stream supports NextView.
+  template <typename Fn>
+  void ForEachEdgeBatched(EdgeStream& stream, Fn&& fn) {
+    stream.Reset();
+    EnsureBatchBuffer();
+    for (;;) {
+      std::span<const Edge> view = stream.NextView(batch_.data(), batch_.size());
+      if (view.empty()) break;
+      for (const Edge& e : view) fn(e);
+    }
+  }
+
+  /// Batched drain filtered to edges with both endpoints in `alive`.
+  template <typename Fn>
+  void ForEachAliveEdge(EdgeStream& stream, const NodeSet& alive, Fn&& fn) {
+    ForEachEdgeBatched(stream, [&](const Edge& e) {
+      if (alive.ContainsBoth(e.u, e.v)) fn(e);
+    });
+  }
+
+ private:
+  UndirectedPassResult RunUndirectedImpl(EdgeStream& stream,
+                                         const NodeSet& alive,
+                                         std::vector<double>& degrees,
+                                         std::vector<Edge>* survivors);
+
+  /// CSR kernels: walk the adjacency arrays directly (no Edge records).
+  /// In the undirected graph every edge occupies two adjacency slots (a
+  /// self-loop one), so degrees accumulate naturally and the totals are
+  /// halved at the end.
+  UndirectedPassResult RunUndirectedCsr(const UndirectedGraph& g,
+                                        const NodeSet& alive,
+                                        std::vector<double>& degrees);
+  DirectedPassResult RunDirectedCsr(const DirectedGraph& g, const NodeSet& s,
+                                    const NodeSet& t,
+                                    std::vector<double>& out_to_t,
+                                    std::vector<double>& in_from_s);
+
+  /// Pulls up to kShardSlots shard views for one round. Shard boundaries
+  /// derive only from the stream's own NextView behavior, never from the
+  /// thread count.
+  size_t FillShards(EdgeStream& stream,
+                    std::array<std::span<const Edge>, kShardSlots>& shards);
+  void EnsureBatchBuffer();
+  /// Sizes `planes` accumulator planes of kShardSlots slots to n doubles
+  /// each and resets the per-slot totals. Slot vectors are zero on entry to
+  /// every pass (freshly allocated or re-zeroed by the previous reduction).
+  void EnsureAccumulators(size_t n, size_t planes);
+  /// Runs fn(slot) for each shard of the round, on the pool if present.
+  void DispatchRound(size_t shards, const std::function<void(size_t)>& fn);
+  /// degrees[u] = sum over slots (in slot order) of plane[slot][u]; re-zeros
+  /// the slot vectors so the next pass starts clean without a memset.
+  void ReduceAndClear(size_t plane, std::vector<double>& degrees);
+
+  /// True when this pass may skip the slot structure entirely and
+  /// accumulate into the output arrays in stream order: sequential
+  /// execution with exact unit weights gives the same bits any slotted
+  /// schedule would.
+  bool UseDirectPath(const EdgeStream& stream) const {
+    return pool_ == nullptr && stream.HasUnitWeights();
+  }
+
+  size_t num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads_ == 1
+
+  std::vector<Edge> batch_;  // kShardSlots * kShardEdges capacity
+  // acc_[plane * kShardSlots + slot]: per-slot accumulation vectors.
+  // Undirected passes use one plane; directed passes use two (out/in).
+  std::vector<std::vector<double>> acc_;
+  std::array<double, kShardSlots> slot_weight_;
+  std::array<EdgeId, kShardSlots> slot_edges_;
+  // Per-slot survivor staging for RunUndirectedCollect (flushed in slot
+  // order after every round to preserve stream order).
+  std::array<std::vector<Edge>, kShardSlots> slot_survivors_;
+};
+
+/// Process-wide shared engine (hardware-concurrency threads) used by the
+/// free-function pass wrappers and the algorithm entry points. Not for
+/// concurrent algorithm runs — those should own a private engine.
+PassEngine& DefaultPassEngine();
+
+}  // namespace densest
+
+#endif  // DENSEST_CORE_PASS_ENGINE_H_

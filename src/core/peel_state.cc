@@ -1,45 +1,20 @@
 #include "core/peel_state.h"
 
-#include <algorithm>
+#include "core/pass_engine.h"
 
 namespace densest {
 
 UndirectedPassResult RunUndirectedPass(EdgeStream& stream,
                                        const NodeSet& alive,
                                        std::vector<double>& degrees) {
-  std::fill(degrees.begin(), degrees.end(), 0.0);
-  UndirectedPassResult out;
-  stream.Reset();
-  Edge e;
-  while (stream.Next(&e)) {
-    if (alive.Contains(e.u) && alive.Contains(e.v)) {
-      degrees[e.u] += e.w;
-      degrees[e.v] += e.w;
-      out.weight += e.w;
-      ++out.edges;
-    }
-  }
-  return out;
+  return DefaultPassEngine().RunUndirected(stream, alive, degrees);
 }
 
 DirectedPassResult RunDirectedPass(EdgeStream& stream, const NodeSet& s,
                                    const NodeSet& t,
                                    std::vector<double>& out_to_t,
                                    std::vector<double>& in_from_s) {
-  std::fill(out_to_t.begin(), out_to_t.end(), 0.0);
-  std::fill(in_from_s.begin(), in_from_s.end(), 0.0);
-  DirectedPassResult out;
-  stream.Reset();
-  Edge e;
-  while (stream.Next(&e)) {
-    if (s.Contains(e.u) && t.Contains(e.v)) {
-      out_to_t[e.u] += e.w;
-      in_from_s[e.v] += e.w;
-      out.weight += e.w;
-      ++out.arcs;
-    }
-  }
-  return out;
+  return DefaultPassEngine().RunDirected(stream, s, t, out_to_t, in_from_s);
 }
 
 }  // namespace densest

@@ -1,43 +1,36 @@
 // Copyright 2026 The densest Authors.
-// Between-pass state of the streaming peeling algorithms. This is exactly
-// the O(n) memory the semi-streaming model allows: alive bitmaps and one
-// degree counter per node.
+// Between-pass state of the streaming peeling algorithms: O(n) memory per
+// the semi-streaming model — alive bitmaps and degree counters per node
+// (the engine's parallel path keeps up to kShardSlots accumulator copies,
+// a constant factor on top of that). The pass result types and the batched
+// execution live in core/pass_engine.h; these free functions are
+// convenience wrappers over the process-wide default engine and are not
+// safe for concurrent calls — concurrent runs need a private PassEngine.
 
 #ifndef DENSEST_CORE_PEEL_STATE_H_
 #define DENSEST_CORE_PEEL_STATE_H_
 
 #include <vector>
 
+#include "core/pass_engine.h"
 #include "graph/subgraph.h"
 #include "graph/types.h"
 #include "stream/edge_stream.h"
 
 namespace densest {
 
-/// \brief One streaming pass worth of undirected statistics over the alive
-/// set S: per-node induced (weighted) degrees, induced edge count/weight.
-struct UndirectedPassResult {
-  EdgeId edges = 0;
-  double weight = 0;
-};
-
 /// Streams all edges once and accumulates deg_S for alive nodes.
-/// `degrees` must have size num_nodes and is overwritten.
+/// `degrees` must have size num_nodes and is overwritten. Runs on
+/// DefaultPassEngine() — batched, and multi-threaded where the hardware
+/// allows; results are identical to the scalar definition regardless of
+/// thread count.
 UndirectedPassResult RunUndirectedPass(EdgeStream& stream,
                                        const NodeSet& alive,
                                        std::vector<double>& degrees);
 
-/// \brief One streaming pass of directed statistics: |E(S,T)| plus
-/// out-degrees into T (for nodes of S) and in-degrees from S (for nodes
-/// of T).
-struct DirectedPassResult {
-  EdgeId arcs = 0;
-  double weight = 0;
-};
-
 /// Streams all arcs once; accumulates out_to_t[u] over u in S and
 /// in_from_s[v] over v in T. Both vectors must have size num_nodes and are
-/// overwritten.
+/// overwritten. Runs on DefaultPassEngine().
 DirectedPassResult RunDirectedPass(EdgeStream& stream, const NodeSet& s,
                                    const NodeSet& t,
                                    std::vector<double>& out_to_t,

@@ -1,5 +1,6 @@
 #include "graph/subgraph.h"
 
+#include <bit>
 #include <cmath>
 
 namespace densest {
@@ -7,8 +8,12 @@ namespace densest {
 std::vector<NodeId> NodeSet::ToVector() const {
   std::vector<NodeId> out;
   out.reserve(count_);
-  for (NodeId u = 0; u < bits_.size(); ++u) {
-    if (bits_[u]) out.push_back(u);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      out.push_back(static_cast<NodeId>(w * 64 + std::countr_zero(word)));
+      word &= word - 1;  // clear the lowest set bit
+    }
   }
   return out;
 }

@@ -14,39 +14,61 @@
 
 namespace densest {
 
-/// \brief Dense bitmap over node ids with a maintained popcount.
+/// \brief Word-packed bitset over node ids with a maintained popcount.
 ///
 /// This is the O(n)-memory set the streaming algorithms keep between passes.
+/// Membership lives in 64-bit words (64 nodes per cache line octet), which is
+/// what lets the pass engine test both endpoints of an edge with two loads
+/// and a branchless AND instead of two byte loads and two branches.
 class NodeSet {
  public:
   NodeSet() = default;
   /// Creates a set over the universe [0, n); initially empty or full.
   explicit NodeSet(NodeId n, bool full = false)
-      : bits_(n, full ? 1 : 0), count_(full ? n : 0) {}
+      : n_(n),
+        words_((static_cast<size_t>(n) + 63) / 64, full ? ~uint64_t{0} : 0),
+        count_(full ? n : 0) {
+    if (full && (n & 63) != 0) {
+      // Clear the tail bits beyond the universe in the last word.
+      words_.back() &= (uint64_t{1} << (n & 63)) - 1;
+    }
+  }
 
   /// Universe size.
-  NodeId universe_size() const { return static_cast<NodeId>(bits_.size()); }
+  NodeId universe_size() const { return n_; }
   /// Number of members.
   NodeId size() const { return count_; }
   /// True iff no members.
   bool empty() const { return count_ == 0; }
   /// Membership test.
-  bool Contains(NodeId u) const { return bits_[u] != 0; }
+  bool Contains(NodeId u) const {
+    return (words_[u >> 6] >> (u & 63)) & 1;
+  }
+  /// Branchless test that both u and v are members (the hot predicate of
+  /// every undirected streaming pass).
+  bool ContainsBoth(NodeId u, NodeId v) const {
+    return ((words_[u >> 6] >> (u & 63)) & (words_[v >> 6] >> (v & 63)) & 1) !=
+           0;
+  }
 
   /// Inserts u (no-op if present).
   void Insert(NodeId u) {
-    if (!bits_[u]) {
-      bits_[u] = 1;
-      ++count_;
-    }
+    const uint64_t mask = uint64_t{1} << (u & 63);
+    uint64_t& word = words_[u >> 6];
+    count_ += static_cast<NodeId>(!(word & mask));
+    word |= mask;
   }
   /// Removes u (no-op if absent).
   void Remove(NodeId u) {
-    if (bits_[u]) {
-      bits_[u] = 0;
-      --count_;
-    }
+    const uint64_t mask = uint64_t{1} << (u & 63);
+    uint64_t& word = words_[u >> 6];
+    count_ -= static_cast<NodeId>((word & mask) != 0);
+    word &= ~mask;
   }
+
+  /// The packed words, 64 node bits each (bit i of word w = node 64w + i).
+  /// Exposed for word-at-a-time consumers (pass engine, sweeps).
+  const std::vector<uint64_t>& words() const { return words_; }
 
   /// Members in increasing order.
   std::vector<NodeId> ToVector() const;
@@ -55,7 +77,8 @@ class NodeSet {
   static NodeSet FromVector(NodeId n, const std::vector<NodeId>& members);
 
  private:
-  std::vector<uint8_t> bits_;
+  NodeId n_ = 0;
+  std::vector<uint64_t> words_;
   NodeId count_ = 0;
 };
 

@@ -27,6 +27,8 @@ UndirectedGraph UndirectedGraph::FromEdgeList(const EdgeList& edges) {
     if (e.u != e.v) {
       ++counts[e.v + 1];
       ++slots;
+    } else {
+      g.has_self_loops_ = true;
     }
     g.total_weight_ += e.w;
   }

@@ -34,6 +34,9 @@ class UndirectedGraph {
   Weight total_weight() const { return total_weight_; }
   /// True iff any edge carries a weight different from 1.0.
   bool is_weighted() const { return !weights_.empty(); }
+  /// True iff any edge is a self-loop (u == u). Lets pass kernels pick a
+  /// tighter inner loop for the overwhelmingly common loop-free case.
+  bool has_self_loops() const { return has_self_loops_; }
 
   /// Degree of node u (number of incident edge slots; a self-loop counts 1).
   NodeId Degree(NodeId u) const {
@@ -71,6 +74,7 @@ class UndirectedGraph {
   NodeId num_nodes_ = 0;
   EdgeId num_edges_ = 0;
   Weight total_weight_ = 0;
+  bool has_self_loops_ = false;
   std::vector<EdgeId> offsets_;    // size num_nodes_ + 1
   std::vector<NodeId> neighbors_;  // size 2 * num_edges_ (self loop: 1 slot)
   std::vector<Weight> weights_;    // parallel to neighbors_, empty if unweighted

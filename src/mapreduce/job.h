@@ -19,7 +19,7 @@
 
 #include "common/random.h"
 #include "mapreduce/cost_model.h"
-#include "mapreduce/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace densest {
 

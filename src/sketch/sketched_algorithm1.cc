@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/pass_engine.h"
 #include "graph/subgraph.h"
 
 namespace densest {
@@ -17,6 +18,8 @@ StatusOr<SketchedResult> RunAlgorithm1WithOracle(
   const NodeId n = stream.num_nodes();
   if (n == 0) return Status::InvalidArgument("graph has no nodes");
 
+  PassEngine& engine =
+      options.engine != nullptr ? *options.engine : DefaultPassEngine();
   NodeSet alive(n, /*full=*/true);
   SketchedResult out;
   NodeSet best = alive;
@@ -27,20 +30,18 @@ StatusOr<SketchedResult> RunAlgorithm1WithOracle(
   while (!alive.empty() &&
          (options.max_passes == 0 || pass < options.max_passes)) {
     ++pass;
-    // Pass: exact scalar aggregates, oracle-backed per-node degrees.
+    // Pass: exact aggregates, oracle-backed per-node degrees. The oracle
+    // update order must match the stream, so the engine's sequential
+    // batched drain is used rather than the parallel accumulators.
     oracle.BeginPass();
     double weight = 0;
     EdgeId edges = 0;
-    stream.Reset();
-    Edge e;
-    while (stream.Next(&e)) {
-      if (alive.Contains(e.u) && alive.Contains(e.v)) {
-        oracle.AddIncidence(e.u, e.w);
-        oracle.AddIncidence(e.v, e.w);
-        weight += e.w;
-        ++edges;
-      }
-    }
+    engine.ForEachAliveEdge(stream, alive, [&](const Edge& e) {
+      oracle.AddIncidence(e.u, e.w);
+      oracle.AddIncidence(e.v, e.w);
+      weight += e.w;
+      ++edges;
+    });
     const double rho = weight / static_cast<double>(alive.size());
     if (rho > best_density) {
       best_density = rho;

@@ -2,3 +2,13 @@
 
 // EdgeStream is an interface; its virtual destructor anchor lives here so
 // the vtable is emitted in exactly one translation unit.
+
+namespace densest {
+
+size_t EdgeStream::NextBatch(Edge* buf, size_t cap) {
+  size_t produced = 0;
+  while (produced < cap && Next(buf + produced)) ++produced;
+  return produced;
+}
+
+}  // namespace densest

@@ -6,12 +6,17 @@
 #ifndef DENSEST_STREAM_EDGE_STREAM_H_
 #define DENSEST_STREAM_EDGE_STREAM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 
 #include "graph/types.h"
 
 namespace densest {
+
+class UndirectedGraph;
+class DirectedGraph;
 
 /// \brief A rewindable stream of edges — the input model of all streaming
 /// algorithms in this library (paper §1.1: nodes known in advance, edges
@@ -28,6 +33,40 @@ class EdgeStream {
 
   /// Produces the next edge into *e; returns false at end of stream.
   virtual bool Next(Edge* e) = 0;
+
+  /// Produces up to `cap` edges into `buf` and returns how many were
+  /// written; 0 only at end of stream (mid-stream calls may return fewer
+  /// than `cap` but never 0). Interleaves freely with Next(): both consume
+  /// the same cursor. The base implementation loops over Next(); concrete
+  /// streams override it to amortize the per-edge virtual dispatch away
+  /// (the pass engine's hot path only calls this).
+  virtual size_t NextBatch(Edge* buf, size_t cap);
+
+  /// Zero-copy variant of NextBatch: returns a view of up to `cap` edges,
+  /// advancing the same cursor; empty only at end of stream. The view
+  /// stays valid until Reset() or until `scratch` is reused by another
+  /// call, so callers that hold several views concurrently (the pass
+  /// engine's shard rounds) must pass distinct scratch regions. The
+  /// default copies through NextBatch into `scratch` (which must hold
+  /// `cap` edges); streams whose edges already live in memory override it
+  /// to return views of their own storage so a pass copies nothing.
+  virtual std::span<const Edge> NextView(Edge* scratch, size_t cap) {
+    return {scratch, NextBatch(scratch, cap)};
+  }
+
+  /// True when every edge is guaranteed to carry weight exactly 1.0.
+  /// Unit-weight sums are exact in double precision, so the pass engine may
+  /// accumulate them in any order and still be bit-reproducible; returning
+  /// false (the conservative default) merely selects the slower
+  /// order-deterministic path.
+  virtual bool HasUnitWeights() const { return false; }
+
+  /// CSR escape hatches: a stream backed by an in-memory CSR graph may
+  /// expose it so the pass engine can run its cache-friendly kernel over
+  /// the adjacency arrays instead of materializing Edge records. The
+  /// exposed graph must describe exactly the edges Next() would yield.
+  virtual const UndirectedGraph* UndirectedCsrView() const { return nullptr; }
+  virtual const DirectedGraph* DirectedCsrView() const { return nullptr; }
 
   /// Number of nodes in the graph (known in advance per the semi-streaming
   /// model).

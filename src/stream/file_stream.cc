@@ -120,4 +120,46 @@ bool BinaryFileEdgeStream::Next(Edge* e) {
   return true;
 }
 
+size_t BinaryFileEdgeStream::NextBatch(Edge* buf, size_t cap) {
+  // Decodes straight out of the IO buffer: one refill check per batch
+  // chunk instead of one per record, and the record unpack loop is branch-
+  // free apart from the weighted/unweighted split hoisted outside it.
+  size_t produced = 0;
+  const size_t record = weighted_ ? kWeightedRecord : kUnweightedRecord;
+  while (produced < cap && emitted_ < header_.num_edges) {
+    if (buf_len_ - buf_pos_ < record) {
+      size_t tail = buf_len_ - buf_pos_;
+      std::memmove(buffer_.data(), buffer_.data() + buf_pos_, tail);
+      buf_len_ = tail + std::fread(buffer_.data() + tail, 1,
+                                   buffer_.size() - tail, file_);
+      bytes_read_ += buf_len_ - tail;
+      buf_pos_ = 0;
+      if (buf_len_ < record) break;  // truncated file
+    }
+    size_t chunk = std::min({cap - produced, (buf_len_ - buf_pos_) / record,
+                             static_cast<size_t>(header_.num_edges - emitted_)});
+    const unsigned char* src = buffer_.data() + buf_pos_;
+    if (weighted_) {
+      for (size_t i = 0; i < chunk; ++i, src += kWeightedRecord) {
+        std::memcpy(&buf[produced + i].u, src, sizeof(uint32_t));
+        std::memcpy(&buf[produced + i].v, src + sizeof(uint32_t),
+                    sizeof(uint32_t));
+        std::memcpy(&buf[produced + i].w, src + kUnweightedRecord,
+                    sizeof(double));
+      }
+    } else {
+      for (size_t i = 0; i < chunk; ++i, src += kUnweightedRecord) {
+        std::memcpy(&buf[produced + i].u, src, sizeof(uint32_t));
+        std::memcpy(&buf[produced + i].v, src + sizeof(uint32_t),
+                    sizeof(uint32_t));
+        buf[produced + i].w = 1.0;
+      }
+    }
+    buf_pos_ += chunk * record;
+    emitted_ += chunk;
+    produced += chunk;
+  }
+  return produced;
+}
+
 }  // namespace densest

@@ -44,6 +44,8 @@ class BinaryFileEdgeStream : public EdgeStream {
 
   void Reset() override;
   bool Next(Edge* e) override;
+  size_t NextBatch(Edge* buf, size_t cap) override;
+  bool HasUnitWeights() const override { return !weighted_; }
   NodeId num_nodes() const override { return header_.num_nodes; }
   EdgeId SizeHint() const override { return header_.num_edges; }
 

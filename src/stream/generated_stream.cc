@@ -1,5 +1,6 @@
 #include "stream/generated_stream.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -72,6 +73,27 @@ bool CirculantEdgeStream::Next(Edge* e) {
     ++offset_;  // the entry guard ends the stream once offset_ > d_/2
   }
   return true;
+}
+
+size_t CirculantEdgeStream::NextBatch(Edge* buf, size_t cap) {
+  size_t produced = 0;
+  while (produced < cap && d_ != 0 && offset_ <= d_ / 2) {
+    // Emit the rest of the current offset ring in one tight loop.
+    const NodeId take = static_cast<NodeId>(std::min<size_t>(
+        cap - produced, static_cast<size_t>(n_ - node_)));
+    for (NodeId i = 0; i < take; ++i) {
+      NodeId u = node_ + i;
+      NodeId v = u + offset_;
+      buf[produced + i] = Edge(u, v >= n_ ? v - n_ : v);
+    }
+    produced += take;
+    node_ += take;
+    if (node_ == n_) {
+      node_ = 0;
+      ++offset_;
+    }
+  }
+  return produced;
 }
 
 }  // namespace densest

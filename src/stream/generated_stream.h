@@ -24,6 +24,9 @@ class GnpEdgeStream : public EdgeStream {
 
   void Reset() override;
   bool Next(Edge* e) override;
+  // NextBatch is inherited: per-edge work here is a log and a geometric
+  // skip, so batching buys nothing beyond what the base loop already does.
+  bool HasUnitWeights() const override { return true; }
   NodeId num_nodes() const override { return n_; }
 
  private:
@@ -49,6 +52,8 @@ class CirculantEdgeStream : public EdgeStream {
 
   void Reset() override;
   bool Next(Edge* e) override;
+  size_t NextBatch(Edge* buf, size_t cap) override;
+  bool HasUnitWeights() const override { return true; }
   NodeId num_nodes() const override { return n_; }
   EdgeId SizeHint() const override {
     return static_cast<EdgeId>(n_) * (d_ / 2);

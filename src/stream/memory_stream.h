@@ -21,12 +21,18 @@ class EdgeListStream : public EdgeStream {
 
   void Reset() override { pos_ = 0; }
   bool Next(Edge* e) override;
+  size_t NextBatch(Edge* buf, size_t cap) override;
+  /// Views straight into the EdgeList's storage — a pass copies nothing.
+  std::span<const Edge> NextView(Edge* scratch, size_t cap) override;
+  /// Scans the edge list once (cached) to discover exact unit weights.
+  bool HasUnitWeights() const override;
   NodeId num_nodes() const override { return edges_->num_nodes(); }
   EdgeId SizeHint() const override { return edges_->num_edges(); }
 
  private:
   const EdgeList* edges_;
   size_t pos_ = 0;
+  mutable int unit_weights_ = -1;  // -1 unknown, else 0/1
 };
 
 /// \brief Streams each undirected edge of a CSR graph exactly once
@@ -41,6 +47,9 @@ class UndirectedGraphStream : public EdgeStream {
     idx_ = 0;
   }
   bool Next(Edge* e) override;
+  size_t NextBatch(Edge* buf, size_t cap) override;
+  bool HasUnitWeights() const override { return !g_->is_weighted(); }
+  const UndirectedGraph* UndirectedCsrView() const override { return g_; }
   NodeId num_nodes() const override { return g_->num_nodes(); }
   EdgeId SizeHint() const override { return g_->num_edges(); }
 
@@ -61,6 +70,9 @@ class DirectedGraphStream : public EdgeStream {
     idx_ = 0;
   }
   bool Next(Edge* e) override;
+  size_t NextBatch(Edge* buf, size_t cap) override;
+  bool HasUnitWeights() const override { return !g_->is_weighted(); }
+  const DirectedGraph* DirectedCsrView() const override { return g_; }
   NodeId num_nodes() const override { return g_->num_nodes(); }
   EdgeId SizeHint() const override { return g_->num_edges(); }
 

@@ -44,6 +44,20 @@ class CountingEdgeStream : public EdgeStream {
     if (has) ++stats_->edges_scanned;
     return has;
   }
+  size_t NextBatch(Edge* buf, size_t cap) override {
+    size_t got = inner_->NextBatch(buf, cap);
+    stats_->edges_scanned += got;
+    return got;
+  }
+  std::span<const Edge> NextView(Edge* scratch, size_t cap) override {
+    std::span<const Edge> view = inner_->NextView(scratch, cap);
+    stats_->edges_scanned += view.size();
+    return view;
+  }
+  bool HasUnitWeights() const override { return inner_->HasUnitWeights(); }
+  // The CSR views are deliberately NOT forwarded: the pass engine's CSR
+  // kernel reads the graph without flowing edges through this decorator,
+  // which would silently break the edges_scanned accounting.
   NodeId num_nodes() const override { return inner_->num_nodes(); }
   EdgeId SizeHint() const override { return inner_->SizeHint(); }
 

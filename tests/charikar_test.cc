@@ -13,6 +13,7 @@
 #include "gen/planted.h"
 #include "graph/graph_builder.h"
 #include "graph/subgraph.h"
+#include "stream/memory_stream.h"
 
 namespace densest {
 namespace {
@@ -108,6 +109,27 @@ TEST(CharikarTest, TraceDensitiesConsistent) {
   ASSERT_EQ(r.best.trace.size(), g.num_nodes() + 1);
   EXPECT_DOUBLE_EQ(r.best.trace.front().density, g.Density());
   EXPECT_DOUBLE_EQ(r.best.trace.back().density, 0.0);
+}
+
+TEST(CharikarTest, StreamFrontEndMatchesGraphVersion) {
+  // The stream overload ingests via the pass engine's batched drain and
+  // must return exactly what the in-memory entry point returns. The graph
+  // is built with FromEdgeList (not GraphBuilder) so both sides see the
+  // same adjacency order — greedy tie-breaking depends on it.
+  EdgeList el = ErdosRenyiGnm(50, 200, 99);
+  UndirectedGraph g = UndirectedGraph::FromEdgeList(el);
+  CharikarResult from_graph = CharikarPeel(g);
+
+  EdgeListStream stream(el);
+  CharikarResult from_stream = CharikarPeel(stream);
+  EXPECT_DOUBLE_EQ(from_stream.best.density, from_graph.best.density);
+  EXPECT_EQ(from_stream.best.nodes, from_graph.best.nodes);
+  EXPECT_EQ(from_stream.removal_order, from_graph.removal_order);
+
+  CharikarResult weighted_stream = CharikarPeelWeighted(stream);
+  CharikarResult weighted_graph = CharikarPeelWeighted(g);
+  EXPECT_DOUBLE_EQ(weighted_stream.best.density, weighted_graph.best.density);
+  EXPECT_EQ(weighted_stream.best.nodes, weighted_graph.best.nodes);
 }
 
 // The classical guarantee: greedy >= rho*/2, verified against both oracles.

@@ -15,7 +15,7 @@
 #include "mapreduce/graph_jobs.h"
 #include "mapreduce/job.h"
 #include "mapreduce/mr_densest.h"
-#include "mapreduce/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace densest {
 namespace {

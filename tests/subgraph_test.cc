@@ -46,6 +46,33 @@ TEST(NodeSetTest, FromVectorRoundTrip) {
   EXPECT_FALSE(s.Contains(0));
 }
 
+TEST(NodeSetTest, FullConstructionMasksTailBits) {
+  // Universe sizes straddling the 64-bit word boundary: the packed tail
+  // word must not carry phantom members.
+  for (NodeId n : {63u, 64u, 65u, 130u}) {
+    NodeSet s(n, /*full=*/true);
+    EXPECT_EQ(s.size(), n);
+    EXPECT_EQ(s.ToVector().size(), n);
+    for (NodeId u = 0; u < n; ++u) EXPECT_TRUE(s.Contains(u)) << n << " " << u;
+  }
+}
+
+TEST(NodeSetTest, ContainsBothMatchesPairwiseContains) {
+  NodeSet s = NodeSet::FromVector(200, {0, 63, 64, 100, 199});
+  for (NodeId u : {0u, 1u, 63u, 64u, 100u, 199u}) {
+    for (NodeId v : {0u, 1u, 63u, 64u, 100u, 199u}) {
+      EXPECT_EQ(s.ContainsBoth(u, v), s.Contains(u) && s.Contains(v))
+          << u << " " << v;
+    }
+  }
+}
+
+TEST(NodeSetTest, ToVectorCrossesWordBoundaries) {
+  NodeSet s = NodeSet::FromVector(300, {5, 63, 64, 127, 128, 255, 299});
+  EXPECT_EQ(s.ToVector(),
+            (std::vector<NodeId>{5, 63, 64, 127, 128, 255, 299}));
+}
+
 UndirectedGraph K4PlusPendant() {
   // Clique on {0,1,2,3} plus pendant edge 3-4.
   GraphBuilder b;
