@@ -39,6 +39,9 @@ int main() {
     }
     std::printf("        best: c=%.4g rho=%.3f\n", r->best.c,
                 r->best.density);
+    std::printf("        fused: %llu physical scans for %zu c values\n",
+                static_cast<unsigned long long>(r->physical_scans),
+                r->sweep.size());
   }
   std::printf("\nPaper's observation to reproduce: for livejournal the "
               "optimum occurs when |S| and |T| are not very skewed "

@@ -40,6 +40,9 @@ int main() {
   std::printf("\nbest: c=%.6g rho=%.3f (|S|=%zu |T|=%zu)\n", r->best.c,
               r->best.density, r->best.s_nodes.size(),
               r->best.t_nodes.size());
+  std::printf("fused: %llu physical scans for %zu c values\n",
+              static_cast<unsigned long long>(r->physical_scans),
+              r->sweep.size());
   std::printf("\nPaper's observation to reproduce: unlike livejournal, the "
               "best c is NOT concentrated around 1 (celebrity skew: few "
               "users followed by millions).\n");

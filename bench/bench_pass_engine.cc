@@ -80,7 +80,8 @@ Measurement Measure(EdgeId edges, int reps, const PassFn& pass) {
 }
 
 void Report(const char* stream_name, const char* config, Measurement m,
-            double baseline_eps, StatusOr<CsvWriter>& csv) {
+            double baseline_eps, StatusOr<CsvWriter>& csv,
+            bench::BenchJson& json) {
   std::printf("%-12s %-18s %10.2f Medges/s   %5.2fx\n", stream_name, config,
               m.edges_per_sec / 1e6, m.edges_per_sec / baseline_eps);
   if (csv.ok()) {
@@ -89,6 +90,9 @@ void Report(const char* stream_name, const char* config, Measurement m,
                  CsvWriter::Num(m.edges_per_sec / baseline_eps),
                  CsvWriter::Num(m.weight)});
   }
+  const std::string key = std::string(stream_name) + "." + config;
+  json.Add(key + ".edges_per_sec", m.edges_per_sec);
+  json.Add(key + ".speedup_vs_seed", m.edges_per_sec / baseline_eps);
 }
 
 }  // namespace
@@ -138,6 +142,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "warning: no CSV output: %s\n",
                  csv.status().ToString().c_str());
   }
+  bench::BenchJson json("pass_engine");
+  json.Add("num_edges", static_cast<double>(num_edges));
+  json.Add("num_nodes", static_cast<double>(num_nodes));
+  WallTimer total_timer;
 
   const size_t thread_counts[] = {1, 2, 4, 8};
   struct NamedStream {
@@ -152,7 +160,7 @@ int main(int argc, char** argv) {
     Measurement scalar = Measure(num_edges, reps, [&] {
       return SeedScalarPass(ns.stream, byte_alive, degrees).weight;
     });
-    Report(ns.name, "seed-scalar", scalar, scalar.edges_per_sec, csv);
+    Report(ns.name, "seed-scalar", scalar, scalar.edges_per_sec, csv, json);
 
     double batched_weight = -1;
     for (size_t threads : thread_counts) {
@@ -162,7 +170,7 @@ int main(int argc, char** argv) {
       });
       char config[32];
       std::snprintf(config, sizeof(config), "engine-%zut", threads);
-      Report(ns.name, config, m, scalar.edges_per_sec, csv);
+      Report(ns.name, config, m, scalar.edges_per_sec, csv, json);
 
       if (batched_weight < 0) batched_weight = m.weight;
       if (m.weight != batched_weight || m.weight != scalar.weight) {
@@ -173,6 +181,12 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("\n");
+  }
+  json.Add("total_wall_s", total_timer.ElapsedSeconds());
+  Status js = json.Write();
+  if (!js.ok()) {
+    std::fprintf(stderr, "warning: no JSON output: %s\n",
+                 js.ToString().c_str());
   }
   return 0;
 }

@@ -45,6 +45,21 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  auto task =
+      std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> future = task->get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Counted in outstanding_ so the worker-side decrement stays balanced;
+    // a concurrent ParallelFor simply waits for submitted tasks too.
+    ++outstanding_;
+    queue_.push([task] { (*task)(); });
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& fn) {
   if (count == 0) return;

@@ -9,6 +9,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -29,6 +30,12 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, count) across the pool; returns when all
   /// calls completed. fn must be safe to call concurrently for distinct i.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Enqueues one task to run asynchronously; the returned future becomes
+  /// ready when it has run (and rethrows anything it threw). The caller
+  /// keeps working while the task executes — this is how the file stream
+  /// overlaps its next fread with decoding the current buffer.
+  std::future<void> Submit(std::function<void()> fn);
 
   size_t num_threads() const { return threads_.size(); }
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "core/pass_engine.h"
+#include "core/peel_runs.h"
 #include "stream/memory_stream.h"
 
 namespace densest {
@@ -17,86 +18,29 @@ StatusOr<UndirectedDensestResult> RunAlgorithm1(
 
   PassEngine& engine =
       options.engine != nullptr ? *options.engine : DefaultPassEngine();
-  NodeSet alive(n, /*full=*/true);
+  Algorithm1Run run(n, options);
   std::vector<double> degrees(n, 0.0);
 
-  UndirectedDensestResult result;
-  NodeSet best = alive;
-  double best_density = -1.0;
-
-  // In-memory compaction (§6.3): survivors move into `buffer` once a pass
-  // sees few enough edges; `use_buffer` switches the scan source.
-  std::vector<Edge> buffer;
-  bool use_buffer = false;
-  bool compact_this_pass = false;
-
-  const double factor = 2.0 * (1.0 + options.epsilon);
-  uint64_t pass = 0;
-  uint64_t io_passes = 0;
-  while (!alive.empty() &&
-         (options.max_passes == 0 || pass < options.max_passes)) {
-    ++pass;
+  while (!run.done()) {
     UndirectedPassResult stats;
-    if (use_buffer) {
-      // Pure in-memory pass; dead edges are filtered out as we go so the
-      // buffer keeps shrinking with the graph.
-      stats = engine.RunUndirectedBuffer(buffer, alive, degrees,
-                                         /*compact=*/true);
-    } else if (compact_this_pass) {
-      ++io_passes;
-      stats = engine.RunUndirectedCollect(stream, alive, degrees, &buffer);
-      use_buffer = true;
-    } else {
-      ++io_passes;
-      stats = engine.RunUndirected(stream, alive, degrees);
+    switch (run.mode()) {
+      case Algorithm1Run::PassMode::kBuffer:
+        // Pure in-memory pass (§6.3); dead edges are filtered out as we go
+        // so the buffer keeps shrinking with the graph.
+        stats = engine.RunUndirectedBuffer(run.buffer(), run.alive(), degrees,
+                                           /*compact=*/true);
+        break;
+      case Algorithm1Run::PassMode::kCollectPass:
+        stats = engine.RunUndirectedCollect(stream, run.alive(), degrees,
+                                            &run.buffer());
+        break;
+      case Algorithm1Run::PassMode::kStream:
+        stats = engine.RunUndirected(stream, run.alive(), degrees);
+        break;
     }
-
-    const double rho = stats.weight / static_cast<double>(alive.size());
-
-    // Algorithm 1 line 5: S~ tracks the densest intermediate subgraph.
-    // (Pass 1 sees S = V, matching the S~ <- V initialization.)
-    if (rho > best_density) {
-      best_density = rho;
-      best = alive;
-    }
-
-    // Algorithm 1 line 3: A(S) = { i in S : deg_S(i) <= 2(1+eps) rho(S) }.
-    const double threshold = factor * rho;
-    NodeId removed = 0;
-    for (NodeId u = 0; u < n; ++u) {
-      if (alive.Contains(u) && degrees[u] <= threshold) {
-        alive.Remove(u);
-        ++removed;
-      }
-    }
-
-    // Arm compaction for the next pass once the survivor count is small.
-    // (The surviving edge count after removal is at most stats.edges.)
-    if (!use_buffer && !compact_this_pass &&
-        options.compact_below_edges > 0 &&
-        stats.edges <= options.compact_below_edges) {
-      compact_this_pass = true;
-      buffer.reserve(static_cast<size_t>(stats.edges));
-    }
-
-    if (options.record_trace) {
-      PassSnapshot snap;
-      snap.pass = pass;
-      snap.nodes = static_cast<NodeId>(alive.size() + removed);
-      snap.edges = stats.edges;
-      snap.weight = stats.weight;
-      snap.density = rho;
-      snap.threshold = threshold;
-      snap.removed = removed;
-      result.trace.push_back(snap);
-    }
+    run.ApplyPass(stats, degrees);
   }
-
-  result.nodes = best.ToVector();
-  result.density = best_density < 0 ? 0.0 : best_density;
-  result.passes = pass;
-  result.io_passes = io_passes;
-  return result;
+  return run.TakeResult();
 }
 
 StatusOr<UndirectedDensestResult> RunAlgorithm1(

@@ -1,10 +1,9 @@
 #include "core/algorithm2.h"
 
-#include <algorithm>
-#include <cmath>
 #include <vector>
 
 #include "core/pass_engine.h"
+#include "core/peel_runs.h"
 #include "stream/memory_stream.h"
 
 namespace densest {
@@ -22,73 +21,15 @@ StatusOr<UndirectedDensestResult> RunAlgorithm2(
 
   PassEngine& engine =
       options.engine != nullptr ? *options.engine : DefaultPassEngine();
-  NodeSet alive(n, /*full=*/true);
+  Algorithm2Run run(n, options);
   std::vector<double> degrees(n, 0.0);
-  std::vector<NodeId> candidates;
 
-  UndirectedDensestResult result;
-  NodeSet best = alive;
-  double best_density = -1.0;
-
-  const double factor = 2.0 * (1.0 + options.epsilon);
-  const double removal_fraction = options.epsilon / (1.0 + options.epsilon);
-  uint64_t pass = 0;
-  while (alive.size() >= options.min_size && !alive.empty() &&
-         (options.max_passes == 0 || pass < options.max_passes)) {
-    ++pass;
-    UndirectedPassResult stats = engine.RunUndirected(stream, alive, degrees);
-    const double rho = stats.weight / static_cast<double>(alive.size());
-
-    // Algorithm 2 line 6: best intermediate subgraph with |S| >= k.
-    if (alive.size() >= options.min_size && rho > best_density) {
-      best_density = rho;
-      best = alive;
-    }
-
-    // A~(S): the below-threshold candidates.
-    const double threshold = factor * rho;
-    candidates.clear();
-    for (NodeId u = 0; u < n; ++u) {
-      if (alive.Contains(u) && degrees[u] <= threshold) {
-        candidates.push_back(u);
-      }
-    }
-
-    // Algorithm 2 line 4: remove only |A(S)| = eps/(1+eps) |S| of them —
-    // the lowest-degree ones — so some intermediate set lands near size k.
-    NodeId quota = static_cast<NodeId>(std::ceil(
-        removal_fraction * static_cast<double>(alive.size())));
-    quota = std::max<NodeId>(quota, 1);
-    quota = std::min<NodeId>(quota, static_cast<NodeId>(candidates.size()));
-    if (quota < candidates.size()) {
-      std::nth_element(candidates.begin(), candidates.begin() + quota,
-                       candidates.end(), [&](NodeId a, NodeId b) {
-                         return degrees[a] != degrees[b]
-                                    ? degrees[a] < degrees[b]
-                                    : a < b;
-                       });
-      candidates.resize(quota);
-    }
-    for (NodeId u : candidates) alive.Remove(u);
-
-    if (options.record_trace) {
-      PassSnapshot snap;
-      snap.pass = pass;
-      snap.nodes = static_cast<NodeId>(alive.size() + candidates.size());
-      snap.edges = stats.edges;
-      snap.weight = stats.weight;
-      snap.density = rho;
-      snap.threshold = threshold;
-      snap.removed = static_cast<NodeId>(candidates.size());
-      result.trace.push_back(snap);
-    }
-    if (candidates.empty()) break;  // nothing removable: avoid spinning
+  while (!run.done()) {
+    UndirectedPassResult stats =
+        engine.RunUndirected(stream, run.alive(), degrees);
+    run.ApplyPass(stats, degrees);
   }
-
-  result.nodes = best.ToVector();
-  result.density = best_density < 0 ? 0.0 : best_density;
-  result.passes = pass;
-  return result;
+  return run.TakeResult();
 }
 
 StatusOr<UndirectedDensestResult> RunAlgorithm2(

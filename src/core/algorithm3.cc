@@ -1,41 +1,15 @@
 #include "core/algorithm3.h"
 
 #include <cmath>
+#include <memory>
 #include <vector>
 
+#include "core/multi_run.h"
 #include "core/pass_engine.h"
+#include "core/peel_runs.h"
 #include "stream/memory_stream.h"
 
 namespace densest {
-
-namespace {
-
-/// Decides which side to peel under the naive max-degree rule (§4.3):
-/// returns true to peel S. Compares the max indegree among B(T) against the
-/// max outdegree among A(S), scaled by c.
-bool PeelSByMaxDegreeRule(const NodeSet& s, const NodeSet& t,
-                          const std::vector<double>& out_to_t,
-                          const std::vector<double>& in_from_s,
-                          double weight, double epsilon, double c) {
-  const double s_threshold = (1.0 + epsilon) * weight / s.size();
-  const double t_threshold = (1.0 + epsilon) * weight / t.size();
-  const NodeId n = s.universe_size();
-  double max_out_in_a = 0;  // E(i*, T) over i in A(S)
-  double max_in_in_b = 0;   // E(S, j*) over j in B(T)
-  for (NodeId u = 0; u < n; ++u) {
-    if (s.Contains(u) && out_to_t[u] <= s_threshold) {
-      max_out_in_a = std::max(max_out_in_a, out_to_t[u]);
-    }
-    if (t.Contains(u) && in_from_s[u] <= t_threshold) {
-      max_in_in_b = std::max(max_in_in_b, in_from_s[u]);
-    }
-  }
-  if (max_out_in_a == 0) return true;   // removing A(S) is free
-  if (max_in_in_b == 0) return false;   // removing B(T) is free
-  return max_in_in_b / max_out_in_a >= c;
-}
-
-}  // namespace
 
 StatusOr<DirectedDensestResult> RunAlgorithm3(
     EdgeStream& stream, const Algorithm3Options& options) {
@@ -50,92 +24,45 @@ StatusOr<DirectedDensestResult> RunAlgorithm3(
 
   PassEngine& engine =
       options.engine != nullptr ? *options.engine : DefaultPassEngine();
-  NodeSet s(n, /*full=*/true);
-  NodeSet t(n, /*full=*/true);
+  Algorithm3Run run(n, options);
   std::vector<double> out_to_t(n, 0.0);
   std::vector<double> in_from_s(n, 0.0);
 
-  DirectedDensestResult result;
-  result.c = options.c;
-  NodeSet best_s = s;
-  NodeSet best_t = t;
-  double best_density = -1.0;
-
-  uint64_t pass = 0;
-  while (!s.empty() && !t.empty() &&
-         (options.max_passes == 0 || pass < options.max_passes)) {
-    ++pass;
+  while (!run.done()) {
     DirectedPassResult stats =
-        engine.RunDirected(stream, s, t, out_to_t, in_from_s);
-    const double rho =
-        stats.weight / std::sqrt(static_cast<double>(s.size()) *
-                                 static_cast<double>(t.size()));
-
-    // Algorithm 3 line 10: track the densest intermediate pair.
-    if (rho > best_density) {
-      best_density = rho;
-      best_s = s;
-      best_t = t;
-    }
-
-    bool peel_s;
-    if (options.rule == DirectedRemovalRule::kSizeRatio) {
-      // Algorithm 3 line 3: drive |S|/|T| toward c.
-      peel_s = static_cast<double>(s.size()) /
-                   static_cast<double>(t.size()) >=
-               options.c;
-    } else {
-      peel_s = PeelSByMaxDegreeRule(s, t, out_to_t, in_from_s, stats.weight,
-                                    options.epsilon, options.c);
-    }
-
-    NodeId removed = 0;
-    if (peel_s) {
-      const double threshold = (1.0 + options.epsilon) * stats.weight /
-                               static_cast<double>(s.size());
-      for (NodeId u = 0; u < n; ++u) {
-        if (s.Contains(u) && out_to_t[u] <= threshold) {
-          s.Remove(u);
-          ++removed;
-        }
-      }
-    } else {
-      const double threshold = (1.0 + options.epsilon) * stats.weight /
-                               static_cast<double>(t.size());
-      for (NodeId u = 0; u < n; ++u) {
-        if (t.Contains(u) && in_from_s[u] <= threshold) {
-          t.Remove(u);
-          ++removed;
-        }
-      }
-    }
-
-    if (options.record_trace) {
-      DirectedPassSnapshot snap;
-      snap.pass = pass;
-      snap.s_size = peel_s ? static_cast<NodeId>(s.size() + removed)
-                           : s.size();
-      snap.t_size = peel_s ? t.size()
-                           : static_cast<NodeId>(t.size() + removed);
-      snap.weight = stats.weight;
-      snap.density = rho;
-      snap.removed_from_s = peel_s;
-      snap.removed = removed;
-      result.trace.push_back(snap);
-    }
+        engine.RunDirected(stream, run.s(), run.t(), out_to_t, in_from_s);
+    run.ApplyPass(stats, out_to_t, in_from_s);
   }
-
-  result.s_nodes = best_s.ToVector();
-  result.t_nodes = best_t.ToVector();
-  result.density = best_density < 0 ? 0.0 : best_density;
-  result.passes = pass;
-  return result;
+  return run.TakeResult();
 }
 
 StatusOr<DirectedDensestResult> RunAlgorithm3(
     const DirectedGraph& g, const Algorithm3Options& options) {
   DirectedGraphStream stream(g);
   return RunAlgorithm3(stream, options);
+}
+
+std::vector<Algorithm3Options> CSearchGrid(NodeId n,
+                                           const CSearchOptions& options) {
+  // delta <= 1 spans no finite grid (RunCSearch rejects it with a status);
+  // guard here too since this helper is public.
+  if (!(options.delta > 1.0) || n == 0) return {};
+  // c only matters over [1/n, n]: |S|, |T| are integers in [1, n].
+  const int j_max = static_cast<int>(
+      std::ceil(std::log(static_cast<double>(n)) / std::log(options.delta)));
+  std::vector<Algorithm3Options> grid;
+  grid.reserve(2 * j_max + 1);
+  for (int j = -j_max; j <= j_max; ++j) {
+    Algorithm3Options run;
+    run.c = std::pow(options.delta, j);
+    run.epsilon = options.epsilon;
+    run.rule = options.rule;
+    run.max_passes = options.max_passes;
+    run.record_trace = options.record_trace;
+    run.engine = options.engine;
+    grid.push_back(run);
+  }
+  return grid;
 }
 
 StatusOr<CSearchResult> RunCSearch(EdgeStream& stream,
@@ -146,27 +73,46 @@ StatusOr<CSearchResult> RunCSearch(EdgeStream& stream,
   const NodeId n = stream.num_nodes();
   if (n == 0) return Status::InvalidArgument("graph has no nodes");
 
-  // c only matters over [1/n, n]: |S|, |T| are integers in [1, n].
-  const int j_max = static_cast<int>(
-      std::ceil(std::log(static_cast<double>(n)) / std::log(options.delta)));
+  const std::vector<Algorithm3Options> grid = CSearchGrid(n, options);
+
+  // The one configuration where fused accumulation is not bit-identical to
+  // a solo PassEngine run: a weighted stream with a CSR view (the engine's
+  // row kernel associates the FP sums differently). Fall back to run-by-run
+  // there so RunCSearch's results never depend on the `fused` flag.
+  const bool fuse = options.fused && (stream.HasUnitWeights() ||
+                                      stream.DirectedCsrView() == nullptr);
 
   CSearchResult out;
-  double best_density = -1.0;
-  for (int j = -j_max; j <= j_max; ++j) {
-    Algorithm3Options run;
-    run.c = std::pow(options.delta, j);
-    run.epsilon = options.epsilon;
-    run.rule = options.rule;
-    run.max_passes = options.max_passes;
-    run.record_trace = options.record_trace;
-    run.engine = options.engine;
-    StatusOr<DirectedDensestResult> r = RunAlgorithm3(stream, run);
-    if (!r.ok()) return r.status();
-    if (r->density > best_density) {
-      best_density = r->density;
-      out.best = *r;
+  if (fuse) {
+    // All c values share every physical scan: one MultiRunEngine pass feeds
+    // the whole grid, so the stream is scanned max-passes times instead of
+    // sum-of-passes times (the paper's "can be tried in parallel" remark).
+    std::unique_ptr<MultiRunEngine> local;
+    MultiRunEngine* engine = options.multi_engine;
+    if (engine == nullptr) {
+      local = std::make_unique<MultiRunEngine>();
+      engine = local.get();
     }
-    out.sweep.push_back(std::move(*r));
+    StatusOr<std::vector<DirectedDensestResult>> runs =
+        engine->RunDirectedRuns(stream, grid);
+    if (!runs.ok()) return runs.status();
+    out.sweep = std::move(*runs);
+    out.physical_scans = engine->last_physical_passes();
+  } else {
+    for (const Algorithm3Options& run : grid) {
+      StatusOr<DirectedDensestResult> r = RunAlgorithm3(stream, run);
+      if (!r.ok()) return r.status();
+      out.physical_scans += r->passes;
+      out.sweep.push_back(std::move(*r));
+    }
+  }
+
+  double best_density = -1.0;
+  for (const DirectedDensestResult& run : out.sweep) {
+    if (run.density > best_density) {
+      best_density = run.density;
+      out.best = run;
+    }
   }
   return out;
 }

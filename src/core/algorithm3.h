@@ -16,6 +16,7 @@
 namespace densest {
 
 class PassEngine;
+class MultiRunEngine;
 
 /// \brief Which set to peel when both are nonempty.
 enum class DirectedRemovalRule {
@@ -67,7 +68,22 @@ struct CSearchOptions {
   /// Record traces in the per-c results (memory heavy for big sweeps).
   bool record_trace = false;
   /// Pass engine for every run of the sweep; nullptr = DefaultPassEngine().
+  /// Only consulted when `fused` is false (the fused path scans through a
+  /// MultiRunEngine instead).
   PassEngine* engine = nullptr;
+  /// Fuse the whole c-grid into shared physical scans (core/multi_run.h):
+  /// every pass of the stream feeds all still-active c values at once, so
+  /// the stream is scanned max-over-c(passes) times instead of
+  /// sum-over-c(passes) times. Results are identical either way; this only
+  /// changes IO. (For the one stream shape whose fused accumulation could
+  /// differ in low-order FP bits — weighted with a CSR view — RunCSearch
+  /// quietly runs run-by-run, keeping that guarantee unconditional.)
+  /// false forces one independent run per c.
+  bool fused = true;
+  /// Engine for the fused path; nullptr = a private MultiRunEngine per
+  /// call. Supply one to reuse its scratch across sweeps or to pick the
+  /// fan-out thread count.
+  MultiRunEngine* multi_engine = nullptr;
 };
 
 /// \brief Result of the c-search: the best run plus the whole sweep
@@ -75,7 +91,17 @@ struct CSearchOptions {
 struct CSearchResult {
   DirectedDensestResult best;
   std::vector<DirectedDensestResult> sweep;
+  /// Physical scans of the stream the whole search cost: the number of
+  /// fused passes when fusing, the sum of per-run passes otherwise.
+  uint64_t physical_scans = 0;
 };
+
+/// The c-grid a CSearchOptions spans: one Algorithm3Options per c = delta^j,
+/// j in [-ceil(log_delta n), +ceil(log_delta n)]. Exposed so callers can
+/// fuse the same grid through a MultiRunEngine themselves. Empty when
+/// n == 0 or delta <= 1 (invalid; RunCSearch reports those as statuses).
+std::vector<Algorithm3Options> CSearchGrid(NodeId n,
+                                           const CSearchOptions& options);
 
 /// Runs Algorithm 3 for every c in the delta-grid and returns the best.
 StatusOr<CSearchResult> RunCSearch(EdgeStream& stream,

@@ -1,0 +1,443 @@
+#include "core/multi_run.h"
+
+#include <algorithm>
+#include <array>
+#include <thread>
+
+#include "core/peel_runs.h"
+#include "stream/pass_cursor.h"
+
+namespace densest {
+
+namespace {
+
+constexpr size_t kSlots = MultiRunEngine::kShardSlots;
+
+/// One degree plane of a fused run: either a single direct vector
+/// (unit-weight streams — integer-exact sums make every accumulation order
+/// the same bits) or PassEngine's slot vectors reduced in index order
+/// (general weights, replicating the engine's deterministic schedule). In
+/// direct mode every slot aliases `values`, so the accumulation loop is
+/// identical either way.
+struct AccumPlane {
+  std::vector<double> values;              // the reduced per-node result
+  std::vector<std::vector<double>> slots;  // empty in direct mode
+
+  void Init(size_t n, bool direct) {
+    values.assign(n, 0.0);
+    if (!direct) {
+      slots.assign(kSlots, std::vector<double>(n, 0.0));
+    }
+  }
+  void BeginPass() {
+    // Slot vectors are zero by invariant (Reduce re-zeroes them).
+    if (slots.empty()) std::fill(values.begin(), values.end(), 0.0);
+  }
+  double* Slot(size_t s) { return slots.empty() ? values.data() : slots[s].data(); }
+  // Mirrors PassEngine::ReduceAndClear: slots summed in index order per
+  // node, re-zeroed for the next pass. Keep the two in sync — the summation
+  // order is part of the fused/sequential bit-identity contract.
+  void Reduce() {
+    if (slots.empty()) return;
+    const size_t n = values.size();
+    for (size_t u = 0; u < n; ++u) {
+      double total = 0.0;
+      for (std::vector<double>& slot : slots) {
+        total += slot[u];
+        slot[u] = 0.0;
+      }
+      values[u] = total;
+    }
+  }
+};
+
+/// Per-slot weight/count totals, mirroring PassEngine's slot_weight_ /
+/// slot_edges_ (summed in slot order at end of pass).
+struct SlotTotals {
+  std::array<double, kSlots> weight{};
+  std::array<EdgeId, kSlots> count{};
+
+  void BeginPass() {
+    weight.fill(0.0);
+    count.fill(0);
+  }
+  double TotalWeight() const {
+    double w = 0.0;
+    for (double s : weight) w += s;
+    return w;
+  }
+  EdgeId TotalCount() const {
+    EdgeId c = 0;
+    for (EdgeId s : count) c += s;
+    return c;
+  }
+};
+
+/// Fused Algorithm 3 run: peel logic + its private accumulators.
+struct FusedDirectedRun {
+  Algorithm3Run logic;
+  AccumPlane out, in;
+  SlotTotals totals;
+
+  FusedDirectedRun(NodeId n, const Algorithm3Options& options, bool direct)
+      : logic(n, options) {
+    out.Init(n, direct);
+    in.Init(n, direct);
+  }
+
+  bool done() const { return logic.done(); }
+  bool wants_stream() const { return !logic.done(); }
+  void BeginPass() {
+    out.BeginPass();
+    in.BeginPass();
+    totals.BeginPass();
+  }
+  void AccumulateShard(std::span<const Edge> shard, size_t slot) {
+    const NodeSet& s_set = logic.s();
+    const NodeSet& t_set = logic.t();
+    double* out_acc = out.Slot(slot);
+    double* in_acc = in.Slot(slot);
+    double weight = 0.0;
+    EdgeId arcs = 0;
+    for (const Edge& e : shard) {
+      if (s_set.Contains(e.u) && t_set.Contains(e.v)) {
+        out_acc[e.u] += e.w;
+        in_acc[e.v] += e.w;
+        weight += e.w;
+        ++arcs;
+      }
+    }
+    totals.weight[slot] += weight;
+    totals.count[slot] += arcs;
+  }
+  void FinishPass() {
+    out.Reduce();
+    in.Reduce();
+    DirectedPassResult stats;
+    stats.weight = totals.TotalWeight();
+    stats.arcs = totals.TotalCount();
+    logic.ApplyPass(stats, out.values, in.values);
+  }
+  void FinishOffStream(PassEngine&) {}  // directed runs never leave the scan
+  uint64_t stream_passes(const DirectedDensestResult& r) const {
+    return r.passes;
+  }
+};
+
+/// Fused Algorithm 1 run. Honors §6.3 compaction: in kCollectPass mode the
+/// shard loop additionally appends survivors (in stream order — shards are
+/// consumed sequentially within a run), after which the run finishes over
+/// its buffer via FinishOffStream, costing no further physical scans.
+struct FusedAlg1Run {
+  Algorithm1Run logic;
+  AccumPlane deg;
+  SlotTotals totals;
+
+  FusedAlg1Run(NodeId n, const Algorithm1Options& options, bool direct)
+      : logic(n, options) {
+    deg.Init(n, direct);
+  }
+
+  bool done() const { return logic.done(); }
+  bool wants_stream() const {
+    return !logic.done() && logic.mode() != Algorithm1Run::PassMode::kBuffer;
+  }
+  void BeginPass() {
+    deg.BeginPass();
+    totals.BeginPass();
+  }
+  void AccumulateShard(std::span<const Edge> shard, size_t slot) {
+    const NodeSet& alive = logic.alive();
+    double* acc = deg.Slot(slot);
+    double weight = 0.0;
+    EdgeId edges = 0;
+    if (logic.mode() == Algorithm1Run::PassMode::kCollectPass) {
+      std::vector<Edge>& buffer = logic.buffer();
+      for (const Edge& e : shard) {
+        if (alive.ContainsBoth(e.u, e.v)) {
+          acc[e.u] += e.w;
+          acc[e.v] += e.w;
+          weight += e.w;
+          ++edges;
+          buffer.push_back(e);
+        }
+      }
+    } else {
+      for (const Edge& e : shard) {
+        if (alive.ContainsBoth(e.u, e.v)) {
+          acc[e.u] += e.w;
+          acc[e.v] += e.w;
+          weight += e.w;
+          ++edges;
+        }
+      }
+    }
+    totals.weight[slot] += weight;
+    totals.count[slot] += edges;
+  }
+  void FinishPass() {
+    deg.Reduce();
+    UndirectedPassResult stats;
+    stats.weight = totals.TotalWeight();
+    stats.edges = totals.TotalCount();
+    logic.ApplyPass(stats, deg.values);
+  }
+  void FinishOffStream(PassEngine& engine) {
+    while (!logic.done()) {
+      UndirectedPassResult stats = engine.RunUndirectedBuffer(
+          logic.buffer(), logic.alive(), deg.values, /*compact=*/true);
+      logic.ApplyPass(stats, deg.values);
+    }
+  }
+  uint64_t stream_passes(const UndirectedDensestResult& r) const {
+    return r.io_passes;
+  }
+};
+
+/// Fused Algorithm 2 run.
+struct FusedAlg2Run {
+  Algorithm2Run logic;
+  AccumPlane deg;
+  SlotTotals totals;
+
+  FusedAlg2Run(NodeId n, const Algorithm2Options& options, bool direct)
+      : logic(n, options) {
+    deg.Init(n, direct);
+  }
+
+  bool done() const { return logic.done(); }
+  bool wants_stream() const { return !logic.done(); }
+  void BeginPass() {
+    deg.BeginPass();
+    totals.BeginPass();
+  }
+  void AccumulateShard(std::span<const Edge> shard, size_t slot) {
+    const NodeSet& alive = logic.alive();
+    double* acc = deg.Slot(slot);
+    double weight = 0.0;
+    EdgeId edges = 0;
+    for (const Edge& e : shard) {
+      if (alive.ContainsBoth(e.u, e.v)) {
+        acc[e.u] += e.w;
+        acc[e.v] += e.w;
+        weight += e.w;
+        ++edges;
+      }
+    }
+    totals.weight[slot] += weight;
+    totals.count[slot] += edges;
+  }
+  void FinishPass() {
+    deg.Reduce();
+    UndirectedPassResult stats;
+    stats.weight = totals.TotalWeight();
+    stats.edges = totals.TotalCount();
+    logic.ApplyPass(stats, deg.values);
+  }
+  void FinishOffStream(PassEngine&) {}
+  uint64_t stream_passes(const UndirectedDensestResult& r) const {
+    return r.passes;
+  }
+};
+
+}  // namespace
+
+MultiRunEngine::MultiRunEngine(const MultiRunOptions& options) {
+  num_threads_ = options.num_threads;
+  if (num_threads_ == 0) {
+    num_threads_ = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
+}
+
+MultiRunEngine::~MultiRunEngine() = default;
+
+void MultiRunEngine::Dispatch(size_t count,
+                              const std::function<void(size_t)>& fn) {
+  if (pool_ != nullptr && count > 1) {
+    pool_->ParallelFor(count, fn);
+  } else {
+    for (size_t i = 0; i < count; ++i) fn(i);
+  }
+}
+
+template <typename RunT>
+void MultiRunEngine::DriveRuns(EdgeStream& stream, std::vector<RunT>& states) {
+  batch_.resize(kShardSlots * kShardEdges);
+  PassCursor cursor(stream);
+
+  std::vector<RunT*> active;
+  active.reserve(states.size());
+  auto refresh_active = [&] {
+    active.clear();
+    for (RunT& run : states) {
+      if (run.done()) continue;
+      if (!run.wants_stream()) {
+        // The run no longer needs the stream (Algorithm 1 compaction):
+        // finish it over its private buffer, off the shared scan.
+        if (buffer_engine_ == nullptr) {
+          buffer_engine_ = std::make_unique<PassEngine>(
+              PassEngineOptions{.num_threads = 1});
+        }
+        run.FinishOffStream(*buffer_engine_);
+        continue;
+      }
+      active.push_back(&run);
+    }
+  };
+  refresh_active();
+
+  std::array<std::span<const Edge>, kShardSlots> shards;
+  while (!active.empty()) {
+    for (RunT* run : active) run->BeginPass();
+    cursor.BeginPass();
+    for (;;) {
+      // PassEngine's own shard-boundary schedule, pulled through the
+      // cursor so physical-scan accounting stays in one place.
+      const size_t count = PassEngine::FillShardRound(
+          [&cursor](Edge* scratch, size_t cap) {
+            return cursor.NextChunk(scratch, cap);
+          },
+          batch_.data(), shards);
+      if (count == 0) break;
+      // Run-major fan-out: each task owns one run's accumulators and walks
+      // the round's shards in order, so threads share nothing mutable.
+      Dispatch(active.size(), [&](size_t i) {
+        for (size_t s = 0; s < count; ++s) {
+          active[i]->AccumulateShard(shards[s], s);
+        }
+      });
+      if (count < kShardSlots) break;
+    }
+    // Reduce + peel, also run-major: only run-private state mutates.
+    Dispatch(active.size(), [&](size_t i) { active[i]->FinishPass(); });
+    refresh_active();
+  }
+
+  last_physical_passes_ = cursor.passes();
+  last_edges_scanned_ = cursor.edges_scanned();
+}
+
+StatusOr<std::vector<DirectedDensestResult>> MultiRunEngine::RunDirectedRuns(
+    EdgeStream& stream, const std::vector<Algorithm3Options>& runs) {
+  last_physical_passes_ = last_logical_passes_ = last_edges_scanned_ = 0;
+  if (runs.empty()) return std::vector<DirectedDensestResult>{};
+  const NodeId n = stream.num_nodes();
+  if (n == 0) return Status::InvalidArgument("graph has no nodes");
+  for (const Algorithm3Options& options : runs) {
+    if (options.epsilon < 0) {
+      return Status::InvalidArgument("epsilon must be >= 0");
+    }
+    if (!(options.c > 0)) return Status::InvalidArgument("c must be > 0");
+  }
+
+  const bool direct = stream.HasUnitWeights();
+  std::vector<FusedDirectedRun> states;
+  states.reserve(runs.size());
+  for (const Algorithm3Options& options : runs) {
+    states.emplace_back(n, options, direct);
+  }
+  DriveRuns(stream, states);
+
+  std::vector<DirectedDensestResult> results;
+  results.reserve(states.size());
+  for (FusedDirectedRun& run : states) {
+    results.push_back(run.logic.TakeResult());
+    last_logical_passes_ += run.stream_passes(results.back());
+  }
+  return results;
+}
+
+StatusOr<std::vector<UndirectedDensestResult>> MultiRunEngine::RunUndirectedRuns(
+    EdgeStream& stream, const std::vector<Algorithm1Options>& runs) {
+  last_physical_passes_ = last_logical_passes_ = last_edges_scanned_ = 0;
+  if (runs.empty()) return std::vector<UndirectedDensestResult>{};
+  const NodeId n = stream.num_nodes();
+  if (n == 0) return Status::InvalidArgument("graph has no nodes");
+  for (const Algorithm1Options& options : runs) {
+    if (options.epsilon < 0) {
+      return Status::InvalidArgument("epsilon must be >= 0");
+    }
+  }
+
+  const bool direct = stream.HasUnitWeights();
+  std::vector<FusedAlg1Run> states;
+  states.reserve(runs.size());
+  for (const Algorithm1Options& options : runs) {
+    states.emplace_back(n, options, direct);
+  }
+  DriveRuns(stream, states);
+
+  std::vector<UndirectedDensestResult> results;
+  results.reserve(states.size());
+  for (FusedAlg1Run& run : states) {
+    results.push_back(run.logic.TakeResult());
+    last_logical_passes_ += run.stream_passes(results.back());
+  }
+  return results;
+}
+
+StatusOr<std::vector<UndirectedDensestResult>> MultiRunEngine::RunUndirectedRuns(
+    EdgeStream& stream, const std::vector<Algorithm2Options>& runs) {
+  last_physical_passes_ = last_logical_passes_ = last_edges_scanned_ = 0;
+  if (runs.empty()) return std::vector<UndirectedDensestResult>{};
+  const NodeId n = stream.num_nodes();
+  if (n == 0) return Status::InvalidArgument("graph has no nodes");
+  for (const Algorithm2Options& options : runs) {
+    if (options.epsilon < 0) {
+      return Status::InvalidArgument("epsilon must be >= 0");
+    }
+    if (options.min_size > n) {
+      return Status::InvalidArgument("min_size exceeds the node count");
+    }
+  }
+
+  const bool direct = stream.HasUnitWeights();
+  std::vector<FusedAlg2Run> states;
+  states.reserve(runs.size());
+  for (const Algorithm2Options& options : runs) {
+    states.emplace_back(n, options, direct);
+  }
+  DriveRuns(stream, states);
+
+  std::vector<UndirectedDensestResult> results;
+  results.reserve(states.size());
+  for (FusedAlg2Run& run : states) {
+    results.push_back(run.logic.TakeResult());
+    last_logical_passes_ += run.stream_passes(results.back());
+  }
+  return results;
+}
+
+StatusOr<std::vector<UndirectedDensestResult>> RunAlgorithm1EpsilonSweep(
+    EdgeStream& stream, const Algorithm1Options& base,
+    const std::vector<double>& epsilons, MultiRunEngine* engine) {
+  std::vector<Algorithm1Options> runs;
+  runs.reserve(epsilons.size());
+  for (double eps : epsilons) {
+    Algorithm1Options options = base;
+    options.epsilon = eps;
+    runs.push_back(options);
+  }
+  // Same guarantee as RunCSearch: results never depend on fusing. The one
+  // shape whose fused accumulation could differ in low-order FP bits —
+  // weighted with a CSR view — runs run-by-run instead (`engine`'s scan
+  // counters are untouched in that case).
+  if (!stream.HasUnitWeights() && stream.UndirectedCsrView() != nullptr) {
+    std::vector<UndirectedDensestResult> results;
+    results.reserve(runs.size());
+    for (const Algorithm1Options& options : runs) {
+      StatusOr<UndirectedDensestResult> r = RunAlgorithm1(stream, options);
+      if (!r.ok()) return r.status();
+      results.push_back(std::move(*r));
+    }
+    return results;
+  }
+  if (engine != nullptr) return engine->RunUndirectedRuns(stream, runs);
+  MultiRunEngine local{MultiRunOptions{}};
+  return local.RunUndirectedRuns(stream, runs);
+}
+
+}  // namespace densest

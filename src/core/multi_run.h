@@ -1,0 +1,139 @@
+// Copyright 2026 The densest Authors.
+// Fused multi-run passes: peel every configuration in one scan of the
+// stream.
+//
+// The directed c-search tries O(log_delta n) values of c, and the
+// epsilon-sweep benches try a dozen epsilons — and every one of those runs
+// re-scans the same edges. Bahmani et al. observe the candidate c values
+// "can be tried in parallel" over the same passes; MultiRunEngine is that
+// observation as a subsystem. It holds K independent peeling runs (each
+// with its own alive sets, degree accumulators and threshold rule from
+// core/peel_runs.h) and drives all of them from ONE physical scan per
+// pass: each chunk pulled through a PassCursor is fanned across the active
+// runs, run-major on the ThreadPool, so no two threads ever share an
+// accumulator. Runs that converge drop out of the fan-out; the pass loop
+// ends when all runs are done. Total physical scans = max over runs of
+// their pass count, instead of the sum.
+//
+// Determinism: each run consumes chunks single-threaded in stream order
+// and accumulates through exactly PassEngine's shard/slot schedule
+// (kShardEdges-edge shards, shard i of a round into slot i, slots reduced
+// in index order), so every per-run result is bit-identical to a
+// sequential RunAlgorithm{1,2,3} call on the same stream — for any fan-out
+// thread count. The one caveat: a *weighted* stream that exposes a CSR
+// view is accumulated here through the batched schedule, while a solo
+// PassEngine run would use its CSR row kernel, whose floating-point order
+// differs; unit-weight streams (the common case, where sums are exact) and
+// weighted record streams agree bit-for-bit on every path.
+//
+// Memory: per run, one n-sized double plane per degree array on
+// unit-weight streams; kShardSlots planes per degree array on weighted
+// streams (the price of the order-deterministic reduction) — O(K n)
+// either way, the semi-streaming budget times the fused width.
+
+#ifndef DENSEST_CORE_MULTI_RUN_H_
+#define DENSEST_CORE_MULTI_RUN_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/algorithm1.h"
+#include "core/algorithm2.h"
+#include "core/algorithm3.h"
+#include "core/density.h"
+#include "core/pass_engine.h"
+#include "stream/edge_stream.h"
+
+namespace densest {
+
+/// \brief Knobs for a MultiRunEngine.
+struct MultiRunOptions {
+  /// Worker threads for the run-major fan-out. 0 = hardware concurrency;
+  /// 1 = fully sequential. Any value yields bit-identical results; it only
+  /// changes wall-clock time.
+  size_t num_threads = 0;
+};
+
+/// \brief Drives K independent peeling runs from shared physical scans.
+///
+/// Holds reusable scratch (chunk buffer, a sequential PassEngine for
+/// post-compaction buffer passes), so one engine should be reused across
+/// sweeps. Not safe for concurrent use from multiple threads; create one
+/// engine per concurrent sweep.
+class MultiRunEngine {
+ public:
+  /// Chunk granularity, shared with PassEngine so fused accumulation
+  /// reproduces its shard/slot schedule bit-for-bit.
+  static constexpr size_t kShardEdges = PassEngine::kShardEdges;
+  static constexpr size_t kShardSlots = PassEngine::kShardSlots;
+
+  explicit MultiRunEngine(const MultiRunOptions& options = {});
+  ~MultiRunEngine();
+
+  MultiRunEngine(const MultiRunEngine&) = delete;
+  MultiRunEngine& operator=(const MultiRunEngine&) = delete;
+
+  /// Resolved fan-out width (1 means sequential).
+  size_t num_threads() const { return num_threads_; }
+
+  /// Fused Algorithm 3: one directed peeling run per entry of `runs`, all
+  /// fed from shared scans of `stream`. Results are positionally matched
+  /// to `runs` and identical to sequential RunAlgorithm3 calls (see the
+  /// determinism note above — including its weighted-CSR caveat; RunCSearch
+  /// wraps this with a fallback that makes its guarantee unconditional).
+  /// Per-run `engine` fields are ignored.
+  StatusOr<std::vector<DirectedDensestResult>> RunDirectedRuns(
+      EdgeStream& stream, const std::vector<Algorithm3Options>& runs);
+
+  /// Fused Algorithm 1 (the epsilon-sweep workhorse; the weighted-CSR
+  /// caveat above applies — RunAlgorithm1EpsilonSweep adds the fallback).
+  /// §6.3 compaction is honored per run: once a run buffers its survivors
+  /// it leaves the fan-out and finishes over its private buffer, costing no
+  /// further physical scans — exactly as it would alone.
+  StatusOr<std::vector<UndirectedDensestResult>> RunUndirectedRuns(
+      EdgeStream& stream, const std::vector<Algorithm1Options>& runs);
+
+  /// Fused Algorithm 2 (the weighted-CSR caveat above applies).
+  StatusOr<std::vector<UndirectedDensestResult>> RunUndirectedRuns(
+      EdgeStream& stream, const std::vector<Algorithm2Options>& runs);
+
+  /// Physical scans of the stream the last Run*Runs call performed.
+  uint64_t last_physical_passes() const { return last_physical_passes_; }
+  /// Sum over runs of the stream passes they consumed — what the same
+  /// sweep costs in scans when executed run by run. The fused saving is
+  /// last_logical_passes() / last_physical_passes().
+  uint64_t last_logical_passes() const { return last_logical_passes_; }
+  /// Edges delivered by the stream across the last call's scans.
+  uint64_t last_edges_scanned() const { return last_edges_scanned_; }
+
+ private:
+  template <typename RunT>
+  void DriveRuns(EdgeStream& stream, std::vector<RunT>& states);
+  void Dispatch(size_t count, const std::function<void(size_t)>& fn);
+
+  size_t num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads_ == 1
+  std::vector<Edge> batch_;           // kShardSlots * kShardEdges capacity
+  /// Sequential engine for the in-memory passes of compacted Algorithm 1
+  /// runs (deterministic for any thread count, so 1 thread loses nothing).
+  std::unique_ptr<PassEngine> buffer_engine_;
+
+  uint64_t last_physical_passes_ = 0;
+  uint64_t last_logical_passes_ = 0;
+  uint64_t last_edges_scanned_ = 0;
+};
+
+/// Convenience for the Figure 6.1-style sweeps: runs Algorithm 1 once per
+/// epsilon, all fused over shared scans of `stream`. `base` supplies every
+/// other option. Results are positionally matched to `epsilons`. Uses a
+/// private MultiRunEngine when `engine` is null.
+StatusOr<std::vector<UndirectedDensestResult>> RunAlgorithm1EpsilonSweep(
+    EdgeStream& stream, const Algorithm1Options& base,
+    const std::vector<double>& epsilons, MultiRunEngine* engine = nullptr);
+
+}  // namespace densest
+
+#endif  // DENSEST_CORE_MULTI_RUN_H_

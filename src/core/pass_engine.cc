@@ -70,14 +70,11 @@ void PassEngine::EnsureAccumulators(size_t n, size_t planes) {
 
 size_t PassEngine::FillShards(
     EdgeStream& stream, std::array<std::span<const Edge>, kShardSlots>& shards) {
-  size_t count = 0;
-  while (count < kShardSlots) {
-    std::span<const Edge> view =
-        stream.NextView(batch_.data() + count * kShardEdges, kShardEdges);
-    if (view.empty()) break;
-    shards[count++] = view;
-  }
-  return count;
+  return FillShardRound(
+      [&stream](Edge* scratch, size_t cap) {
+        return stream.NextView(scratch, cap);
+      },
+      batch_.data(), shards);
 }
 
 void PassEngine::DispatchRound(size_t shards,

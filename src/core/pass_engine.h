@@ -79,6 +79,27 @@ class PassEngine {
   explicit PassEngine(const PassEngineOptions& options = {});
   ~PassEngine();
 
+  /// Pulls up to kShardSlots shard views of kShardEdges each for one round,
+  /// reading through `next_view(scratch, cap)` into `batch` (capacity
+  /// kShardSlots * kShardEdges). This is THE shard-boundary schedule of the
+  /// deterministic reduction: boundaries derive only from the view source,
+  /// never from the thread count. Single-sourced here because
+  /// MultiRunEngine's fused accumulation must replicate it exactly — change
+  /// the schedule in one place or the fused/sequential bit-identity breaks.
+  template <typename NextViewFn>
+  static size_t FillShardRound(
+      NextViewFn&& next_view, Edge* batch,
+      std::array<std::span<const Edge>, kShardSlots>& shards) {
+    size_t count = 0;
+    while (count < kShardSlots) {
+      std::span<const Edge> view =
+          next_view(batch + count * kShardEdges, kShardEdges);
+      if (view.empty()) break;
+      shards[count++] = view;
+    }
+    return count;
+  }
+
   PassEngine(const PassEngine&) = delete;
   PassEngine& operator=(const PassEngine&) = delete;
 
@@ -155,9 +176,7 @@ class PassEngine {
                                     std::vector<double>& out_to_t,
                                     std::vector<double>& in_from_s);
 
-  /// Pulls up to kShardSlots shard views for one round. Shard boundaries
-  /// derive only from the stream's own NextView behavior, never from the
-  /// thread count.
+  /// FillShardRound over the stream and this engine's batch buffer.
   size_t FillShards(EdgeStream& stream,
                     std::array<std::span<const Edge>, kShardSlots>& shards);
   void EnsureBatchBuffer();
@@ -169,6 +188,8 @@ class PassEngine {
   void DispatchRound(size_t shards, const std::function<void(size_t)>& fn);
   /// degrees[u] = sum over slots (in slot order) of plane[slot][u]; re-zeros
   /// the slot vectors so the next pass starts clean without a memset.
+  /// Mirrored by MultiRunEngine's per-run reduction — keep the summation
+  /// order in sync (it is part of the fused/sequential bit-identity).
   void ReduceAndClear(size_t plane, std::vector<double>& degrees);
 
   /// True when this pass may skip the slot structure entirely and

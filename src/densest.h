@@ -20,6 +20,7 @@
 #include "core/density.h"        // IWYU pragma: export
 #include "core/enumerate.h"      // IWYU pragma: export
 #include "core/kcore.h"          // IWYU pragma: export
+#include "core/multi_run.h"      // IWYU pragma: export
 #include "flow/brute_force.h"    // IWYU pragma: export
 #include "flow/goldberg.h"       // IWYU pragma: export
 #include "gen/chung_lu.h"        // IWYU pragma: export
@@ -38,7 +39,9 @@
 #include "mapreduce/mr_densest.h"  // IWYU pragma: export
 #include "sketch/sketched_algorithm1.h"  // IWYU pragma: export
 #include "stream/file_stream.h"  // IWYU pragma: export
+#include "stream/generated_stream.h"  // IWYU pragma: export
 #include "stream/memory_stream.h"  // IWYU pragma: export
+#include "stream/pass_cursor.h"  // IWYU pragma: export
 #include "stream/pass_stats.h"   // IWYU pragma: export
 
 #endif  // DENSEST_DENSEST_H_

@@ -8,6 +8,9 @@ namespace {
 constexpr size_t kBufferBytes = 1 << 20;
 constexpr size_t kUnweightedRecord = 2 * sizeof(uint32_t);
 constexpr size_t kWeightedRecord = kUnweightedRecord + sizeof(double);
+// Leading slack in each read buffer where the partial-record tail of the
+// previous chunk is copied, so decoding always sees whole records.
+constexpr size_t kMaxRecord = kWeightedRecord;
 }  // namespace
 
 Status WriteBinaryEdgeFile(const std::string& path, const EdgeList& edges,
@@ -69,48 +72,74 @@ StatusOr<std::unique_ptr<BinaryFileEdgeStream>> BinaryFileEdgeStream::Open(
   stream->file_ = f;
   stream->header_ = header;
   stream->weighted_ = (header.flags & 1) != 0;
-  stream->buffer_.resize(kBufferBytes);
+  stream->front_.resize(kMaxRecord + kBufferBytes);
+  stream->back_.resize(kMaxRecord + kBufferBytes);
+  stream->reader_ = std::make_unique<ThreadPool>(1);
   stream->Reset();
   return stream;
 }
 
 BinaryFileEdgeStream::~BinaryFileEdgeStream() {
+  WaitPrefetch();
+  reader_.reset();  // joins the read thread before the FILE goes away
   if (file_ != nullptr) std::fclose(file_);
 }
 
+void BinaryFileEdgeStream::IssuePrefetch() {
+  if (exhausted_) return;
+  prefetch_ = reader_->Submit([this] {
+    back_len_ = std::fread(back_.data() + kMaxRecord, 1, kBufferBytes, file_);
+  });
+}
+
+size_t BinaryFileEdgeStream::WaitPrefetch() {
+  if (!prefetch_.valid()) return 0;
+  prefetch_.get();
+  bytes_read_ += back_len_;
+  return back_len_;
+}
+
 void BinaryFileEdgeStream::Reset() {
+  WaitPrefetch();  // the task owns the FILE until joined
   std::fseek(file_, sizeof(BinaryEdgeFileHeader), SEEK_SET);
   emitted_ = 0;
   buf_pos_ = 0;
   buf_len_ = 0;
+  exhausted_ = false;
+  IssuePrefetch();
 }
 
-bool BinaryFileEdgeStream::FillBuffer() {
-  buf_len_ = std::fread(buffer_.data(), 1, buffer_.size(), file_);
-  bytes_read_ += buf_len_;
-  buf_pos_ = 0;
-  return buf_len_ > 0;
+bool BinaryFileEdgeStream::Refill(size_t record) {
+  // Carry the partial-record tail (at most kMaxRecord-1 bytes) into the
+  // slack ahead of the prefetched chunk, then swap buffers and start the
+  // next read immediately — the disk works while the caller decodes.
+  const size_t tail = buf_len_ - buf_pos_;
+  const size_t got = WaitPrefetch();
+  if (got == 0) return false;  // end of file (or truncated final record)
+  if (tail > 0) {
+    std::memcpy(back_.data() + kMaxRecord - tail,
+                front_.data() + buf_pos_, tail);
+  }
+  front_.swap(back_);
+  buf_pos_ = kMaxRecord - tail;
+  buf_len_ = kMaxRecord + got;
+  if (got < kBufferBytes) {
+    exhausted_ = true;  // short fread on a regular file means EOF
+  } else {
+    IssuePrefetch();
+  }
+  return buf_len_ - buf_pos_ >= record;
 }
 
 bool BinaryFileEdgeStream::Next(Edge* e) {
   if (emitted_ >= header_.num_edges) return false;
   const size_t record = weighted_ ? kWeightedRecord : kUnweightedRecord;
-  if (buf_len_ - buf_pos_ < record) {
-    // Records never straddle the 1 MiB buffer boundary only if record
-    // divides the buffer size; move the tail down and refill to be safe.
-    size_t tail = buf_len_ - buf_pos_;
-    std::memmove(buffer_.data(), buffer_.data() + buf_pos_, tail);
-    buf_len_ = tail + std::fread(buffer_.data() + tail, 1,
-                                 buffer_.size() - tail, file_);
-    bytes_read_ += buf_len_ - tail;
-    buf_pos_ = 0;
-    if (buf_len_ < record) return false;
-  }
-  std::memcpy(&e->u, buffer_.data() + buf_pos_, sizeof(uint32_t));
-  std::memcpy(&e->v, buffer_.data() + buf_pos_ + sizeof(uint32_t),
+  if (buf_len_ - buf_pos_ < record && !Refill(record)) return false;
+  std::memcpy(&e->u, front_.data() + buf_pos_, sizeof(uint32_t));
+  std::memcpy(&e->v, front_.data() + buf_pos_ + sizeof(uint32_t),
               sizeof(uint32_t));
   if (weighted_) {
-    std::memcpy(&e->w, buffer_.data() + buf_pos_ + kUnweightedRecord,
+    std::memcpy(&e->w, front_.data() + buf_pos_ + kUnweightedRecord,
                 sizeof(double));
   } else {
     e->w = 1.0;
@@ -127,18 +156,10 @@ size_t BinaryFileEdgeStream::NextBatch(Edge* buf, size_t cap) {
   size_t produced = 0;
   const size_t record = weighted_ ? kWeightedRecord : kUnweightedRecord;
   while (produced < cap && emitted_ < header_.num_edges) {
-    if (buf_len_ - buf_pos_ < record) {
-      size_t tail = buf_len_ - buf_pos_;
-      std::memmove(buffer_.data(), buffer_.data() + buf_pos_, tail);
-      buf_len_ = tail + std::fread(buffer_.data() + tail, 1,
-                                   buffer_.size() - tail, file_);
-      bytes_read_ += buf_len_ - tail;
-      buf_pos_ = 0;
-      if (buf_len_ < record) break;  // truncated file
-    }
+    if (buf_len_ - buf_pos_ < record && !Refill(record)) break;
     size_t chunk = std::min({cap - produced, (buf_len_ - buf_pos_) / record,
                              static_cast<size_t>(header_.num_edges - emitted_)});
-    const unsigned char* src = buffer_.data() + buf_pos_;
+    const unsigned char* src = front_.data() + buf_pos_;
     if (weighted_) {
       for (size_t i = 0; i < chunk; ++i, src += kWeightedRecord) {
         std::memcpy(&buf[produced + i].u, src, sizeof(uint32_t));

@@ -6,11 +6,13 @@
 #define DENSEST_STREAM_FILE_STREAM_H_
 
 #include <cstdio>
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "graph/edge_list.h"
 #include "stream/edge_stream.h"
 
@@ -34,6 +36,13 @@ Status WriteBinaryEdgeFile(const std::string& path, const EdgeList& edges,
 
 /// \brief Buffered streaming reader over a binary edge file. Holds an open
 /// FILE handle; each pass re-reads the file from the start.
+///
+/// Reads ahead: while the caller decodes the current 1 MiB buffer, the next
+/// fread already runs on a one-thread background pool, so multi-pass runs
+/// overlap disk latency with compute instead of alternating between them.
+/// Only the prefetch task touches the FILE between hand-offs; the main
+/// thread waits on the task's future before every seek, swap or close, so
+/// the handle is never shared.
 class BinaryFileEdgeStream : public EdgeStream {
  public:
   /// Opens `path`; fails with IOError / InvalidArgument on a bad file.
@@ -49,22 +58,38 @@ class BinaryFileEdgeStream : public EdgeStream {
   NodeId num_nodes() const override { return header_.num_nodes; }
   EdgeId SizeHint() const override { return header_.num_edges; }
 
-  /// Total bytes read since Open (across all passes) — used by PassStats
-  /// to report streaming IO volume.
+  /// Total bytes read since Open (across all passes, including read-ahead
+  /// discarded by an early Reset) — used by PassStats to report streaming
+  /// IO volume.
   uint64_t bytes_read() const { return bytes_read_; }
 
  private:
   BinaryFileEdgeStream() = default;
-  bool FillBuffer();
+  /// Starts the background fread of the next chunk into back_.
+  void IssuePrefetch();
+  /// Joins an outstanding prefetch (if any), accounts its bytes, and
+  /// returns how many it read (0 when none was pending or at EOF).
+  size_t WaitPrefetch();
+  /// Makes at least one whole record available in front_, carrying the
+  /// partial-record tail across the buffer swap. False at end of data.
+  bool Refill(size_t record);
 
   FILE* file_ = nullptr;
   BinaryEdgeFileHeader header_;
   bool weighted_ = false;
   EdgeId emitted_ = 0;
   uint64_t bytes_read_ = 0;
-  std::vector<unsigned char> buffer_;
+  // Double buffer: decode from front_ while the prefetch task fills back_.
+  // Each buffer reserves kMaxRecord leading bytes so a partial record can
+  // be carried over in front of the next chunk's data.
+  std::vector<unsigned char> front_;
+  std::vector<unsigned char> back_;
   size_t buf_pos_ = 0;
   size_t buf_len_ = 0;
+  size_t back_len_ = 0;  // written by the prefetch task, read after wait
+  bool exhausted_ = false;
+  std::unique_ptr<ThreadPool> reader_;  // one background read thread
+  std::future<void> prefetch_;
 };
 
 }  // namespace densest

@@ -6,23 +6,26 @@
 
 namespace densest {
 
-GnpEdgeStream::GnpEdgeStream(NodeId n, double p, uint64_t seed)
+GnpEdgeStream::GnpEdgeStream(NodeId n, double p, uint64_t seed,
+                             size_t materialize_budget_bytes)
     : n_(n),
       p_(p),
       seed_(seed),
       log1mp_(p > 0 && p < 1 ? std::log(1.0 - p) : 0.0),
-      rng_(seed) {
+      rng_(seed),
+      cache_(materialize_budget_bytes) {
   Reset();
 }
 
 void GnpEdgeStream::Reset() {
+  cache_.OnReset();
   rng_ = Rng(seed_);
   u_ = -1;
   v_ = 1;
   exhausted_ = (p_ <= 0.0 || n_ < 2);
 }
 
-bool GnpEdgeStream::Next(Edge* e) {
+bool GnpEdgeStream::GenerateNext(Edge* e) {
   if (exhausted_) return false;
   const int64_t n = static_cast<int64_t>(n_);
   if (p_ >= 1.0) {
@@ -54,19 +57,49 @@ bool GnpEdgeStream::Next(Edge* e) {
   return true;
 }
 
-CirculantEdgeStream::CirculantEdgeStream(NodeId n, NodeId d) : n_(n), d_(d) {
+bool GnpEdgeStream::Next(Edge* e) {
+  if (cache_.serving()) return cache_.Next(e);
+  if (!GenerateNext(e)) {
+    cache_.MarkComplete();
+    return false;
+  }
+  cache_.Record(*e);
+  return true;
+}
+
+std::span<const Edge> GnpEdgeStream::NextView(Edge* scratch, size_t cap) {
+  if (cache_.serving()) return cache_.NextView(cap);
+  return EdgeStream::NextView(scratch, cap);
+}
+
+CirculantEdgeStream::CirculantEdgeStream(NodeId n, NodeId d,
+                                         size_t materialize_budget_bytes)
+    : n_(n),
+      d_(d),
+      // The pass length is known up front: either the whole pass fits the
+      // budget or recording is pointless, so decide here.
+      cache_(static_cast<EdgeId>(n) * (d / 2) * sizeof(Edge) <=
+                     materialize_budget_bytes
+                 ? materialize_budget_bytes
+                 : 0) {
   assert(d % 2 == 0 && d < n);
   Reset();
 }
 
 void CirculantEdgeStream::Reset() {
+  cache_.OnReset();
   node_ = 0;
   offset_ = 1;
 }
 
 bool CirculantEdgeStream::Next(Edge* e) {
-  if (d_ == 0 || offset_ > d_ / 2) return false;
+  if (cache_.serving()) return cache_.Next(e);
+  if (d_ == 0 || offset_ > d_ / 2) {
+    cache_.MarkComplete();
+    return false;
+  }
   *e = Edge(node_, (node_ + offset_) % n_);
+  cache_.Record(*e);
   ++node_;
   if (node_ == n_) {
     node_ = 0;
@@ -76,6 +109,11 @@ bool CirculantEdgeStream::Next(Edge* e) {
 }
 
 size_t CirculantEdgeStream::NextBatch(Edge* buf, size_t cap) {
+  if (cache_.serving()) {
+    std::span<const Edge> view = cache_.NextView(cap);
+    std::copy(view.begin(), view.end(), buf);
+    return view.size();
+  }
   size_t produced = 0;
   while (produced < cap && d_ != 0 && offset_ <= d_ / 2) {
     // Emit the rest of the current offset ring in one tight loop.
@@ -93,7 +131,16 @@ size_t CirculantEdgeStream::NextBatch(Edge* buf, size_t cap) {
       ++offset_;
     }
   }
+  for (size_t i = 0; i < produced; ++i) cache_.Record(buf[i]);
+  // Complete only on actual generator exhaustion — a cap==0 call mid-pass
+  // must not promote a partial recording.
+  if (d_ == 0 || offset_ > d_ / 2) cache_.MarkComplete();
   return produced;
+}
+
+std::span<const Edge> CirculantEdgeStream::NextView(Edge* scratch, size_t cap) {
+  if (cache_.serving()) return cache_.NextView(cap);
+  return EdgeStream::NextView(scratch, cap);
 }
 
 }  // namespace densest
