@@ -4,12 +4,15 @@
 // the quality and time difference on the livejournal stand-in.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "common/timer.h"
 #include "core/algorithm3.h"
+#include "core/multi_run.h"
 #include "gen/datasets.h"
 #include "graph/directed_graph.h"
+#include "stream/memory_stream.h"
 
 int main() {
   using namespace densest;
@@ -24,30 +27,52 @@ int main() {
   std::printf("%-12s %-10s %10s %8s %10s\n", "rule", "c", "rho", "passes",
               "seconds");
 
-  for (double c : {0.25, 1.0, 4.0}) {
-    for (auto rule : {DirectedRemovalRule::kSizeRatio,
-                      DirectedRemovalRule::kMaxDegree}) {
+  // One fused sweep per rule (all three c values share physical scans
+  // through MultiRunEngine); keeping the rules in separate sweeps preserves
+  // the per-rule wall-clock comparison this ablation is about.
+  uint64_t fused_scans = 0;
+  uint64_t logical_scans = 0;
+  MultiRunEngine engine;
+  for (auto rule : {DirectedRemovalRule::kSizeRatio,
+                    DirectedRemovalRule::kMaxDegree}) {
+    const double cs[] = {0.25, 1.0, 4.0};
+    std::vector<Algorithm3Options> grid;
+    for (double c : cs) {
       Algorithm3Options opt;
       opt.c = c;
       opt.epsilon = 1.0;
       opt.rule = rule;
       opt.record_trace = false;
-      WallTimer t;
-      auto r = RunAlgorithm3(g, opt);
-      if (!r.ok()) return 1;
-      const char* name =
-          rule == DirectedRemovalRule::kSizeRatio ? "size-ratio" : "max-degree";
-      std::printf("%-12s %-10.3g %10.3f %8llu %10.3f\n", name, c,
-                  r->density, static_cast<unsigned long long>(r->passes),
-                  t.ElapsedSeconds());
+      grid.push_back(opt);
+    }
+    DirectedGraphStream stream(g);
+    WallTimer t;
+    auto sweep = engine.RunDirectedRuns(stream, grid);
+    if (!sweep.ok()) return 1;
+    const double sweep_s = t.ElapsedSeconds();
+    fused_scans += engine.last_physical_passes();
+    logical_scans += engine.last_logical_passes();
+    const char* name =
+        rule == DirectedRemovalRule::kSizeRatio ? "size-ratio" : "max-degree";
+    // Every row of a rule carries that rule's whole fused sweep time: the
+    // three c values share their scans, so the total is the cost of the
+    // sweep, not of one run — the per-rule comparison stays meaningful.
+    for (size_t i = 0; i < grid.size(); ++i) {
+      const DirectedDensestResult& r = (*sweep)[i];
+      std::printf("%-12s %-10.3g %10.3f %8llu %10.3f\n", name, cs[i],
+                  r.density, static_cast<unsigned long long>(r.passes),
+                  sweep_s);
       if (csv.ok()) {
-        csv->AddRow({name, CsvWriter::Num(c), CsvWriter::Num(r->density),
-                     std::to_string(r->passes),
-                     CsvWriter::Num(t.ElapsedSeconds())});
+        csv->AddRow({name, CsvWriter::Num(cs[i]), CsvWriter::Num(r.density),
+                     std::to_string(r.passes), CsvWriter::Num(sweep_s)});
       }
     }
   }
-  std::printf("\nExpected shape: comparable density; the size-ratio rule "
+  std::printf("\nfused c grids: %llu physical scans total (run-by-run would "
+              "cost %llu); seconds are per fused 3-c sweep.\n",
+              static_cast<unsigned long long>(fused_scans),
+              static_cast<unsigned long long>(logical_scans));
+  std::printf("Expected shape: comparable density; the size-ratio rule "
               "is the faster of the two (single degree scan per pass), "
               "matching the paper's 'significant speedup in practice'.\n");
   return 0;

@@ -9,9 +9,9 @@
 #include <filesystem>
 #include <string>
 #include <system_error>
-#include <utility>
 #include <vector>
 
+#include "io/bench_json.h"
 #include "io/csv_writer.h"
 
 namespace densest::bench {
@@ -46,40 +46,10 @@ inline StatusOr<CsvWriter> OpenCsv(const std::string& name,
   return CsvWriter::Open(*path, header);
 }
 
-/// \brief Machine-readable metrics sink for the perf harnesses: collects
-/// flat key -> number metrics (edges/s, scan counts, wall seconds) and
-/// writes them as `bench_results/BENCH_<name>.json`, so CI and scripts can
-/// diff runs without scraping the human-oriented stdout tables.
-class BenchJson {
- public:
-  explicit BenchJson(std::string name) : name_(std::move(name)) {}
-
-  void Add(const std::string& key, double value) {
-    metrics_.emplace_back(key, value);
-  }
-
-  /// Writes the collected metrics; returns the error (and leaves no file
-  /// behind) when bench_results/ is unavailable.
-  Status Write() const {
-    StatusOr<std::string> dir = CsvPath(name_);  // ensures bench_results/
-    if (!dir.ok()) return dir.status();
-    const std::string path = "bench_results/BENCH_" + name_ + ".json";
-    FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return Status::IOError("cannot open " + path);
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", name_.c_str());
-    for (size_t i = 0; i < metrics_.size(); ++i) {
-      std::fprintf(f, "%s\n    \"%s\": %.17g", i == 0 ? "" : ",",
-                   metrics_[i].first.c_str(), metrics_[i].second);
-    }
-    std::fprintf(f, "\n  }\n}\n");
-    if (std::fclose(f) != 0) return Status::IOError("close failed: " + path);
-    return Status::OK();
-  }
-
- private:
-  std::string name_;
-  std::vector<std::pair<std::string, double>> metrics_;
-};
+/// Machine-readable metrics sink, now implemented in the library
+/// (io/bench_json.h) so its serialization — key escaping, NaN/inf -> null —
+/// is unit-tested instead of silently emitting invalid JSON here.
+using BenchJson = ::densest::BenchJson;
 
 }  // namespace densest::bench
 

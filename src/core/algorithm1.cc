@@ -38,6 +38,9 @@ StatusOr<UndirectedDensestResult> RunAlgorithm1(
         stats = engine.RunUndirected(stream, run.alive(), degrees);
         break;
     }
+    // A failing stream ends its pass early and silently: the stats above
+    // would describe a truncated edge set. Abort instead of peeling on them.
+    if (Status io = stream.status(); !io.ok()) return io;
     run.ApplyPass(stats, degrees);
   }
   return run.TakeResult();

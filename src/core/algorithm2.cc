@@ -27,6 +27,7 @@ StatusOr<UndirectedDensestResult> RunAlgorithm2(
   while (!run.done()) {
     UndirectedPassResult stats =
         engine.RunUndirected(stream, run.alive(), degrees);
+    if (Status io = stream.status(); !io.ok()) return io;
     run.ApplyPass(stats, degrees);
   }
   return run.TakeResult();

@@ -31,6 +31,7 @@ StatusOr<DirectedDensestResult> RunAlgorithm3(
   while (!run.done()) {
     DirectedPassResult stats =
         engine.RunDirected(stream, run.s(), run.t(), out_to_t, in_from_s);
+    if (Status io = stream.status(); !io.ok()) return io;
     run.ApplyPass(stats, out_to_t, in_from_s);
   }
   return run.TakeResult();

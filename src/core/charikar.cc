@@ -111,24 +111,31 @@ CharikarResult CharikarPeel(const UndirectedGraph& g) {
 namespace {
 
 /// One batched engine pass over the stream, materialized as a CSR graph.
-UndirectedGraph MaterializeStream(EdgeStream& stream) {
+/// Fails with the stream's status when the pass ended early (truncated or
+/// failing file): the partial graph would peel to a plausible wrong rho.
+StatusOr<UndirectedGraph> MaterializeStream(EdgeStream& stream) {
   EdgeList edges(stream.num_nodes());
   if (EdgeId hint = stream.SizeHint(); hint > 0) {
     edges.mutable_edges().reserve(static_cast<size_t>(hint));
   }
   DefaultPassEngine().ForEachEdgeBatched(
       stream, [&](const Edge& e) { edges.Add(e.u, e.v, e.w); });
+  if (Status io = stream.status(); !io.ok()) return io;
   return UndirectedGraph::FromEdgeList(edges);
 }
 
 }  // namespace
 
-CharikarResult CharikarPeel(EdgeStream& stream) {
-  return CharikarPeel(MaterializeStream(stream));
+StatusOr<CharikarResult> CharikarPeel(EdgeStream& stream) {
+  StatusOr<UndirectedGraph> g = MaterializeStream(stream);
+  if (!g.ok()) return g.status();
+  return CharikarPeel(*g);
 }
 
-CharikarResult CharikarPeelWeighted(EdgeStream& stream) {
-  return CharikarPeelWeighted(MaterializeStream(stream));
+StatusOr<CharikarResult> CharikarPeelWeighted(EdgeStream& stream) {
+  StatusOr<UndirectedGraph> g = MaterializeStream(stream);
+  if (!g.ok()) return g.status();
+  return CharikarPeelWeighted(*g);
 }
 
 CharikarResult CharikarPeelWeighted(const UndirectedGraph& g) {

@@ -34,9 +34,12 @@ CharikarResult CharikarPeelWeighted(const UndirectedGraph& g);
 
 /// Stream front ends: ingest the stream's edges with one batched pass of
 /// the shared pass engine (the only scan Charikar needs — the peel itself
-/// requires the graph in memory), then run the greedy peel.
-CharikarResult CharikarPeel(EdgeStream& stream);
-CharikarResult CharikarPeelWeighted(EdgeStream& stream);
+/// requires the graph in memory), then run the greedy peel. Fails with the
+/// stream's IOError when the ingestion pass ended early (a truncated or
+/// failing file) — peeling the partial graph would yield a plausible but
+/// wrong density.
+StatusOr<CharikarResult> CharikarPeel(EdgeStream& stream);
+StatusOr<CharikarResult> CharikarPeelWeighted(EdgeStream& stream);
 
 }  // namespace densest
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <limits>
 #include <thread>
 
 #include "core/peel_runs.h"
@@ -12,13 +13,17 @@ namespace densest {
 namespace {
 
 constexpr size_t kSlots = MultiRunEngine::kShardSlots;
+/// Sentinel shard index: the task walks the whole round sequentially.
+constexpr uint32_t kWholeRound = std::numeric_limits<uint32_t>::max();
 
 /// One degree plane of a fused run: either a single direct vector
-/// (unit-weight streams — integer-exact sums make every accumulation order
-/// the same bits) or PassEngine's slot vectors reduced in index order
-/// (general weights, replicating the engine's deterministic schedule). In
-/// direct mode every slot aliases `values`, so the accumulation loop is
-/// identical either way.
+/// (unit-weight streams driven run-major — integer-exact sums make every
+/// accumulation order the same bits) or PassEngine's slot vectors reduced
+/// in index order (general weights, and any stream whose round may be
+/// shard-split work-major, replicating the engine's deterministic
+/// schedule). In direct mode every slot aliases `values`, so the
+/// accumulation loop is identical either way — but aliased slots must
+/// never be written concurrently, which is what parallel_shards() guards.
 struct AccumPlane {
   std::vector<double> values;              // the reduced per-node result
   std::vector<std::vector<double>> slots;  // empty in direct mode
@@ -33,6 +38,7 @@ struct AccumPlane {
     // Slot vectors are zero by invariant (Reduce re-zeroes them).
     if (slots.empty()) std::fill(values.begin(), values.end(), 0.0);
   }
+  bool slotted() const { return !slots.empty(); }
   double* Slot(size_t s) { return slots.empty() ? values.data() : slots[s].data(); }
   // Mirrors PassEngine::ReduceAndClear: slots summed in index order per
   // node, re-zeroed for the next pass. Keep the two in sync — the summation
@@ -52,7 +58,8 @@ struct AccumPlane {
 };
 
 /// Per-slot weight/count totals, mirroring PassEngine's slot_weight_ /
-/// slot_edges_ (summed in slot order at end of pass).
+/// slot_edges_ (summed in slot order at end of pass). Distinct shards
+/// write distinct slots, so work-major tasks never share an entry.
 struct SlotTotals {
   std::array<double, kSlots> weight{};
   std::array<EdgeId, kSlots> count{};
@@ -74,29 +81,26 @@ struct SlotTotals {
 };
 
 /// Fused Algorithm 3 run: peel logic + its private accumulators.
-struct FusedDirectedRun {
-  Algorithm3Run logic;
-  AccumPlane out, in;
-  SlotTotals totals;
-
+class FusedDirectedRun final : public MultiRunEngine::FusedRun {
+ public:
   FusedDirectedRun(NodeId n, const Algorithm3Options& options, bool direct)
-      : logic(n, options) {
-    out.Init(n, direct);
-    in.Init(n, direct);
+      : logic_(n, options) {
+    out_.Init(n, direct);
+    in_.Init(n, direct);
   }
 
-  bool done() const { return logic.done(); }
-  bool wants_stream() const { return !logic.done(); }
-  void BeginPass() {
-    out.BeginPass();
-    in.BeginPass();
-    totals.BeginPass();
+  bool done() const override { return logic_.done(); }
+  void BeginPass() override {
+    out_.BeginPass();
+    in_.BeginPass();
+    totals_.BeginPass();
   }
-  void AccumulateShard(std::span<const Edge> shard, size_t slot) {
-    const NodeSet& s_set = logic.s();
-    const NodeSet& t_set = logic.t();
-    double* out_acc = out.Slot(slot);
-    double* in_acc = in.Slot(slot);
+  bool parallel_shards() const override { return out_.slotted(); }
+  void AccumulateShard(std::span<const Edge> shard, size_t slot) override {
+    const NodeSet& s_set = logic_.s();
+    const NodeSet& t_set = logic_.t();
+    double* out_acc = out_.Slot(slot);
+    double* in_acc = in_.Slot(slot);
     double weight = 0.0;
     EdgeId arcs = 0;
     for (const Edge& e : shard) {
@@ -107,52 +111,58 @@ struct FusedDirectedRun {
         ++arcs;
       }
     }
-    totals.weight[slot] += weight;
-    totals.count[slot] += arcs;
+    totals_.weight[slot] += weight;
+    totals_.count[slot] += arcs;
   }
-  void FinishPass() {
-    out.Reduce();
-    in.Reduce();
+  void FinishPass() override {
+    out_.Reduce();
+    in_.Reduce();
     DirectedPassResult stats;
-    stats.weight = totals.TotalWeight();
-    stats.arcs = totals.TotalCount();
-    logic.ApplyPass(stats, out.values, in.values);
+    stats.weight = totals_.TotalWeight();
+    stats.arcs = totals_.TotalCount();
+    logic_.ApplyPass(stats, out_.values, in_.values);
   }
-  void FinishOffStream(PassEngine&) {}  // directed runs never leave the scan
-  uint64_t stream_passes(const DirectedDensestResult& r) const {
-    return r.passes;
-  }
+  DirectedDensestResult TakeResult() { return logic_.TakeResult(); }
+
+ private:
+  Algorithm3Run logic_;
+  AccumPlane out_, in_;
+  SlotTotals totals_;
 };
 
 /// Fused Algorithm 1 run. Honors §6.3 compaction: in kCollectPass mode the
-/// shard loop additionally appends survivors (in stream order — shards are
-/// consumed sequentially within a run), after which the run finishes over
-/// its buffer via FinishOffStream, costing no further physical scans.
-struct FusedAlg1Run {
-  Algorithm1Run logic;
-  AccumPlane deg;
-  SlotTotals totals;
-
+/// shard loop additionally appends survivors (in stream order — the run
+/// reports parallel_shards() false for that pass so its shards stay
+/// sequential), after which the run finishes over its buffer via
+/// FinishOffStream, costing no further physical scans.
+class FusedAlg1Run final : public MultiRunEngine::FusedRun {
+ public:
   FusedAlg1Run(NodeId n, const Algorithm1Options& options, bool direct)
-      : logic(n, options) {
-    deg.Init(n, direct);
+      : logic_(n, options) {
+    deg_.Init(n, direct);
   }
 
-  bool done() const { return logic.done(); }
-  bool wants_stream() const {
-    return !logic.done() && logic.mode() != Algorithm1Run::PassMode::kBuffer;
+  bool done() const override { return logic_.done(); }
+  bool wants_stream() const override {
+    return !logic_.done() && logic_.mode() != Algorithm1Run::PassMode::kBuffer;
   }
-  void BeginPass() {
-    deg.BeginPass();
-    totals.BeginPass();
+  void BeginPass() override {
+    deg_.BeginPass();
+    totals_.BeginPass();
   }
-  void AccumulateShard(std::span<const Edge> shard, size_t slot) {
-    const NodeSet& alive = logic.alive();
-    double* acc = deg.Slot(slot);
+  bool parallel_shards() const override {
+    // The collect pass appends survivors in stream order — order a
+    // shard-split round would not preserve.
+    return deg_.slotted() &&
+           logic_.mode() != Algorithm1Run::PassMode::kCollectPass;
+  }
+  void AccumulateShard(std::span<const Edge> shard, size_t slot) override {
+    const NodeSet& alive = logic_.alive();
+    double* acc = deg_.Slot(slot);
     double weight = 0.0;
     EdgeId edges = 0;
-    if (logic.mode() == Algorithm1Run::PassMode::kCollectPass) {
-      std::vector<Edge>& buffer = logic.buffer();
+    if (logic_.mode() == Algorithm1Run::PassMode::kCollectPass) {
+      std::vector<Edge>& buffer = logic_.buffer();
       for (const Edge& e : shard) {
         if (alive.ContainsBoth(e.u, e.v)) {
           acc[e.u] += e.w;
@@ -172,48 +182,48 @@ struct FusedAlg1Run {
         }
       }
     }
-    totals.weight[slot] += weight;
-    totals.count[slot] += edges;
+    totals_.weight[slot] += weight;
+    totals_.count[slot] += edges;
   }
-  void FinishPass() {
-    deg.Reduce();
+  void FinishPass() override {
+    deg_.Reduce();
     UndirectedPassResult stats;
-    stats.weight = totals.TotalWeight();
-    stats.edges = totals.TotalCount();
-    logic.ApplyPass(stats, deg.values);
+    stats.weight = totals_.TotalWeight();
+    stats.edges = totals_.TotalCount();
+    logic_.ApplyPass(stats, deg_.values);
   }
-  void FinishOffStream(PassEngine& engine) {
-    while (!logic.done()) {
+  void FinishOffStream(PassEngine& engine) override {
+    while (!logic_.done()) {
       UndirectedPassResult stats = engine.RunUndirectedBuffer(
-          logic.buffer(), logic.alive(), deg.values, /*compact=*/true);
-      logic.ApplyPass(stats, deg.values);
+          logic_.buffer(), logic_.alive(), deg_.values, /*compact=*/true);
+      logic_.ApplyPass(stats, deg_.values);
     }
   }
-  uint64_t stream_passes(const UndirectedDensestResult& r) const {
-    return r.io_passes;
-  }
+  UndirectedDensestResult TakeResult() { return logic_.TakeResult(); }
+
+ private:
+  Algorithm1Run logic_;
+  AccumPlane deg_;
+  SlotTotals totals_;
 };
 
 /// Fused Algorithm 2 run.
-struct FusedAlg2Run {
-  Algorithm2Run logic;
-  AccumPlane deg;
-  SlotTotals totals;
-
+class FusedAlg2Run final : public MultiRunEngine::FusedRun {
+ public:
   FusedAlg2Run(NodeId n, const Algorithm2Options& options, bool direct)
-      : logic(n, options) {
-    deg.Init(n, direct);
+      : logic_(n, options) {
+    deg_.Init(n, direct);
   }
 
-  bool done() const { return logic.done(); }
-  bool wants_stream() const { return !logic.done(); }
-  void BeginPass() {
-    deg.BeginPass();
-    totals.BeginPass();
+  bool done() const override { return logic_.done(); }
+  void BeginPass() override {
+    deg_.BeginPass();
+    totals_.BeginPass();
   }
-  void AccumulateShard(std::span<const Edge> shard, size_t slot) {
-    const NodeSet& alive = logic.alive();
-    double* acc = deg.Slot(slot);
+  bool parallel_shards() const override { return deg_.slotted(); }
+  void AccumulateShard(std::span<const Edge> shard, size_t slot) override {
+    const NodeSet& alive = logic_.alive();
+    double* acc = deg_.Slot(slot);
     double weight = 0.0;
     EdgeId edges = 0;
     for (const Edge& e : shard) {
@@ -224,26 +234,38 @@ struct FusedAlg2Run {
         ++edges;
       }
     }
-    totals.weight[slot] += weight;
-    totals.count[slot] += edges;
+    totals_.weight[slot] += weight;
+    totals_.count[slot] += edges;
   }
-  void FinishPass() {
-    deg.Reduce();
+  void FinishPass() override {
+    deg_.Reduce();
     UndirectedPassResult stats;
-    stats.weight = totals.TotalWeight();
-    stats.edges = totals.TotalCount();
-    logic.ApplyPass(stats, deg.values);
+    stats.weight = totals_.TotalWeight();
+    stats.edges = totals_.TotalCount();
+    logic_.ApplyPass(stats, deg_.values);
   }
-  void FinishOffStream(PassEngine&) {}
-  uint64_t stream_passes(const UndirectedDensestResult& r) const {
-    return r.passes;
-  }
+  UndirectedDensestResult TakeResult() { return logic_.TakeResult(); }
+
+ private:
+  Algorithm2Run logic_;
+  AccumPlane deg_;
+  SlotTotals totals_;
 };
+
+/// Collects pointers to the concrete runs for Drive().
+template <typename RunT>
+std::vector<MultiRunEngine::FusedRun*> AsFusedRuns(std::vector<RunT>& states) {
+  std::vector<MultiRunEngine::FusedRun*> runs;
+  runs.reserve(states.size());
+  for (RunT& run : states) runs.push_back(&run);
+  return runs;
+}
 
 }  // namespace
 
 MultiRunEngine::MultiRunEngine(const MultiRunOptions& options) {
   num_threads_ = options.num_threads;
+  fan_out_ = options.fan_out;
   if (num_threads_ == 0) {
     num_threads_ = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
@@ -263,35 +285,36 @@ void MultiRunEngine::Dispatch(size_t count,
   }
 }
 
-template <typename RunT>
-void MultiRunEngine::DriveRuns(EdgeStream& stream, std::vector<RunT>& states) {
+Status MultiRunEngine::Drive(EdgeStream& stream,
+                             std::span<FusedRun* const> runs) {
+  last_physical_passes_ = last_logical_passes_ = last_edges_scanned_ = 0;
   batch_.resize(kShardSlots * kShardEdges);
   PassCursor cursor(stream);
 
-  std::vector<RunT*> active;
-  active.reserve(states.size());
+  std::vector<FusedRun*> active;
+  active.reserve(runs.size());
   auto refresh_active = [&] {
     active.clear();
-    for (RunT& run : states) {
-      if (run.done()) continue;
-      if (!run.wants_stream()) {
+    for (FusedRun* run : runs) {
+      if (run->done()) continue;
+      if (!run->wants_stream()) {
         // The run no longer needs the stream (Algorithm 1 compaction):
         // finish it over its private buffer, off the shared scan.
         if (buffer_engine_ == nullptr) {
           buffer_engine_ = std::make_unique<PassEngine>(
               PassEngineOptions{.num_threads = 1});
         }
-        run.FinishOffStream(*buffer_engine_);
+        run->FinishOffStream(*buffer_engine_);
         continue;
       }
-      active.push_back(&run);
+      active.push_back(run);
     }
   };
   refresh_active();
 
   std::array<std::span<const Edge>, kShardSlots> shards;
   while (!active.empty()) {
-    for (RunT* run : active) run->BeginPass();
+    for (FusedRun* run : active) run->BeginPass();
     cursor.BeginPass();
     for (;;) {
       // PassEngine's own shard-boundary schedule, pulled through the
@@ -302,14 +325,50 @@ void MultiRunEngine::DriveRuns(EdgeStream& stream, std::vector<RunT>& states) {
           },
           batch_.data(), shards);
       if (count == 0) break;
-      // Run-major fan-out: each task owns one run's accumulators and walks
-      // the round's shards in order, so threads share nothing mutable.
-      Dispatch(active.size(), [&](size_t i) {
-        for (size_t s = 0; s < count; ++s) {
-          active[i]->AccumulateShard(shards[s], s);
+      if (UseWorkMajor(active.size())) {
+        // Work-major fan-out: each (run, shard) pair is a task — shard s
+        // feeds slot s, so same-run tasks write disjoint slot planes. Runs
+        // whose round must stay sequential become one whole-round task.
+        task_scratch_.clear();
+        for (size_t i = 0; i < active.size(); ++i) {
+          if (active[i]->parallel_shards()) {
+            for (size_t s = 0; s < count; ++s) {
+              task_scratch_.emplace_back(static_cast<uint32_t>(i),
+                                         static_cast<uint32_t>(s));
+            }
+          } else {
+            task_scratch_.emplace_back(static_cast<uint32_t>(i), kWholeRound);
+          }
         }
-      });
+        Dispatch(task_scratch_.size(), [&](size_t t) {
+          const auto [i, s] = task_scratch_[t];
+          if (s == kWholeRound) {
+            for (size_t k = 0; k < count; ++k) {
+              active[i]->AccumulateShard(shards[k], k);
+            }
+          } else {
+            active[i]->AccumulateShard(shards[s], s);
+          }
+        });
+      } else {
+        // Run-major fan-out: each task owns one run's accumulators and
+        // walks the round's shards in order, so threads share nothing
+        // mutable.
+        Dispatch(active.size(), [&](size_t i) {
+          for (size_t s = 0; s < count; ++s) {
+            active[i]->AccumulateShard(shards[s], s);
+          }
+        });
+      }
       if (count < kShardSlots) break;
+    }
+    // A failing stream ends the pass early and silently; the accumulated
+    // statistics describe a truncated edge set. Abort before peeling on
+    // them — partial sweep results are worse than no results.
+    if (Status io = stream.status(); !io.ok()) {
+      last_physical_passes_ = cursor.passes();
+      last_edges_scanned_ = cursor.edges_scanned();
+      return io;
     }
     // Reduce + peel, also run-major: only run-private state mutates.
     Dispatch(active.size(), [&](size_t i) { active[i]->FinishPass(); });
@@ -318,6 +377,7 @@ void MultiRunEngine::DriveRuns(EdgeStream& stream, std::vector<RunT>& states) {
 
   last_physical_passes_ = cursor.passes();
   last_edges_scanned_ = cursor.edges_scanned();
+  return Status::OK();
 }
 
 StatusOr<std::vector<DirectedDensestResult>> MultiRunEngine::RunDirectedRuns(
@@ -333,20 +393,23 @@ StatusOr<std::vector<DirectedDensestResult>> MultiRunEngine::RunDirectedRuns(
     if (!(options.c > 0)) return Status::InvalidArgument("c must be > 0");
   }
 
-  const bool direct = stream.HasUnitWeights();
+  const bool direct = UseDirectPlanes(stream, runs.size());
   std::vector<FusedDirectedRun> states;
   states.reserve(runs.size());
   for (const Algorithm3Options& options : runs) {
     states.emplace_back(n, options, direct);
   }
-  DriveRuns(stream, states);
+  std::vector<FusedRun*> fused = AsFusedRuns(states);
+  if (Status s = Drive(stream, fused); !s.ok()) return s;
 
   std::vector<DirectedDensestResult> results;
   results.reserve(states.size());
+  uint64_t logical = 0;
   for (FusedDirectedRun& run : states) {
-    results.push_back(run.logic.TakeResult());
-    last_logical_passes_ += run.stream_passes(results.back());
+    results.push_back(run.TakeResult());
+    logical += results.back().passes;
   }
+  RecordLogicalPasses(logical);
   return results;
 }
 
@@ -362,20 +425,23 @@ StatusOr<std::vector<UndirectedDensestResult>> MultiRunEngine::RunUndirectedRuns
     }
   }
 
-  const bool direct = stream.HasUnitWeights();
+  const bool direct = UseDirectPlanes(stream, runs.size());
   std::vector<FusedAlg1Run> states;
   states.reserve(runs.size());
   for (const Algorithm1Options& options : runs) {
     states.emplace_back(n, options, direct);
   }
-  DriveRuns(stream, states);
+  std::vector<FusedRun*> fused = AsFusedRuns(states);
+  if (Status s = Drive(stream, fused); !s.ok()) return s;
 
   std::vector<UndirectedDensestResult> results;
   results.reserve(states.size());
+  uint64_t logical = 0;
   for (FusedAlg1Run& run : states) {
-    results.push_back(run.logic.TakeResult());
-    last_logical_passes_ += run.stream_passes(results.back());
+    results.push_back(run.TakeResult());
+    logical += results.back().io_passes;
   }
+  RecordLogicalPasses(logical);
   return results;
 }
 
@@ -394,20 +460,23 @@ StatusOr<std::vector<UndirectedDensestResult>> MultiRunEngine::RunUndirectedRuns
     }
   }
 
-  const bool direct = stream.HasUnitWeights();
+  const bool direct = UseDirectPlanes(stream, runs.size());
   std::vector<FusedAlg2Run> states;
   states.reserve(runs.size());
   for (const Algorithm2Options& options : runs) {
     states.emplace_back(n, options, direct);
   }
-  DriveRuns(stream, states);
+  std::vector<FusedRun*> fused = AsFusedRuns(states);
+  if (Status s = Drive(stream, fused); !s.ok()) return s;
 
   std::vector<UndirectedDensestResult> results;
   results.reserve(states.size());
+  uint64_t logical = 0;
   for (FusedAlg2Run& run : states) {
-    results.push_back(run.logic.TakeResult());
-    last_logical_passes_ += run.stream_passes(results.back());
+    results.push_back(run.TakeResult());
+    logical += results.back().passes;
   }
+  RecordLogicalPasses(logical);
   return results;
 }
 

@@ -1,0 +1,90 @@
+#include "io/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace densest {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string BenchJson::ToJson() const {
+  std::string out = "{\n  \"bench\": \"" + JsonEscape(name_) +
+                    "\",\n  \"metrics\": {";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"" + JsonEscape(metrics_[i].first) + "\": ";
+    const double v = metrics_[i].second;
+    if (std::isfinite(v)) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out += buf;
+    } else {
+      out += "null";
+    }
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+Status BenchJson::Write() const {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (ec) {
+    return Status::IOError("cannot create bench_results/: " + ec.message());
+  }
+  const std::string path = "bench_results/BENCH_" + name_ + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const std::string doc = ToJson();
+  if (std::fwrite(doc.data(), 1, doc.size(), f) != doc.size()) {
+    std::fclose(f);
+    std::remove(path.c_str());  // never leave a half-written document
+    return Status::IOError("short write: " + path);
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(path.c_str());
+    return Status::IOError("close failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace densest

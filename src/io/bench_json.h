@@ -1,0 +1,56 @@
+// Copyright 2026 The densest Authors.
+// Machine-readable metrics sink for the perf harnesses. Lives in the
+// library (not bench/) so the serialization — key escaping, non-finite
+// handling — is unit-testable; a NaN metric or a quote in a key must never
+// emit invalid JSON, because CI tooling diffs these files across runs.
+
+#ifndef DENSEST_IO_BENCH_JSON_H_
+#define DENSEST_IO_BENCH_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace densest {
+
+/// Escapes `s` for use inside a JSON string literal: backslash, double
+/// quote, and control characters (U+0000..U+001F) are encoded per RFC 8259.
+std::string JsonEscape(const std::string& s);
+
+/// \brief Collects flat key -> number metrics (edges/s, scan counts, wall
+/// seconds) and serializes them as one JSON object, so CI and scripts can
+/// diff runs without scraping the human-oriented stdout tables.
+///
+/// Serialization is always valid JSON: keys and the bench name are escaped,
+/// and non-finite values (NaN, +/-inf have no JSON representation) are
+/// written as null rather than as bare tokens that break parsers.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  const std::string& name() const { return name_; }
+
+  /// Renders the full document, e.g.
+  /// {"bench": "multi_run", "metrics": {"scan_reduction": 21.5}}.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `bench_results/BENCH_<name>.json` under the current
+  /// working directory, creating bench_results/ if needed. Returns the
+  /// error (leaving no file behind) when the directory or file is
+  /// unavailable.
+  Status Write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_IO_BENCH_JSON_H_

@@ -30,6 +30,10 @@ StatusOr<EdgeList> ReadEdgeListText(const std::string& path) {
     }
     edges.Add(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
   }
+  // getline exits identically on EOF and on a mid-file read error; only
+  // badbit tells them apart. Returning the partial list as OK would yield
+  // a plausible-looking density over a truncated edge set.
+  if (in.bad()) return Status::IOError("read error: " + path);
   return edges;
 }
 

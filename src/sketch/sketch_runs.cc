@@ -1,0 +1,205 @@
+#include "sketch/sketch_runs.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace densest {
+
+SketchedAlgorithm1Run::SketchedAlgorithm1Run(
+    NodeId n, std::unique_ptr<DegreeOracle> oracle,
+    const Algorithm1Options& options)
+    : options_(options),
+      n_(n),
+      owned_oracle_(std::move(oracle)),
+      oracle_(owned_oracle_.get()),
+      alive_(n, /*full=*/true),
+      best_(alive_) {
+  done_ = alive_.empty();
+}
+
+SketchedAlgorithm1Run::SketchedAlgorithm1Run(NodeId n, DegreeOracle& oracle,
+                                             const Algorithm1Options& options)
+    : options_(options),
+      n_(n),
+      oracle_(&oracle),
+      alive_(n, /*full=*/true),
+      best_(alive_) {
+  done_ = alive_.empty();
+}
+
+void SketchedAlgorithm1Run::ApplyPass(const UndirectedPassResult& stats) {
+  ++pass_;
+  const double rho = stats.weight / static_cast<double>(alive_.size());
+  if (rho > best_density_) {
+    best_density_ = rho;
+    best_ = alive_;
+  }
+
+  const double factor = 2.0 * (1.0 + options_.epsilon);
+  const double threshold = factor * rho;
+  std::vector<std::pair<double, NodeId>> estimates;
+  estimates.reserve(alive_.size());
+  NodeId removed = 0;
+  for (NodeId u = 0; u < n_; ++u) {
+    if (!alive_.Contains(u)) continue;
+    double est = oracle_->EstimateDegree(u);
+    if (est <= threshold) {
+      alive_.Remove(u);
+      ++removed;
+    } else {
+      estimates.emplace_back(est, u);
+    }
+  }
+  // A noisy sketch can over-estimate every candidate and remove nobody,
+  // which would degrade to one pass per node. Force geometric progress
+  // the way Algorithm 2 does: drop the lowest-estimate nodes, at least a
+  // 1/16 fraction (or eps/(1+eps) if that is larger), so the pass count
+  // stays O(log |S|) even under heavy sketch noise.
+  if (removed == 0 && !estimates.empty()) {
+    double fraction =
+        std::max(options_.epsilon / (1.0 + options_.epsilon), 1.0 / 16.0);
+    size_t quota = static_cast<size_t>(
+        fraction * static_cast<double>(estimates.size()));
+    quota = std::min(std::max<size_t>(quota, 1), estimates.size());
+    std::nth_element(estimates.begin(), estimates.begin() + (quota - 1),
+                     estimates.end());
+    for (size_t i = 0; i < quota; ++i) {
+      alive_.Remove(estimates[i].second);
+      ++removed;
+    }
+  }
+
+  if (options_.record_trace) {
+    PassSnapshot snap;
+    snap.pass = pass_;
+    snap.nodes = static_cast<NodeId>(alive_.size() + removed);
+    snap.edges = stats.edges;
+    snap.weight = stats.weight;
+    snap.density = rho;
+    snap.threshold = threshold;
+    snap.removed = removed;
+    result_.result.trace.push_back(snap);
+  }
+
+  done_ = alive_.empty() ||
+          (options_.max_passes != 0 && pass_ >= options_.max_passes);
+}
+
+SketchedResult SketchedAlgorithm1Run::TakeResult() {
+  result_.result.nodes = best_.ToVector();
+  result_.result.density = best_density_ < 0 ? 0.0 : best_density_;
+  result_.result.passes = pass_;
+  result_.result.io_passes = pass_;  // oracle runs always scan the stream
+  result_.oracle_state_words = oracle_->StateWords();
+  result_.memory_ratio = static_cast<double>(result_.oracle_state_words) /
+                         static_cast<double>(n_);
+  return std::move(result_);
+}
+
+namespace {
+
+/// A SketchedAlgorithm1Run adapted to MultiRunEngine's fan-out. The oracle
+/// is an order-dependent FP accumulator, so the whole round is consumed
+/// sequentially in shard (= stream) order and parallel_shards() is false:
+/// work-major rounds schedule this run as one whole-round task. The exact
+/// pass aggregates are summed in the same stream order, matching the
+/// sequential driver's scalar drain bit for bit on every stream shape.
+class FusedSketchedRun final : public MultiRunEngine::FusedRun {
+ public:
+  FusedSketchedRun(NodeId n, std::unique_ptr<DegreeOracle> oracle,
+                   const Algorithm1Options& options)
+      : run_(n, std::move(oracle), options) {}
+
+  bool done() const override { return run_.done(); }
+  void BeginPass() override {
+    run_.oracle().BeginPass();
+    weight_ = 0.0;
+    edges_ = 0;
+  }
+  bool parallel_shards() const override { return false; }
+  void AccumulateShard(std::span<const Edge> shard, size_t) override {
+    const NodeSet& alive = run_.alive();
+    DegreeOracle& oracle = run_.oracle();
+    for (const Edge& e : shard) {
+      if (alive.ContainsBoth(e.u, e.v)) {
+        oracle.AddIncidence(e.u, e.w);
+        oracle.AddIncidence(e.v, e.w);
+        weight_ += e.w;
+        ++edges_;
+      }
+    }
+  }
+  void FinishPass() override {
+    UndirectedPassResult stats;
+    stats.edges = edges_;
+    stats.weight = weight_;
+    run_.ApplyPass(stats);
+  }
+  SketchedResult TakeResult() { return run_.TakeResult(); }
+
+ private:
+  SketchedAlgorithm1Run run_;
+  double weight_ = 0.0;
+  EdgeId edges_ = 0;
+};
+
+}  // namespace
+
+StatusOr<std::vector<SketchedResult>> RunSketchedSweep(
+    EdgeStream& stream, const std::vector<SketchedSweepRun>& runs,
+    MultiRunEngine* engine) {
+  if (runs.empty()) {
+    // Mirror the Run*Runs entry points: an empty sweep still zeroes the
+    // engine's scan counters (Drive of zero runs scans nothing), so a
+    // caller reusing the engine never reads the previous sweep's totals.
+    if (engine != nullptr) {
+      if (Status s = engine->Drive(stream, {}); !s.ok()) return s;
+    }
+    return std::vector<SketchedResult>{};
+  }
+  const NodeId n = stream.num_nodes();
+  if (n == 0) return Status::InvalidArgument("graph has no nodes");
+  for (const SketchedSweepRun& run : runs) {
+    if (run.options.epsilon < 0) {
+      return Status::InvalidArgument("epsilon must be >= 0");
+    }
+  }
+
+  std::vector<std::unique_ptr<FusedSketchedRun>> states;
+  states.reserve(runs.size());
+  for (const SketchedSweepRun& run : runs) {
+    std::unique_ptr<DegreeOracle> oracle;
+    if (run.exact) {
+      oracle = std::make_unique<ExactDegreeOracle>(n);
+    } else {
+      StatusOr<CountSketch> sketch =
+          CountSketch::Create(run.sketch, run.sketch_seed);
+      if (!sketch.ok()) return sketch.status();
+      oracle = std::make_unique<SketchDegreeOracle>(std::move(*sketch));
+    }
+    states.push_back(std::make_unique<FusedSketchedRun>(
+        n, std::move(oracle), run.options));
+  }
+
+  std::unique_ptr<MultiRunEngine> local;
+  if (engine == nullptr) {
+    local = std::make_unique<MultiRunEngine>();
+    engine = local.get();
+  }
+  std::vector<MultiRunEngine::FusedRun*> fused;
+  fused.reserve(states.size());
+  for (auto& state : states) fused.push_back(state.get());
+  if (Status s = engine->Drive(stream, fused); !s.ok()) return s;
+
+  std::vector<SketchedResult> results;
+  results.reserve(states.size());
+  uint64_t logical = 0;
+  for (auto& state : states) {
+    results.push_back(state->TakeResult());
+    logical += results.back().result.passes;
+  }
+  engine->RecordLogicalPasses(logical);
+  return results;
+}
+
+}  // namespace densest

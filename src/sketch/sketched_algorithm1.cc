@@ -1,11 +1,10 @@
 #include "sketch/sketched_algorithm1.h"
 
-#include <algorithm>
 #include <utility>
-#include <vector>
 
 #include "core/pass_engine.h"
 #include "graph/subgraph.h"
+#include "sketch/sketch_runs.h"
 
 namespace densest {
 
@@ -20,87 +19,26 @@ StatusOr<SketchedResult> RunAlgorithm1WithOracle(
 
   PassEngine& engine =
       options.engine != nullptr ? *options.engine : DefaultPassEngine();
-  NodeSet alive(n, /*full=*/true);
-  SketchedResult out;
-  NodeSet best = alive;
-  double best_density = -1.0;
-
-  const double factor = 2.0 * (1.0 + options.epsilon);
-  uint64_t pass = 0;
-  while (!alive.empty() &&
-         (options.max_passes == 0 || pass < options.max_passes)) {
-    ++pass;
-    // Pass: exact aggregates, oracle-backed per-node degrees. The oracle
-    // update order must match the stream, so the engine's sequential
-    // batched drain is used rather than the parallel accumulators.
+  // The peel logic lives in the state machine shared with the fused
+  // RunSketchedSweep driver; this loop only supplies the passes. The
+  // oracle update order must match the stream, so the engine's sequential
+  // batched drain is used rather than the parallel accumulators.
+  SketchedAlgorithm1Run run(n, oracle, options);
+  while (!run.done()) {
     oracle.BeginPass();
-    double weight = 0;
-    EdgeId edges = 0;
-    engine.ForEachAliveEdge(stream, alive, [&](const Edge& e) {
+    UndirectedPassResult stats;
+    engine.ForEachAliveEdge(stream, run.alive(), [&](const Edge& e) {
       oracle.AddIncidence(e.u, e.w);
       oracle.AddIncidence(e.v, e.w);
-      weight += e.w;
-      ++edges;
+      stats.weight += e.w;
+      ++stats.edges;
     });
-    const double rho = weight / static_cast<double>(alive.size());
-    if (rho > best_density) {
-      best_density = rho;
-      best = alive;
-    }
-
-    const double threshold = factor * rho;
-    std::vector<std::pair<double, NodeId>> estimates;
-    estimates.reserve(alive.size());
-    NodeId removed = 0;
-    for (NodeId u = 0; u < n; ++u) {
-      if (!alive.Contains(u)) continue;
-      double est = oracle.EstimateDegree(u);
-      if (est <= threshold) {
-        alive.Remove(u);
-        ++removed;
-      } else {
-        estimates.emplace_back(est, u);
-      }
-    }
-    // A noisy sketch can over-estimate every candidate and remove nobody,
-    // which would degrade to one pass per node. Force geometric progress
-    // the way Algorithm 2 does: drop the lowest-estimate nodes, at least a
-    // 1/16 fraction (or eps/(1+eps) if that is larger), so the pass count
-    // stays O(log |S|) even under heavy sketch noise.
-    if (removed == 0 && !estimates.empty()) {
-      double fraction = std::max(
-          options.epsilon / (1.0 + options.epsilon), 1.0 / 16.0);
-      size_t quota = static_cast<size_t>(
-          fraction * static_cast<double>(estimates.size()));
-      quota = std::min(std::max<size_t>(quota, 1), estimates.size());
-      std::nth_element(estimates.begin(), estimates.begin() + (quota - 1),
-                       estimates.end());
-      for (size_t i = 0; i < quota; ++i) {
-        alive.Remove(estimates[i].second);
-        ++removed;
-      }
-    }
-
-    if (options.record_trace) {
-      PassSnapshot snap;
-      snap.pass = pass;
-      snap.nodes = static_cast<NodeId>(alive.size() + removed);
-      snap.edges = edges;
-      snap.weight = weight;
-      snap.density = rho;
-      snap.threshold = threshold;
-      snap.removed = removed;
-      out.result.trace.push_back(snap);
-    }
+    // A failing stream ends its pass early and silently; abort instead of
+    // peeling on statistics of a truncated edge set.
+    if (Status io = stream.status(); !io.ok()) return io;
+    run.ApplyPass(stats);
   }
-
-  out.result.nodes = best.ToVector();
-  out.result.density = best_density < 0 ? 0.0 : best_density;
-  out.result.passes = pass;
-  out.oracle_state_words = oracle.StateWords();
-  out.memory_ratio =
-      static_cast<double>(out.oracle_state_words) / static_cast<double>(n);
-  return out;
+  return run.TakeResult();
 }
 
 StatusOr<SketchedResult> RunSketchedAlgorithm1(

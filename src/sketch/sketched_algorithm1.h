@@ -29,7 +29,10 @@ struct SketchedResult {
 /// SketchDegreeOracle it reproduces the paper's §5.1 heuristic.
 ///
 /// The density rho(S) is always tracked exactly (two scalars); only the
-/// per-node degree test uses the oracle.
+/// per-node degree test uses the oracle. The peel logic itself lives in
+/// SketchedAlgorithm1Run (sketch/sketch_runs.h), shared with the fused
+/// RunSketchedSweep that drives a whole Table 4 grid from one physical
+/// scan per pass.
 StatusOr<SketchedResult> RunAlgorithm1WithOracle(
     EdgeStream& stream, DegreeOracle& oracle,
     const Algorithm1Options& options);

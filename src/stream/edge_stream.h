@@ -11,6 +11,7 @@
 #include <functional>
 #include <span>
 
+#include "common/status.h"
 #include "graph/types.h"
 
 namespace densest {
@@ -53,6 +54,16 @@ class EdgeStream {
   virtual std::span<const Edge> NextView(Edge* scratch, size_t cap) {
     return {scratch, NextBatch(scratch, cap)};
   }
+
+  /// Health of the stream. Next/NextBatch/NextView signal "no more edges"
+  /// by returning nothing, which deliberately conflates end-of-pass with
+  /// mid-pass failure (a disk read error, a truncated file); a pass that
+  /// ended early would otherwise yield a plausible-looking density computed
+  /// from a silently truncated edge set. Streams that can fail set a sticky
+  /// error here, and every pass driver checks it after draining a pass,
+  /// aborting the run with the error instead of peeling on bad statistics.
+  /// In-memory and generator streams cannot fail and keep the OK default.
+  virtual Status status() const { return Status::OK(); }
 
   /// True when every edge is guaranteed to carry weight exactly 1.0.
   /// Unit-weight sums are exact in double precision, so the pass engine may

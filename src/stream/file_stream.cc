@@ -70,6 +70,7 @@ StatusOr<std::unique_ptr<BinaryFileEdgeStream>> BinaryFileEdgeStream::Open(
 
   auto stream = std::unique_ptr<BinaryFileEdgeStream>(new BinaryFileEdgeStream());
   stream->file_ = f;
+  stream->path_ = path;
   stream->header_ = header;
   stream->weighted_ = (header.flags & 1) != 0;
   stream->front_.resize(kMaxRecord + kBufferBytes);
@@ -89,6 +90,11 @@ void BinaryFileEdgeStream::IssuePrefetch() {
   if (exhausted_) return;
   prefetch_ = reader_->Submit([this] {
     back_len_ = std::fread(back_.data() + kMaxRecord, 1, kBufferBytes, file_);
+    // A short fread means EOF *or* a read error; only ferror tells them
+    // apart, and it must be checked here while the task owns the FILE.
+    // Treating an error as EOF would silently truncate the pass and yield
+    // a plausible-looking density over a partial edge set.
+    back_error_ = back_len_ < kBufferBytes && std::ferror(file_) != 0;
   });
 }
 
@@ -101,7 +107,13 @@ size_t BinaryFileEdgeStream::WaitPrefetch() {
 
 void BinaryFileEdgeStream::Reset() {
   WaitPrefetch();  // the task owns the FILE until joined
-  std::fseek(file_, sizeof(BinaryEdgeFileHeader), SEEK_SET);
+  // status_ is deliberately NOT cleared: a failed or truncated file stays
+  // failed — every pass over it would be short the same way.
+  std::clearerr(file_);
+  if (std::fseek(file_, sizeof(BinaryEdgeFileHeader), SEEK_SET) != 0 &&
+      status_.ok()) {
+    status_ = Status::IOError("seek failed: " + path_);
+  }
   emitted_ = 0;
   buf_pos_ = 0;
   buf_len_ = 0;
@@ -113,9 +125,28 @@ bool BinaryFileEdgeStream::Refill(size_t record) {
   // Carry the partial-record tail (at most kMaxRecord-1 bytes) into the
   // slack ahead of the prefetched chunk, then swap buffers and start the
   // next read immediately — the disk works while the caller decodes.
+  //
+  // Callers only ask for a refill while emitted_ < header_.num_edges, so
+  // every false return below is a premature end of data: either the fread
+  // itself failed (back_error_) or the file holds fewer records than its
+  // header promises. Both are recorded as a sticky IOError — returning
+  // false alone looks identical to a clean end-of-pass to the decode loop.
   const size_t tail = buf_len_ - buf_pos_;
   const size_t got = WaitPrefetch();
-  if (got == 0) return false;  // end of file (or truncated final record)
+  if (back_error_) {
+    if (status_.ok()) status_ = Status::IOError("read error: " + path_);
+    exhausted_ = true;
+    return false;
+  }
+  if (got + tail < record) {
+    if (status_.ok()) {
+      status_ = Status::IOError(
+          "truncated edge file: " + path_ + " ends after " +
+          std::to_string(emitted_) + " of " +
+          std::to_string(header_.num_edges) + " edges");
+    }
+    if (got == 0) return false;  // nothing to swap in
+  }
   if (tail > 0) {
     std::memcpy(back_.data() + kMaxRecord - tail,
                 front_.data() + buf_pos_, tail);

@@ -54,6 +54,12 @@ class BinaryFileEdgeStream : public EdgeStream {
   void Reset() override;
   bool Next(Edge* e) override;
   size_t NextBatch(Edge* buf, size_t cap) override;
+  /// Sticky IO health: set to IOError when a mid-stream fread fails
+  /// (ferror, not EOF) or when the file ends before header_.num_edges
+  /// records were decoded (a truncated file). Once set it persists across
+  /// Reset() — the underlying file is bad and every further pass would be
+  /// silently short, which is exactly the wrong-density bug this guards.
+  Status status() const override { return status_; }
   bool HasUnitWeights() const override { return !weighted_; }
   NodeId num_nodes() const override { return header_.num_nodes; }
   EdgeId SizeHint() const override { return header_.num_edges; }
@@ -75,10 +81,12 @@ class BinaryFileEdgeStream : public EdgeStream {
   bool Refill(size_t record);
 
   FILE* file_ = nullptr;
+  std::string path_;  // for error messages
   BinaryEdgeFileHeader header_;
   bool weighted_ = false;
   EdgeId emitted_ = 0;
   uint64_t bytes_read_ = 0;
+  Status status_;  // sticky; see status()
   // Double buffer: decode from front_ while the prefetch task fills back_.
   // Each buffer reserves kMaxRecord leading bytes so a partial record can
   // be carried over in front of the next chunk's data.
@@ -87,6 +95,10 @@ class BinaryFileEdgeStream : public EdgeStream {
   size_t buf_pos_ = 0;
   size_t buf_len_ = 0;
   size_t back_len_ = 0;  // written by the prefetch task, read after wait
+  // Whether the prefetch task's short fread was a stream *error* rather
+  // than EOF (std::ferror, checked inside the task while it still owns the
+  // FILE). Read only after WaitPrefetch, like back_len_.
+  bool back_error_ = false;
   bool exhausted_ = false;
   std::unique_ptr<ThreadPool> reader_;  // one background read thread
   std::future<void> prefetch_;

@@ -55,6 +55,7 @@ class CountingEdgeStream : public EdgeStream {
     return view;
   }
   bool HasUnitWeights() const override { return inner_->HasUnitWeights(); }
+  Status status() const override { return inner_->status(); }
   // The CSR views are deliberately NOT forwarded: the pass engine's CSR
   // kernel reads the graph without flowing edges through this decorator,
   // which would silently break the edges_scanned accounting.

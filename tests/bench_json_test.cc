@@ -1,0 +1,95 @@
+// Tests for the bench metrics JSON writer: a NaN/inf metric or a quote in
+// a key (or the bench name) must still serialize to valid JSON — CI tooling
+// parses these files, and a bare `nan` token or unescaped quote breaks it.
+
+#include "io/bench_json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace densest {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainStringsThrough) {
+  EXPECT_EQ(JsonEscape("fig64.scan_reduction"), "fig64.scan_reduction");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape("a\rb\bc\fd"), "a\\rb\\bc\\fd");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(BenchJsonTest, SerializesFiniteMetrics) {
+  BenchJson json("unit");
+  json.Add("edges_per_s", 1.5);
+  json.Add("scans", 22);
+  EXPECT_EQ(json.ToJson(),
+            "{\n  \"bench\": \"unit\",\n  \"metrics\": {\n"
+            "    \"edges_per_s\": 1.5,\n"
+            "    \"scans\": 22\n  }\n}\n");
+}
+
+TEST(BenchJsonTest, NonFiniteValuesBecomeNull) {
+  BenchJson json("unit");
+  json.Add("nan_metric", std::nan(""));
+  json.Add("inf_metric", std::numeric_limits<double>::infinity());
+  json.Add("neg_inf", -std::numeric_limits<double>::infinity());
+  const std::string doc = json.ToJson();
+  EXPECT_NE(doc.find("\"nan_metric\": null"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"inf_metric\": null"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"neg_inf\": null"), std::string::npos) << doc;
+  // The invalid bare tokens must never appear.
+  EXPECT_EQ(doc.find("nan,"), std::string::npos) << doc;
+  EXPECT_EQ(doc.find("inf,"), std::string::npos) << doc;
+}
+
+TEST(BenchJsonTest, EscapesKeysAndName) {
+  BenchJson json("we\"ird\\name");
+  json.Add("key \"with\" quotes", 1.0);
+  json.Add("tab\there", 2.0);
+  const std::string doc = json.ToJson();
+  EXPECT_NE(doc.find("\"bench\": \"we\\\"ird\\\\name\""), std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"key \\\"with\\\" quotes\": 1"), std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"tab\\there\": 2"), std::string::npos) << doc;
+}
+
+TEST(BenchJsonTest, EmptyMetricsStillValid) {
+  BenchJson json("empty");
+  EXPECT_EQ(json.ToJson(),
+            "{\n  \"bench\": \"empty\",\n  \"metrics\": {\n  }\n}\n");
+}
+
+TEST(BenchJsonTest, WriteRoundTripsToDisk) {
+  // Write() targets bench_results/ under the CWD; run it from a temp dir.
+  const std::string dir = ::testing::TempDir() + "/bench_json_test";
+  std::filesystem::create_directories(dir);
+  const std::filesystem::path old_cwd = std::filesystem::current_path();
+  std::filesystem::current_path(dir);
+
+  BenchJson json("roundtrip");
+  json.Add("value", 42.0);
+  ASSERT_TRUE(json.Write().ok());
+
+  std::ifstream in("bench_results/BENCH_roundtrip.json");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), json.ToJson());
+
+  std::filesystem::current_path(old_cwd);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace densest

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <set>
+#include <string>
 
 #include "flow/brute_force.h"
 #include "flow/goldberg.h"
@@ -13,6 +16,7 @@
 #include "gen/planted.h"
 #include "graph/graph_builder.h"
 #include "graph/subgraph.h"
+#include "stream/file_stream.h"
 #include "stream/memory_stream.h"
 
 namespace densest {
@@ -121,15 +125,33 @@ TEST(CharikarTest, StreamFrontEndMatchesGraphVersion) {
   CharikarResult from_graph = CharikarPeel(g);
 
   EdgeListStream stream(el);
-  CharikarResult from_stream = CharikarPeel(stream);
-  EXPECT_DOUBLE_EQ(from_stream.best.density, from_graph.best.density);
-  EXPECT_EQ(from_stream.best.nodes, from_graph.best.nodes);
-  EXPECT_EQ(from_stream.removal_order, from_graph.removal_order);
+  auto from_stream = CharikarPeel(stream);
+  ASSERT_TRUE(from_stream.ok());
+  EXPECT_DOUBLE_EQ(from_stream->best.density, from_graph.best.density);
+  EXPECT_EQ(from_stream->best.nodes, from_graph.best.nodes);
+  EXPECT_EQ(from_stream->removal_order, from_graph.removal_order);
 
-  CharikarResult weighted_stream = CharikarPeelWeighted(stream);
+  auto weighted_stream = CharikarPeelWeighted(stream);
+  ASSERT_TRUE(weighted_stream.ok());
   CharikarResult weighted_graph = CharikarPeelWeighted(g);
-  EXPECT_DOUBLE_EQ(weighted_stream.best.density, weighted_graph.best.density);
-  EXPECT_EQ(weighted_stream.best.nodes, weighted_graph.best.nodes);
+  EXPECT_DOUBLE_EQ(weighted_stream->best.density, weighted_graph.best.density);
+  EXPECT_EQ(weighted_stream->best.nodes, weighted_graph.best.nodes);
+}
+
+TEST(CharikarStreamTest, TruncatedFileSurfacesIOError) {
+  // The stream front end materializes with one pass; a truncated file must
+  // fail the call instead of peeling the partial graph.
+  const std::string path = ::testing::TempDir() + "/charikar_trunc.bin";
+  EdgeList el = ErdosRenyiGnm(500, 8000, 211);
+  ASSERT_TRUE(WriteBinaryEdgeFile(path, el, /*weighted=*/false).ok());
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 2000 * 8);
+  auto stream = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(stream.ok());
+  auto r = CharikarPeel(**stream);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kIOError);
+  std::remove(path.c_str());
 }
 
 // The classical guarantee: greedy >= rho*/2, verified against both oracles.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -222,6 +223,26 @@ TEST(CliGenerateTest, GenerateBinaryFormat) {
   Status status = RunCliCommand("stats", *stat_args, stats_out);
   ASSERT_TRUE(status.ok()) << status.ToString();
   EXPECT_NE(stats_out.str().find("|E|=100"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliGenerateTest, TruncatedBinaryFileRejected) {
+  // A .bin whose header promises more edges than its body holds must fail
+  // loading with an IOError, not silently analyze a partial graph.
+  std::string path = ::testing::TempDir() + "/cli_trunc.bin";
+  auto args = Args::Parse({"er", path, "--nodes=2000", "--edges=30000",
+                           "--format=bin"});
+  ASSERT_TRUE(args.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCliCommand("generate", *args, out).ok());
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 5000 * 8);
+
+  auto run_args = Args::Parse({path, "--eps=0.5"});
+  std::ostringstream run_out;
+  Status status = RunCliCommand("undirected", *run_args, run_out);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kIOError);
   std::remove(path.c_str());
 }
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -83,7 +84,8 @@ std::vector<Algorithm3Options> DirectedGrid() {
 }
 
 /// Fused results over `stream` must equal sequential RunAlgorithm3 per
-/// options, for every fan-out thread count.
+/// options, for every fan-out thread count and both fan-out shapes
+/// (run-major, and work-major where (run, shard) pairs are the tasks).
 void CheckDirectedEquivalence(EdgeStream& stream, const std::string& label) {
   const std::vector<Algorithm3Options> grid = DirectedGrid();
 
@@ -94,20 +96,28 @@ void CheckDirectedEquivalence(EdgeStream& stream, const std::string& label) {
     seq.push_back(std::move(*r));
   }
 
-  for (size_t threads : {1u, 2u, 4u, 8u}) {
-    MultiRunEngine engine(MultiRunOptions{.num_threads = threads});
-    auto fused = engine.RunDirectedRuns(stream, grid);
-    ASSERT_TRUE(fused.ok()) << label;
-    ASSERT_EQ(fused->size(), grid.size()) << label;
-    uint64_t max_passes = 0;
-    for (size_t i = 0; i < grid.size(); ++i) {
-      ExpectSameDirected(seq[i], (*fused)[i],
-                         label + " threads=" + std::to_string(threads) +
-                             " run=" + std::to_string(i));
-      max_passes = std::max(max_passes, (*fused)[i].passes);
+  for (MultiRunFanOut fan_out :
+       {MultiRunFanOut::kAuto, MultiRunFanOut::kRunMajor,
+        MultiRunFanOut::kWorkMajor}) {
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      MultiRunEngine engine(
+          MultiRunOptions{.num_threads = threads, .fan_out = fan_out});
+      auto fused = engine.RunDirectedRuns(stream, grid);
+      ASSERT_TRUE(fused.ok()) << label;
+      ASSERT_EQ(fused->size(), grid.size()) << label;
+      uint64_t max_passes = 0;
+      for (size_t i = 0; i < grid.size(); ++i) {
+        ExpectSameDirected(
+            seq[i], (*fused)[i],
+            label + " fan_out=" + std::to_string(static_cast<int>(fan_out)) +
+                " threads=" + std::to_string(threads) +
+                " run=" + std::to_string(i));
+        max_passes = std::max(max_passes, (*fused)[i].passes);
+      }
+      // The fused engine scans once per pass round: exactly the longest
+      // run.
+      EXPECT_EQ(engine.last_physical_passes(), max_passes) << label;
     }
-    // The fused engine scans once per pass round: exactly the longest run.
-    EXPECT_EQ(engine.last_physical_passes(), max_passes) << label;
   }
 }
 
@@ -185,19 +195,26 @@ void CheckEpsilonSweepEquivalence(EdgeStream& stream,
     seq.push_back(std::move(*r));
   }
 
-  for (size_t threads : {1u, 2u, 4u, 8u}) {
-    MultiRunEngine engine(MultiRunOptions{.num_threads = threads});
-    auto fused = RunAlgorithm1EpsilonSweep(stream, base, epsilons, &engine);
-    ASSERT_TRUE(fused.ok()) << label;
-    ASSERT_EQ(fused->size(), epsilons.size()) << label;
-    uint64_t max_io = 0;
-    for (size_t i = 0; i < epsilons.size(); ++i) {
-      ExpectSameUndirected(seq[i], (*fused)[i],
-                           label + " threads=" + std::to_string(threads) +
-                               " eps=" + std::to_string(epsilons[i]));
-      max_io = std::max(max_io, (*fused)[i].io_passes);
+  for (MultiRunFanOut fan_out :
+       {MultiRunFanOut::kAuto, MultiRunFanOut::kRunMajor,
+        MultiRunFanOut::kWorkMajor}) {
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      MultiRunEngine engine(
+          MultiRunOptions{.num_threads = threads, .fan_out = fan_out});
+      auto fused = RunAlgorithm1EpsilonSweep(stream, base, epsilons, &engine);
+      ASSERT_TRUE(fused.ok()) << label;
+      ASSERT_EQ(fused->size(), epsilons.size()) << label;
+      uint64_t max_io = 0;
+      for (size_t i = 0; i < epsilons.size(); ++i) {
+        ExpectSameUndirected(
+            seq[i], (*fused)[i],
+            label + " fan_out=" + std::to_string(static_cast<int>(fan_out)) +
+                " threads=" + std::to_string(threads) +
+                " eps=" + std::to_string(epsilons[i]));
+        max_io = std::max(max_io, (*fused)[i].io_passes);
+      }
+      EXPECT_EQ(engine.last_physical_passes(), max_io) << label;
     }
-    EXPECT_EQ(engine.last_physical_passes(), max_io) << label;
   }
 }
 
@@ -295,17 +312,39 @@ TEST(MultiRunAlgorithm2Test, FusedMatchesSequential) {
     seq.push_back(std::move(*r));
   }
 
-  for (size_t threads : {1u, 4u}) {
-    MultiRunEngine engine(MultiRunOptions{.num_threads = threads});
-    auto fused = engine.RunUndirectedRuns(stream, grid);
-    ASSERT_TRUE(fused.ok());
-    ASSERT_EQ(fused->size(), grid.size());
-    for (size_t i = 0; i < grid.size(); ++i) {
-      ExpectSameUndirected(seq[i], (*fused)[i],
-                           "alg2 threads=" + std::to_string(threads) +
-                               " run=" + std::to_string(i));
+  for (MultiRunFanOut fan_out :
+       {MultiRunFanOut::kAuto, MultiRunFanOut::kWorkMajor}) {
+    for (size_t threads : {1u, 4u}) {
+      MultiRunEngine engine(
+          MultiRunOptions{.num_threads = threads, .fan_out = fan_out});
+      auto fused = engine.RunUndirectedRuns(stream, grid);
+      ASSERT_TRUE(fused.ok());
+      ASSERT_EQ(fused->size(), grid.size());
+      for (size_t i = 0; i < grid.size(); ++i) {
+        ExpectSameUndirected(seq[i], (*fused)[i],
+                             "alg2 threads=" + std::to_string(threads) +
+                                 " run=" + std::to_string(i));
+      }
     }
   }
+}
+
+TEST(MultiRunDriveTest, TruncatedFileAbortsTheSweep) {
+  // The fused engine must surface a stream IO error instead of peeling on
+  // statistics of a silently truncated pass.
+  const std::string path = ::testing::TempDir() + "/multi_run_trunc.bin";
+  EdgeList el = ErdosRenyiGnm(400, 8000, 83);
+  ASSERT_TRUE(WriteBinaryEdgeFile(path, el, /*weighted=*/false).ok());
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 3000 * 8);
+  auto stream = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(stream.ok());
+
+  MultiRunEngine engine(MultiRunOptions{.num_threads = 2});
+  auto fused = RunAlgorithm1EpsilonSweep(**stream, {}, EpsilonGrid(), &engine);
+  ASSERT_FALSE(fused.ok());
+  EXPECT_EQ(fused.status().code(), Status::Code::kIOError);
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

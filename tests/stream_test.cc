@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "core/algorithm1.h"
 #include "graph/graph_builder.h"
 #include "stream/file_stream.h"
 #include "stream/memory_stream.h"
@@ -149,6 +152,93 @@ TEST_F(BinaryFileStreamTest, BadMagicRejected) {
   auto stream = BinaryFileEdgeStream::Open(path_);
   ASSERT_FALSE(stream.ok());
   EXPECT_EQ(stream.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(BinaryFileStreamTest, TruncatedFileSurfacesIOError) {
+  // A file whose header promises more edges than its body holds used to
+  // end the pass silently — a wrong (but plausible) density downstream.
+  path_ = ::testing::TempDir() + "/edges_truncated.bin";
+  EdgeList el = PathGraph(2000);
+  ASSERT_TRUE(WriteBinaryEdgeFile(path_, el, /*weighted=*/false).ok());
+  // Chop off the last 500 records plus half a record.
+  const auto full = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full - 500 * 8 - 3);
+
+  auto stream = BinaryFileEdgeStream::Open(path_);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_TRUE((*stream)->status().ok());
+
+  (*stream)->Reset();
+  Edge e;
+  EdgeId count = 0;
+  while ((*stream)->Next(&e)) ++count;
+  EXPECT_LT(count, 1999u);
+  const Status io = (*stream)->status();
+  ASSERT_FALSE(io.ok());
+  EXPECT_EQ(io.code(), Status::Code::kIOError);
+  EXPECT_NE(io.message().find("truncated"), std::string::npos) << io.ToString();
+
+  // The error is sticky across passes: the file stays bad.
+  (*stream)->Reset();
+  EXPECT_FALSE((*stream)->status().ok());
+}
+
+TEST_F(BinaryFileStreamTest, TruncationSurfacesThroughBatchPath) {
+  path_ = ::testing::TempDir() + "/edges_truncated_batch.bin";
+  EdgeList el = PathGraph(3000);
+  ASSERT_TRUE(WriteBinaryEdgeFile(path_, el, /*weighted=*/false).ok());
+  std::filesystem::resize_file(path_,
+                               std::filesystem::file_size(path_) - 1000 * 8);
+
+  auto stream = BinaryFileEdgeStream::Open(path_);
+  ASSERT_TRUE(stream.ok());
+  (*stream)->Reset();
+  std::vector<Edge> buf(512);
+  EdgeId total = 0;
+  for (;;) {
+    size_t got = (*stream)->NextBatch(buf.data(), buf.size());
+    if (got == 0) break;
+    total += got;
+  }
+  EXPECT_EQ(total, 2999u - 1000u);
+  EXPECT_EQ((*stream)->status().code(), Status::Code::kIOError);
+}
+
+TEST_F(BinaryFileStreamTest, AlgorithmsAbortOnTruncatedFile) {
+  // The full path of the bug: RunAlgorithm1 on a truncated stream must
+  // return the IOError instead of a density computed from a partial pass.
+  path_ = ::testing::TempDir() + "/edges_truncated_run.bin";
+  EdgeList el = PathGraph(4000);
+  ASSERT_TRUE(WriteBinaryEdgeFile(path_, el, /*weighted=*/false).ok());
+  std::filesystem::resize_file(path_,
+                               std::filesystem::file_size(path_) - 800 * 8);
+
+  auto stream = BinaryFileEdgeStream::Open(path_);
+  ASSERT_TRUE(stream.ok());
+  Algorithm1Options opt;
+  opt.epsilon = 0.5;
+  auto r = RunAlgorithm1(**stream, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kIOError);
+}
+
+TEST_F(BinaryFileStreamTest, ExactFinalRecordIsNotAnError) {
+  // The final fread may be short without being a truncation: the last
+  // buffer of a well-formed file usually is. Guard against regressing the
+  // clean-EOF path while detecting real truncation.
+  path_ = ::testing::TempDir() + "/edges_exact.bin";
+  EdgeList el = PathGraph(1234);
+  ASSERT_TRUE(WriteBinaryEdgeFile(path_, el, /*weighted=*/false).ok());
+  auto stream = BinaryFileEdgeStream::Open(path_);
+  ASSERT_TRUE(stream.ok());
+  for (int pass = 0; pass < 3; ++pass) {
+    (*stream)->Reset();
+    Edge e;
+    EdgeId count = 0;
+    while ((*stream)->Next(&e)) ++count;
+    EXPECT_EQ(count, 1233u);
+    EXPECT_TRUE((*stream)->status().ok());
+  }
 }
 
 TEST_F(BinaryFileStreamTest, TracksBytesRead) {
