@@ -1,6 +1,7 @@
 #include "cli/commands.h"
 
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "core/algorithm1.h"
@@ -15,6 +16,7 @@
 #include "graph/graph_builder.h"
 #include "graph/stats.h"
 #include "io/edge_list_io.h"
+#include "mapreduce/mr_densest.h"
 #include "stream/file_stream.h"
 #include "stream/memory_stream.h"
 
@@ -203,6 +205,102 @@ Status CmdDirected(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+Status CmdMapReduce(const Args& args, std::ostream& out) {
+  StatusOr<double> eps = args.GetDouble("eps", 1.0);
+  StatusOr<bool> directed = args.GetBool("directed", false);
+  StatusOr<double> c = args.GetDouble("c", 1.0);
+  StatusOr<int64_t> spill = args.GetInt("spill-budget", 0);
+  StatusOr<int64_t> mappers = args.GetInt("mappers", 2000);
+  StatusOr<int64_t> reducers = args.GetInt("reducers", 2000);
+  StatusOr<bool> trace = args.GetBool("trace", false);
+  for (const Status& s :
+       {eps.ok() ? Status::OK() : eps.status(),
+        directed.ok() ? Status::OK() : directed.status(),
+        c.ok() ? Status::OK() : c.status(),
+        spill.ok() ? Status::OK() : spill.status(),
+        mappers.ok() ? Status::OK() : mappers.status(),
+        reducers.ok() ? Status::OK() : reducers.status(),
+        trace.ok() ? Status::OK() : trace.status()}) {
+    if (!s.ok()) return s;
+  }
+  if (*spill < 0) {
+    return Status::InvalidArgument("--spill-budget must be >= 0");
+  }
+  if (*mappers <= 0 || *reducers <= 0) {
+    return Status::InvalidArgument("--mappers/--reducers must be > 0");
+  }
+  StatusOr<std::string> path = RequireGraphArg(args);
+  if (!path.ok()) return path.status();
+
+  // A .bin input streams straight from disk — the MR jobs scan it through
+  // the stream substrate without ever materializing the edge set; text
+  // inputs are loaded and streamed from memory.
+  std::unique_ptr<BinaryFileEdgeStream> file_stream;
+  EdgeList edges;
+  std::unique_ptr<EdgeListStream> memory_stream;
+  EdgeStream* stream = nullptr;
+  if (EndsWith(*path, ".bin")) {
+    auto opened = BinaryFileEdgeStream::Open(*path);
+    if (!opened.ok()) return opened.status();
+    file_stream = std::move(*opened);
+    stream = file_stream.get();
+  } else {
+    StatusOr<EdgeList> loaded = ReadEdgeListText(*path);
+    if (!loaded.ok()) return loaded.status();
+    edges = std::move(*loaded);
+    memory_stream = std::make_unique<EdgeListStream>(edges);
+    stream = memory_stream.get();
+  }
+
+  CostModel model;
+  model.num_mappers = static_cast<int>(*mappers);
+  model.num_reducers = static_cast<int>(*reducers);
+  MapReduceEnv env(model);
+
+  if (*directed) {
+    MrDirectedOptions opt;
+    opt.c = *c;
+    opt.epsilon = *eps;
+    opt.record_trace = *trace;
+    opt.spill_budget_bytes = static_cast<uint64_t>(*spill);
+    StatusOr<MrDirectedResult> r = RunMrDensestDirected(env, *stream, opt);
+    if (!r.ok()) return r.status();
+    out << "mapreduce algorithm 3 (c=" << *c << "): " << Summarize(r->result)
+        << "\n";
+    out << "input scans: " << r->input_scans
+        << "  cluster totals: " << r->totals.ToString() << "\n";
+    if (*trace) {
+      out << "pass  |S|  |T|  |E(S,T)|  rho  sim_sec\n";
+      for (size_t i = 0; i < r->result.trace.size(); ++i) {
+        const DirectedPassSnapshot& s = r->result.trace[i];
+        out << s.pass << "  " << s.s_size << "  " << s.t_size << "  "
+            << s.weight << "  " << s.density << "  " << r->pass_seconds[i]
+            << "\n";
+      }
+    }
+    return Status::OK();
+  }
+
+  MrDensestOptions opt;
+  opt.epsilon = *eps;
+  opt.record_trace = *trace;
+  opt.spill_budget_bytes = static_cast<uint64_t>(*spill);
+  StatusOr<MrDensestResult> r = RunMrDensestUndirected(env, *stream, opt);
+  if (!r.ok()) return r.status();
+  out << "mapreduce algorithm 1: " << Summarize(r->result) << "\n";
+  out << "input scans: " << r->input_scans
+      << "  cluster totals: " << r->totals.ToString() << "\n";
+  if (*trace) {
+    out << "pass  nodes  edges  rho  sim_sec\n";
+    for (size_t i = 0; i < r->result.trace.size(); ++i) {
+      const PassSnapshot& s = r->result.trace[i];
+      out << s.pass << "  " << s.nodes << "  " << s.edges << "  "
+          << s.density << "  " << r->pass_seconds[i] << "\n";
+    }
+  }
+  return Status::OK();
+}
+
 Status CmdExact(const Args& args, std::ostream& out) {
   StatusOr<std::string> path = RequireGraphArg(args);
   if (!path.ok()) return path.status();
@@ -327,6 +425,10 @@ std::string CliUsage() {
       "      Count-Sketch variant (--sketch-buckets)\n"
       "  directed <graph> [--eps=0.5] [--c=RATIO | --delta=2] [--trace]\n"
       "      Algorithm 3 for one ratio c, or a c-search in powers of delta\n"
+      "  mapreduce <graph> [--eps=1] [--directed --c=1] [--spill-budget=B]\n"
+      "      [--mappers=2000 --reducers=2000] [--trace]\n"
+      "      simulated-cluster MapReduce drivers; .bin graphs stream\n"
+      "      out-of-core, shuffles spill to disk under --spill-budget\n"
       "  exact <graph>\n"
       "      exact rho* via Goldberg's max-flow reduction\n"
       "  enumerate <graph> [--eps=0.5] [--count=10] [--min-density=1]\n"
@@ -348,6 +450,8 @@ Status RunCliCommand(const std::string& command, const Args& args,
     status = CmdUndirected(args, out);
   } else if (command == "directed") {
     status = CmdDirected(args, out);
+  } else if (command == "mapreduce") {
+    status = CmdMapReduce(args, out);
   } else if (command == "exact") {
     status = CmdExact(args, out);
   } else if (command == "enumerate") {

@@ -15,7 +15,8 @@
 namespace densest {
 
 /// Dispatches `command` with `args`; returns the command's status.
-/// Known commands: stats, undirected, directed, exact, enumerate, generate.
+/// Known commands: stats, undirected, directed, mapreduce, exact,
+/// enumerate, generate.
 Status RunCliCommand(const std::string& command, const Args& args,
                      std::ostream& out);
 
@@ -33,6 +34,15 @@ Status CmdUndirected(const Args& args, std::ostream& out);
 /// it searches c in powers of --delta (2).
 /// Flags: --eps (0.5), --c, --delta, --trace.
 Status CmdDirected(const Args& args, std::ostream& out);
+
+/// `mapreduce <graph>`: the simulated-cluster MapReduce drivers. A .bin
+/// graph streams from disk, and each job's resident shuffle is bounded by
+/// the spill budget (the removal job's surviving edges still live in
+/// memory between passes — see mapreduce/mr_densest.h).
+/// Flags: --eps (1.0), --directed, --c (1.0, directed only),
+///        --spill-budget (bytes, 0 = in-memory shuffle), --mappers (2000),
+///        --reducers (2000), --trace.
+Status CmdMapReduce(const Args& args, std::ostream& out);
 
 /// `exact <graph>`: Goldberg exact solver (undirected only).
 Status CmdExact(const Args& args, std::ostream& out);

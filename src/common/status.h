@@ -114,6 +114,12 @@ class StatusOr {
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
+  /// Rvalue deref moves the value out — without this, `std::move(*f())`
+  /// on a temporary binds to the const& overload and silently copies.
+  T&& operator*() && {
+    assert(ok());
+    return std::move(*value_);
+  }
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 

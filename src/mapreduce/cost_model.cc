@@ -8,19 +8,27 @@ namespace densest {
 void JobStats::Accumulate(const JobStats& other) {
   map_input_records += other.map_input_records;
   map_output_records += other.map_output_records;
+  combine_input_records += other.combine_input_records;
   combine_output_records += other.combine_output_records;
   shuffle_bytes += other.shuffle_bytes;
   reduce_input_groups += other.reduce_input_groups;
   reduce_output_records += other.reduce_output_records;
+  spill_bytes_written += other.spill_bytes_written;
+  spill_bytes_read += other.spill_bytes_read;
+  spill_runs += other.spill_runs;
   simulated_seconds += other.simulated_seconds;
 }
 
 std::string JobStats::ToString() const {
   std::ostringstream os;
   os << "map_in=" << map_input_records << " map_out=" << map_output_records
+     << " combine_in=" << combine_input_records
+     << " combine_out=" << combine_output_records
      << " shuffle_bytes=" << shuffle_bytes
      << " reduce_groups=" << reduce_input_groups
      << " reduce_out=" << reduce_output_records
+     << " spill_written=" << spill_bytes_written
+     << " spill_read=" << spill_bytes_read
      << " sim_seconds=" << simulated_seconds;
   return os.str();
 }
@@ -28,12 +36,21 @@ std::string JobStats::ToString() const {
 double SimulateJobSeconds(const CostModel& model, const JobStats& stats) {
   const double mappers = std::max(1, model.num_mappers);
   const double reducers = std::max(1, model.num_reducers);
-  double map_time = static_cast<double>(stats.map_input_records) *
-                    model.map_seconds_per_record / mappers;
+  // Combining runs on the mappers (it is part of the map task); spill IO
+  // runs on the reducers (Hadoop's merge phase).
+  double map_time = (static_cast<double>(stats.map_input_records) *
+                         model.map_seconds_per_record +
+                     static_cast<double>(stats.combine_input_records) *
+                         model.combine_seconds_per_record) /
+                    mappers;
   double shuffle_time = static_cast<double>(stats.shuffle_bytes) *
                         model.shuffle_seconds_per_byte / reducers;
-  double reduce_time = static_cast<double>(stats.combine_output_records) *
-                       model.reduce_seconds_per_record / reducers;
+  double reduce_time = (static_cast<double>(stats.combine_output_records) *
+                            model.reduce_seconds_per_record +
+                        static_cast<double>(stats.spill_bytes_written +
+                                            stats.spill_bytes_read) *
+                            model.spill_seconds_per_byte) /
+                       reducers;
   return model.job_overhead_seconds +
          model.skew_factor * (map_time + shuffle_time + reduce_time);
 }

@@ -26,6 +26,12 @@ struct CostModel {
   double reduce_seconds_per_record = 2e-6;
   /// Seconds per shuffled byte (network + sort).
   double shuffle_seconds_per_byte = 4e-9;
+  /// Seconds per record entering a map-side combiner (in-memory sort +
+  /// partial reduce; cheaper than a full map record).
+  double combine_seconds_per_record = 5e-7;
+  /// Seconds per byte written to or merge-read back from shuffle spill
+  /// (local sequential disk IO on the reduce side).
+  double spill_seconds_per_byte = 1e-9;
   /// Fixed per-job overhead: scheduling, task startup, commit (Hadoop jobs
   /// pay tens of seconds regardless of input size).
   double job_overhead_seconds = 75.0;
@@ -37,12 +43,21 @@ struct CostModel {
 struct JobStats {
   uint64_t map_input_records = 0;
   uint64_t map_output_records = 0;
+  /// Records fed through a map-side combiner (0 when the job has none);
+  /// what the cost model charges combiner time for.
+  uint64_t combine_input_records = 0;
   /// Records after map-side combining (== map_output_records when the job
   /// has no combiner). This is what actually crosses the shuffle.
   uint64_t combine_output_records = 0;
   uint64_t shuffle_bytes = 0;
   uint64_t reduce_input_groups = 0;
   uint64_t reduce_output_records = 0;
+  /// Shuffle-spill IO: bytes serialized to temp files when partitions
+  /// exceed the memory budget, and bytes merge-read back at reduce time.
+  uint64_t spill_bytes_written = 0;
+  uint64_t spill_bytes_read = 0;
+  /// Sorted runs spilled across all partitions.
+  uint64_t spill_runs = 0;
   /// Wall-clock the modeled cluster would have spent on this job.
   double simulated_seconds = 0;
 

@@ -2,6 +2,49 @@
 
 namespace densest {
 
+namespace {
+
+/// Sum-combiner/reducer of the degree-count jobs (associative and
+/// commutative, so it is safe on both sides of the shuffle).
+template <typename K>
+void SumCounts(const K& key, const std::vector<EdgeId>& partials,
+               Emitter<K, EdgeId>& emit) {
+  EdgeId total = 0;
+  for (EdgeId x : partials) total += x;
+  emit.Emit(key, total);
+}
+
+/// Shared reducer of the removal passes: a key whose values contain the $
+/// marker (kInvalidNode) emits nothing; otherwise edges survive. `flip`
+/// restores the original orientation when pivoting on the second endpoint.
+void RemovalReduce(const NodeId& key, const std::vector<NodeId>& values,
+                   Emitter<NodeId, NodeId>& emit, bool flip) {
+  for (NodeId v : values) {
+    if (v == kInvalidNode) return;  // marked: drop all incident edges
+  }
+  for (NodeId v : values) {
+    if (flip) {
+      emit.Emit(v, key);
+    } else {
+      emit.Emit(key, v);
+    }
+  }
+}
+
+/// One <v;$> marker record per marked node.
+MrEdges MakeMarkers(const NodeSet& marked) {
+  MrEdges markers;
+  markers.reserve(marked.size());
+  for (NodeId u = 0; u < marked.universe_size(); ++u) {
+    if (marked.Contains(u)) {
+      markers.push_back(KV<NodeId, NodeId>{u, kInvalidNode});
+    }
+  }
+  return markers;
+}
+
+}  // namespace
+
 MrEdges ToMrEdges(const std::vector<Edge>& edges) {
   MrEdges out;
   out.reserve(edges.size());
@@ -29,22 +72,25 @@ std::vector<KV<NodeId, EdgeId>> MrDegreeJob(MapReduceEnv& env,
       stats);
 }
 
-std::vector<KV<NodeId, EdgeId>> MrDegreeJobCombined(MapReduceEnv& env,
-                                                    const MrEdges& edges,
-                                                    JobStats* stats) {
-  auto sum = [](const NodeId& u, const std::vector<EdgeId>& partials,
-                Emitter<NodeId, EdgeId>& emit) {
-    EdgeId total = 0;
-    for (EdgeId x : partials) total += x;
-    emit.Emit(u, total);
-  };
-  return RunJobWithCombiner<NodeId, EdgeId, NodeId, EdgeId>(
-      env, edges,
+StatusOr<std::vector<KV<NodeId, EdgeId>>> MrDegreeJobCombined(
+    MapReduceEnv& env, MrEdgeSource& edges, const JobOptions& options,
+    JobStats* stats) {
+  JobOptions opts = options;
+  opts.map_fanout_hint = 2.0;  // two partial counts per edge
+  return RunJobOnSource<NodeId, EdgeId, NodeId, EdgeId>(
+      env, edges, opts,
       [](const NodeId& u, const NodeId& v, Emitter<NodeId, EdgeId>& emit) {
         emit.Emit(u, 1);
         emit.Emit(v, 1);
       },
-      sum, sum, stats);
+      SumCounts<NodeId>, SumCounts<NodeId>, stats);
+}
+
+std::vector<KV<NodeId, EdgeId>> MrDegreeJobCombined(MapReduceEnv& env,
+                                                    const MrEdges& edges,
+                                                    JobStats* stats) {
+  VectorRecordSource<NodeId, NodeId> source(edges);
+  return std::move(*MrDegreeJobCombined(env, source, JobOptions{}, stats));
 }
 
 std::vector<KV<uint64_t, EdgeId>> MrDirectedDegreeJob(MapReduceEnv& env,
@@ -63,83 +109,77 @@ std::vector<KV<uint64_t, EdgeId>> MrDirectedDegreeJob(MapReduceEnv& env,
       stats);
 }
 
-EdgeId MrCountEdgesJob(MapReduceEnv& env, const MrEdges& edges,
-                       JobStats* stats) {
-  std::vector<KV<NodeId, EdgeId>> totals =
-      RunJob<NodeId, EdgeId, NodeId, EdgeId>(
-          env, edges,
+StatusOr<std::vector<KV<uint64_t, EdgeId>>> MrDirectedDegreeJobCombined(
+    MapReduceEnv& env, MrEdgeSource& arcs, const JobOptions& options,
+    JobStats* stats) {
+  JobOptions opts = options;
+  opts.map_fanout_hint = 2.0;
+  return RunJobOnSource<uint64_t, EdgeId, uint64_t, EdgeId>(
+      env, arcs, opts,
+      [](const NodeId& u, const NodeId& v, Emitter<uint64_t, EdgeId>& emit) {
+        emit.Emit(2 * static_cast<uint64_t>(u), 1);      // out-degree slot
+        emit.Emit(2 * static_cast<uint64_t>(v) + 1, 1);  // in-degree slot
+      },
+      SumCounts<uint64_t>, SumCounts<uint64_t>, stats);
+}
+
+StatusOr<EdgeId> MrCountEdgesJob(MapReduceEnv& env, MrEdgeSource& edges,
+                                 const JobOptions& options, JobStats* stats) {
+  StatusOr<std::vector<KV<NodeId, EdgeId>>> totals =
+      RunJobOnSource<NodeId, EdgeId, NodeId, EdgeId>(
+          env, edges, options,
           [](const NodeId&, const NodeId&, Emitter<NodeId, EdgeId>& emit) {
             emit.Emit(0, 1);
           },
-          [](const NodeId& key, const std::vector<EdgeId>& ones,
-             Emitter<NodeId, EdgeId>& emit) {
-            EdgeId total = 0;
-            for (EdgeId x : ones) total += x;
-            emit.Emit(key, total);
-          },
-          stats);
-  return totals.empty() ? 0 : totals.front().value;
+          SumCounts<NodeId>, SumCounts<NodeId>, stats);
+  if (!totals.ok()) return totals.status();
+  return totals->empty() ? EdgeId{0} : totals->front().value;
 }
 
-namespace {
-
-/// Shared reducer of the removal passes: a key whose values contain the $
-/// marker (kInvalidNode) emits nothing; otherwise edges survive. `flip`
-/// restores the original orientation when pivoting on the second endpoint.
-void RemovalReduce(const NodeId& key, const std::vector<NodeId>& values,
-                   Emitter<NodeId, NodeId>& emit, bool flip) {
-  for (NodeId v : values) {
-    if (v == kInvalidNode) return;  // marked: drop all incident edges
-  }
-  for (NodeId v : values) {
-    if (flip) {
-      emit.Emit(v, key);
-    } else {
-      emit.Emit(key, v);
-    }
-  }
+EdgeId MrCountEdgesJob(MapReduceEnv& env, const MrEdges& edges,
+                       JobStats* stats) {
+  VectorRecordSource<NodeId, NodeId> source(edges);
+  return *MrCountEdgesJob(env, source, JobOptions{}, stats);
 }
 
-/// Appends one <v;$> marker record per marked node.
-void AppendMarkers(const NodeSet& marked, MrEdges& input) {
-  for (NodeId u = 0; u < marked.universe_size(); ++u) {
-    if (marked.Contains(u)) {
-      input.push_back(KV<NodeId, NodeId>{u, kInvalidNode});
-    }
-  }
-}
+StatusOr<MrEdges> MrRemoveNodesJob(MapReduceEnv& env, MrEdgeSource& edges,
+                                   const NodeSet& marked,
+                                   const JobOptions& options,
+                                   JobStats* pass1_stats,
+                                   JobStats* pass2_stats) {
+  MrEdges markers = MakeMarkers(marked);
+  VectorRecordSource<NodeId, NodeId> marker_source(markers);
 
-}  // namespace
-
-MrEdges MrRemoveNodesJob(MapReduceEnv& env, const MrEdges& edges,
-                         const NodeSet& marked, JobStats* pass1_stats,
-                         JobStats* pass2_stats) {
-  // Pass 1: pivot on the first endpoint.
-  MrEdges input1 = edges;
-  AppendMarkers(marked, input1);
-  MrEdges survivors1 = RunJob<NodeId, NodeId, NodeId, NodeId>(
-      env, input1,
+  // Pass 1: pivot on the first endpoint (markers are already keyed by
+  // their node, so the map is the identity).
+  ChainRecordSource<NodeId, NodeId> input1(edges, marker_source);
+  StatusOr<MrEdges> survivors1 = RunJobOnSource<NodeId, NodeId, NodeId, NodeId>(
+      env, input1, options,
       [](const NodeId& k, const NodeId& v, Emitter<NodeId, NodeId>& emit) {
         emit.Emit(k, v);
       },
+      NoCombiner,
       [](const NodeId& k, const std::vector<NodeId>& values,
          Emitter<NodeId, NodeId>& emit) {
         RemovalReduce(k, values, emit, /*flip=*/false);
       },
       pass1_stats);
+  if (!survivors1.ok()) return survivors1.status();
 
-  // Pass 2: pivot on the second endpoint; emit flipped back.
-  MrEdges input2;
-  input2.reserve(survivors1.size() + marked.size());
-  for (const auto& kv : survivors1) {
-    input2.push_back(KV<NodeId, NodeId>{kv.value, kv.key});
-  }
-  AppendMarkers(marked, input2);
-  return RunJob<NodeId, NodeId, NodeId, NodeId>(
-      env, input2,
+  // Pass 2: pivot on the second endpoint — the map flips each surviving
+  // edge (markers stay keyed by their node); the reducer flips back.
+  VectorRecordSource<NodeId, NodeId> survivor_source(*survivors1);
+  ChainRecordSource<NodeId, NodeId> input2(survivor_source, marker_source);
+  return RunJobOnSource<NodeId, NodeId, NodeId, NodeId>(
+      env, input2, options,
       [](const NodeId& k, const NodeId& v, Emitter<NodeId, NodeId>& emit) {
-        emit.Emit(k, v);
+        if (v == kInvalidNode) {
+          emit.Emit(k, v);
+        } else {
+          emit.Emit(v, k);
+        }
       },
+      NoCombiner,
       [](const NodeId& k, const std::vector<NodeId>& values,
          Emitter<NodeId, NodeId>& emit) {
         RemovalReduce(k, values, emit, /*flip=*/true);
@@ -147,29 +187,45 @@ MrEdges MrRemoveNodesJob(MapReduceEnv& env, const MrEdges& edges,
       pass2_stats);
 }
 
-MrEdges MrRemoveArcsJob(MapReduceEnv& env, const MrEdges& arcs,
-                        const NodeSet& marked, bool by_source,
-                        JobStats* stats) {
-  MrEdges input;
-  input.reserve(arcs.size() + marked.size());
-  for (const auto& kv : arcs) {
-    if (by_source) {
-      input.push_back(kv);
-    } else {
-      input.push_back(KV<NodeId, NodeId>{kv.value, kv.key});
-    }
-  }
-  AppendMarkers(marked, input);
-  return RunJob<NodeId, NodeId, NodeId, NodeId>(
-      env, input,
-      [](const NodeId& k, const NodeId& v, Emitter<NodeId, NodeId>& emit) {
-        emit.Emit(k, v);
+MrEdges MrRemoveNodesJob(MapReduceEnv& env, const MrEdges& edges,
+                         const NodeSet& marked, JobStats* pass1_stats,
+                         JobStats* pass2_stats) {
+  VectorRecordSource<NodeId, NodeId> source(edges);
+  return std::move(*MrRemoveNodesJob(env, source, marked, JobOptions{},
+                                     pass1_stats, pass2_stats));
+}
+
+StatusOr<MrEdges> MrRemoveArcsJob(MapReduceEnv& env, MrEdgeSource& arcs,
+                                  const NodeSet& marked, bool by_source,
+                                  const JobOptions& options,
+                                  JobStats* stats) {
+  MrEdges markers = MakeMarkers(marked);
+  VectorRecordSource<NodeId, NodeId> marker_source(markers);
+  ChainRecordSource<NodeId, NodeId> input(arcs, marker_source);
+  return RunJobOnSource<NodeId, NodeId, NodeId, NodeId>(
+      env, input, options,
+      [by_source](const NodeId& k, const NodeId& v,
+                  Emitter<NodeId, NodeId>& emit) {
+        if (by_source || v == kInvalidNode) {
+          emit.Emit(k, v);
+        } else {
+          emit.Emit(v, k);  // pivot on the target endpoint
+        }
       },
+      NoCombiner,
       [by_source](const NodeId& k, const std::vector<NodeId>& values,
                   Emitter<NodeId, NodeId>& emit) {
         RemovalReduce(k, values, emit, /*flip=*/!by_source);
       },
       stats);
+}
+
+MrEdges MrRemoveArcsJob(MapReduceEnv& env, const MrEdges& arcs,
+                        const NodeSet& marked, bool by_source,
+                        JobStats* stats) {
+  VectorRecordSource<NodeId, NodeId> source(arcs);
+  return std::move(
+      *MrRemoveArcsJob(env, source, marked, by_source, JobOptions{}, stats));
 }
 
 }  // namespace densest

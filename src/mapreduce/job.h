@@ -5,9 +5,18 @@
 // CostModel, which converts the observed record/byte counts into simulated
 // wall-clock.
 //
-// Determinism: map tasks keep per-chunk output buffers merged in chunk
-// order, and each reduce partition stable-sorts by key, so a job's output
-// is a pure function of its input.
+// Inputs are RecordSources: a job can read an in-memory vector, an
+// EdgeStream chunked through a PassCursor (mapreduce/stream_source.h), or
+// a concatenation of sources — so the MR drivers run on the same
+// out-of-core inputs as the streaming engines. The shuffle spills sorted
+// runs to temp files under a byte budget (mapreduce/shuffle.h), keeping
+// resident memory bounded by the budget instead of |E|.
+//
+// Determinism: map chunks have a fixed record count (independent of the
+// thread count), their outputs are merged into the shuffle in chunk order,
+// and each reduce partition is read in stable-sorted key order whether or
+// not it spilled — so a job's output is a pure function of its input for
+// any thread count and any spill budget.
 
 #ifndef DENSEST_MAPREDUCE_JOB_H_
 #define DENSEST_MAPREDUCE_JOB_H_
@@ -18,8 +27,10 @@
 #include <vector>
 
 #include "common/random.h"
-#include "mapreduce/cost_model.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
+#include "mapreduce/cost_model.h"
+#include "mapreduce/shuffle.h"
 
 namespace densest {
 
@@ -38,9 +49,93 @@ class Emitter {
   void Emit(K key, V value) {
     out_->push_back(KV<K, V>{std::move(key), std::move(value)});
   }
+  /// Capacity hint: room for `n` more records without reallocation. The
+  /// engine calls this once per task with the cost-model record estimates
+  /// so emit loops don't grow the buffer one push_back at a time. (Once,
+  /// not per group: an exact-capacity reserve per group would defeat the
+  /// vector's geometric growth.)
+  void Reserve(size_t n) { out_->reserve(out_->size() + n); }
 
  private:
   std::vector<KV<K, V>>* out_;
+};
+
+/// \brief A rewindable sequence of input records for a MapReduce job.
+///
+/// Contract (mirrors EdgeStream): after Reset(), successive FillChunk()
+/// calls deliver every record exactly once, in a fixed order, then return
+/// 0. Sources that can fail (disk-backed streams) report it through a
+/// sticky status(), which the engine checks after draining the input —
+/// a silently short scan must fail the job, not feed it truncated data.
+template <typename K, typename V>
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+  /// Rewinds to the first record (a job performs exactly one Reset+drain).
+  virtual void Reset() = 0;
+  /// Writes up to `cap` records into `buf`; returns how many. 0 only at
+  /// end of input.
+  virtual size_t FillChunk(KV<K, V>* buf, size_t cap) = 0;
+  /// Records per scan if known (0 = unknown); used for capacity hints.
+  virtual uint64_t SizeHint() const { return 0; }
+  /// Health of the source; see EdgeStream::status().
+  virtual Status status() const { return Status::OK(); }
+};
+
+/// \brief RecordSource over an in-memory vector (the classic job input).
+template <typename K, typename V>
+class VectorRecordSource : public RecordSource<K, V> {
+ public:
+  explicit VectorRecordSource(const std::vector<KV<K, V>>& records)
+      : records_(&records) {}
+  void Reset() override { pos_ = 0; }
+  size_t FillChunk(KV<K, V>* buf, size_t cap) override {
+    const size_t take = std::min(cap, records_->size() - pos_);
+    std::copy(records_->begin() + pos_, records_->begin() + pos_ + take, buf);
+    pos_ += take;
+    return take;
+  }
+  uint64_t SizeHint() const override { return records_->size(); }
+
+ private:
+  const std::vector<KV<K, V>>* records_;
+  size_t pos_ = 0;
+};
+
+/// \brief Concatenation of two RecordSources (first exhausted, then
+/// second). The removal jobs chain the edge input with marker records.
+template <typename K, typename V>
+class ChainRecordSource : public RecordSource<K, V> {
+ public:
+  ChainRecordSource(RecordSource<K, V>& first, RecordSource<K, V>& second)
+      : first_(&first), second_(&second) {}
+  void Reset() override {
+    first_->Reset();
+    second_->Reset();
+    on_second_ = false;
+  }
+  size_t FillChunk(KV<K, V>* buf, size_t cap) override {
+    if (!on_second_) {
+      const size_t got = first_->FillChunk(buf, cap);
+      if (got > 0) return got;
+      on_second_ = true;
+    }
+    return second_->FillChunk(buf, cap);
+  }
+  uint64_t SizeHint() const override {
+    const uint64_t a = first_->SizeHint();
+    const uint64_t b = second_->SizeHint();
+    return (a == 0 || b == 0) ? 0 : a + b;
+  }
+  Status status() const override {
+    if (Status s = first_->status(); !s.ok()) return s;
+    return second_->status();
+  }
+
+ private:
+  RecordSource<K, V>* first_;
+  RecordSource<K, V>* second_;
+  bool on_second_ = false;
 };
 
 /// \brief Shared execution context: thread pool, cost model, accumulated
@@ -64,114 +159,143 @@ class MapReduceEnv {
   JobStats totals_;
 };
 
-/// Runs one MapReduce job, optionally with a Hadoop-style map-side
-/// combiner.
+inline constexpr std::nullptr_t NoCombiner = nullptr;
+
+namespace mr_internal {
+
+/// Maps one input chunk and (optionally) combines its output in place.
+/// Returns the raw (pre-combine) emit count.
+template <typename K2, typename V2, typename K1, typename V1, typename MapFn,
+          typename CombineFn>
+uint64_t MapCombineChunk(const std::vector<KV<K1, V1>>& input,
+                         std::vector<KV<K2, V2>>& out, MapFn& map_fn,
+                         CombineFn& combine_fn, double fanout_hint) {
+  out.clear();
+  Emitter<K2, V2> emitter(&out);
+  emitter.Reserve(
+      static_cast<size_t>(static_cast<double>(input.size()) * fanout_hint) +
+      1);
+  for (const KV<K1, V1>& kv : input) {
+    map_fn(kv.key, kv.value, emitter);
+  }
+  const uint64_t raw = out.size();
+  if constexpr (!std::is_same_v<std::decay_t<CombineFn>, std::nullptr_t>) {
+    // Combine chunk-locally: group by key, partially reduce.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const KV<K2, V2>& a, const KV<K2, V2>& b) {
+                       return a.key < b.key;
+                     });
+    std::vector<KV<K2, V2>> combined;
+    Emitter<K2, V2> combine_emitter(&combined);
+    combine_emitter.Reserve(out.size());
+    std::vector<V2> values;
+    ForEachGroup(out, &values,
+                 [&](const K2& key, const std::vector<V2>& vs) {
+                   combine_fn(key, vs, combine_emitter);
+                 });
+    out = std::move(combined);
+  }
+  return raw;
+}
+
+}  // namespace mr_internal
+
+/// Runs one MapReduce job over a RecordSource, optionally with a
+/// Hadoop-style map-side combiner and a spill budget on the shuffle.
 ///
-/// \tparam K2/V2 intermediate key/value (K2 needs operator< and ==;
-///         both should be trivially copyable for the byte accounting).
+/// \tparam K2/V2 intermediate key/value (K2 needs operator< and ==; both
+///         must be trivially copyable — shuffle records may hit disk).
 /// \param map_fn     void(const K1&, const V1&, Emitter<K2,V2>&)
 /// \param combine_fn type-preserving partial reduction applied per map
 ///        chunk before the shuffle:
 ///        void(const K2&, const std::vector<V2>&, Emitter<K2,V2>&).
-///        Pass nullptr (NoCombiner) to skip. Must be associative and
-///        commutative for the job result to be combiner-invariant.
+///        Pass NoCombiner to skip. Must be associative and commutative for
+///        the job result to be combiner-invariant.
 /// \param reduce_fn  void(const K2&, const std::vector<V2>&, Emitter<K3,V3>&)
 /// \param stats_out  optional per-job counters (also accumulated into env).
-inline constexpr std::nullptr_t NoCombiner = nullptr;
-
+///
+/// Fails only on IO: a bad input source or a failed shuffle spill.
 template <typename K2, typename V2, typename K3, typename V3, typename K1,
           typename V1, typename MapFn, typename CombineFn, typename ReduceFn>
-std::vector<KV<K3, V3>> RunJobWithCombiner(
-    MapReduceEnv& env, const std::vector<KV<K1, V1>>& input, MapFn&& map_fn,
-    CombineFn&& combine_fn, ReduceFn&& reduce_fn,
+StatusOr<std::vector<KV<K3, V3>>> RunJobOnSource(
+    MapReduceEnv& env, RecordSource<K1, V1>& source, const JobOptions& options,
+    MapFn&& map_fn, CombineFn&& combine_fn, ReduceFn&& reduce_fn,
     JobStats* stats_out = nullptr) {
   JobStats stats;
-  stats.map_input_records = input.size();
-
-  // ---- Map phase: chunked across the pool, per-chunk buffers. ----
   const size_t threads = env.pool().num_threads();
-  const size_t num_chunks =
-      std::max<size_t>(1, std::min(input.size(), threads * 4));
-  const size_t chunk_size = (input.size() + num_chunks - 1) / num_chunks;
-  std::vector<std::vector<KV<K2, V2>>> map_out(num_chunks);
-  std::vector<uint64_t> raw_map_counts(num_chunks, 0);
-  env.pool().ParallelFor(num_chunks, [&](size_t c) {
-    size_t begin = c * chunk_size;
-    size_t end = std::min(input.size(), begin + chunk_size);
-    Emitter<K2, V2> emitter(&map_out[c]);
-    for (size_t i = begin; i < end; ++i) {
-      map_fn(input[i].key, input[i].value, emitter);
-    }
-    raw_map_counts[c] = map_out[c].size();
-    if constexpr (!std::is_same_v<std::decay_t<CombineFn>,
-                                  std::nullptr_t>) {
-      // Combine chunk-locally: group by key, partially reduce.
-      auto& chunk = map_out[c];
-      std::stable_sort(chunk.begin(), chunk.end(),
-                       [](const KV<K2, V2>& a, const KV<K2, V2>& b) {
-                         return a.key < b.key;
-                       });
-      std::vector<KV<K2, V2>> combined;
-      Emitter<K2, V2> combine_emitter(&combined);
-      std::vector<V2> values;
-      size_t i = 0;
-      while (i < chunk.size()) {
-        size_t j = i;
-        values.clear();
-        while (j < chunk.size() && chunk[j].key == chunk[i].key) {
-          values.push_back(chunk[j].value);
-          ++j;
-        }
-        combine_fn(chunk[i].key, values, combine_emitter);
-        i = j;
+  const size_t num_partitions = std::max<size_t>(1, options.num_partitions);
+  ShuffleWriter<K2, V2> shuffle(num_partitions, options);
+  // The source's size hint times the map fanout bounds what reaches the
+  // shuffle (combining only shrinks it); pre-size the partition buffers.
+  shuffle.ReserveForInput(static_cast<uint64_t>(
+      static_cast<double>(source.SizeHint()) * options.map_fanout_hint));
+
+  // ---- Map phase: pull fixed-size chunks from the source, map+combine a
+  // round of them in parallel, merge into the shuffle in chunk order. ----
+  const size_t chunk_cap = std::max<size_t>(1, options.map_chunk_records);
+  const size_t chunks_per_round = std::max<size_t>(1, threads * 2);
+  std::vector<std::vector<KV<K1, V1>>> inputs(chunks_per_round);
+  std::vector<std::vector<KV<K2, V2>>> outputs(chunks_per_round);
+  std::vector<uint64_t> raw_counts(chunks_per_round, 0);
+  source.Reset();
+  bool source_dry = false;
+  while (!source_dry) {
+    size_t filled = 0;
+    while (filled < chunks_per_round) {
+      std::vector<KV<K1, V1>>& in = inputs[filled];
+      in.resize(chunk_cap);
+      const size_t got = source.FillChunk(in.data(), chunk_cap);
+      in.resize(got);
+      if (got == 0) {
+        source_dry = true;
+        break;
       }
-      chunk = std::move(combined);
+      stats.map_input_records += got;
+      ++filled;
     }
-  });
-
-  // ---- Shuffle: hash-partition, preserving chunk order within a key. ----
-  const size_t num_partitions = std::max<size_t>(1, threads * 2);
-  std::vector<std::vector<KV<K2, V2>>> partitions(num_partitions);
-  uint64_t combined_records = 0;
-  for (const auto& chunk : map_out) {
-    combined_records += chunk.size();
-  }
-  for (uint64_t c : raw_map_counts) stats.map_output_records += c;
-  stats.combine_output_records = combined_records;
-  stats.shuffle_bytes = combined_records * (sizeof(K2) + sizeof(V2));
-  for (auto& chunk : map_out) {
-    for (auto& kv : chunk) {
-      size_t p = Mix64(static_cast<uint64_t>(kv.key)) % num_partitions;
-      partitions[p].push_back(std::move(kv));
+    env.pool().ParallelFor(filled, [&](size_t c) {
+      raw_counts[c] = mr_internal::MapCombineChunk<K2, V2>(
+          inputs[c], outputs[c], map_fn, combine_fn,
+          options.map_fanout_hint);
+    });
+    for (size_t c = 0; c < filled; ++c) {
+      stats.map_output_records += raw_counts[c];
+      if (Status s = shuffle.Append(std::move(outputs[c])); !s.ok()) {
+        return s;
+      }
     }
-    chunk.clear();
-    chunk.shrink_to_fit();
   }
+  // A disk-backed source signals mid-scan failure by ending early; mapping
+  // a truncated input would produce a plausible-looking wrong answer.
+  if (Status s = source.status(); !s.ok()) return s;
 
-  // ---- Reduce phase: group within each partition, reduce in parallel. ----
+  constexpr bool kHasCombiner =
+      !std::is_same_v<std::decay_t<CombineFn>, std::nullptr_t>;
+  stats.combine_input_records = kHasCombiner ? stats.map_output_records : 0;
+  stats.combine_output_records = shuffle.records();
+  // One byte-size convention everywhere a record is accounted: the padded
+  // struct size, which is also what the spill budget and spill files see.
+  stats.shuffle_bytes = shuffle.records() * sizeof(KV<K2, V2>);
+
+  // ---- Reduce phase: merge-read each partition in key order (spilled
+  // runs + in-memory tail), group, reduce — partitions in parallel. ----
   std::vector<std::vector<KV<K3, V3>>> reduce_out(num_partitions);
   std::vector<uint64_t> group_counts(num_partitions, 0);
+  std::vector<Status> partition_status(num_partitions);
+  const uint64_t out_hint = options.reduce_output_hint / num_partitions;
   env.pool().ParallelFor(num_partitions, [&](size_t p) {
-    auto& part = partitions[p];
-    std::stable_sort(part.begin(), part.end(),
-                     [](const KV<K2, V2>& a, const KV<K2, V2>& b) {
-                       return a.key < b.key;
-                     });
     Emitter<K3, V3> emitter(&reduce_out[p]);
+    if (out_hint > 0) emitter.Reserve(out_hint);
     std::vector<V2> values;
-    size_t i = 0;
-    while (i < part.size()) {
-      size_t j = i;
-      values.clear();
-      while (j < part.size() && part[j].key == part[i].key) {
-        values.push_back(part[j].value);
-        ++j;
-      }
-      reduce_fn(part[i].key, values, emitter);
-      ++group_counts[p];
-      i = j;
-    }
+    partition_status[p] = shuffle.ReducePartition(
+        p, &values, [&](const K2& key, const std::vector<V2>& vs) {
+          reduce_fn(key, vs, emitter);
+          ++group_counts[p];
+        });
   });
+  for (const Status& s : partition_status) {
+    if (!s.ok()) return s;
+  }
 
   std::vector<KV<K3, V3>> output;
   size_t total_out = 0;
@@ -183,11 +307,31 @@ std::vector<KV<K3, V3>> RunJobWithCombiner(
   }
   for (uint64_t c : group_counts) stats.reduce_input_groups += c;
   stats.reduce_output_records = output.size();
+  stats.spill_bytes_written = shuffle.spill_bytes_written();
+  stats.spill_bytes_read = shuffle.spill_bytes_read();
+  stats.spill_runs = shuffle.spill_runs();
   stats.simulated_seconds = SimulateJobSeconds(env.cost_model(), stats);
 
   env.AccumulateTotals(stats);
   if (stats_out != nullptr) *stats_out = stats;
   return output;
+}
+
+/// In-memory convenience overload: runs the job over a vector with the
+/// default (never-spilling) options. Cannot fail — vector sources are
+/// infallible and nothing spills.
+template <typename K2, typename V2, typename K3, typename V3, typename K1,
+          typename V1, typename MapFn, typename CombineFn, typename ReduceFn>
+std::vector<KV<K3, V3>> RunJobWithCombiner(
+    MapReduceEnv& env, const std::vector<KV<K1, V1>>& input, MapFn&& map_fn,
+    CombineFn&& combine_fn, ReduceFn&& reduce_fn,
+    JobStats* stats_out = nullptr) {
+  VectorRecordSource<K1, V1> source(input);
+  StatusOr<std::vector<KV<K3, V3>>> out = RunJobOnSource<K2, V2, K3, V3>(
+      env, source, JobOptions{}, std::forward<MapFn>(map_fn),
+      std::forward<CombineFn>(combine_fn), std::forward<ReduceFn>(reduce_fn),
+      stats_out);
+  return std::move(*out);
 }
 
 /// Combiner-free convenience wrapper (the common case).

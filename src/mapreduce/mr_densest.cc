@@ -1,46 +1,102 @@
 #include "mapreduce/mr_densest.h"
 
 #include <cmath>
+#include <memory>
+#include <optional>
 
 #include "graph/subgraph.h"
+#include "mapreduce/stream_source.h"
+#include "stream/memory_stream.h"
+#include "stream/pass_cursor.h"
 
 namespace densest {
 
+namespace {
+
+/// The per-pass input of a driver: the input stream until the first
+/// removal job materializes its survivors, an in-memory vector after.
+/// Jobs pull whichever is current through the RecordSource interface.
+class DriverInput {
+ public:
+  explicit DriverInput(PassCursor& cursor) : stream_source_(cursor) {}
+
+  MrEdgeSource& source() {
+    if (on_stream_) return stream_source_;
+    vector_source_.emplace(edges_);
+    return *vector_source_;
+  }
+
+  /// Installs the removal job's survivors; later passes run in memory.
+  void ReplaceWithSurvivors(MrEdges&& survivors) {
+    edges_ = std::move(survivors);
+    on_stream_ = false;
+  }
+
+  bool on_stream() const { return on_stream_; }
+  bool in_memory_empty() const { return !on_stream_ && edges_.empty(); }
+
+ private:
+  StreamRecordSource stream_source_;
+  MrEdges edges_;
+  // Rebuilt per source() call: VectorRecordSource carries a cursor, and a
+  // fresh one guarantees every job starts at record zero.
+  std::optional<VectorRecordSource<NodeId, NodeId>> vector_source_;
+  bool on_stream_ = true;
+};
+
+JobOptions DriverJobOptions(uint64_t spill_budget_bytes,
+                            const std::string& spill_dir) {
+  JobOptions opts;
+  opts.spill_budget_bytes = spill_budget_bytes;
+  opts.spill_dir = spill_dir;
+  return opts;
+}
+
+}  // namespace
+
 StatusOr<MrDensestResult> RunMrDensestUndirected(
-    MapReduceEnv& env, const EdgeList& graph,
-    const MrDensestOptions& options) {
+    MapReduceEnv& env, EdgeStream& stream, const MrDensestOptions& options) {
   if (options.epsilon < 0) {
     return Status::InvalidArgument("epsilon must be >= 0");
   }
-  const NodeId n = graph.num_nodes();
+  const NodeId n = stream.num_nodes();
   if (n == 0) return Status::InvalidArgument("graph has no nodes");
 
   MrDensestResult out;
   NodeSet alive(n, /*full=*/true);
   NodeSet best = alive;
   double best_density = -1.0;
-  MrEdges edges = ToMrEdges(graph.edges());
+  PassCursor cursor(stream);
+  DriverInput input(cursor);
+  const JobOptions base_opts =
+      DriverJobOptions(options.spill_budget_bytes, options.spill_dir);
 
   const double factor = 2.0 * (1.0 + options.epsilon);
   std::vector<EdgeId> deg(n, 0);
   uint64_t pass = 0;
   while (!alive.empty() && pass < options.max_passes) {
     ++pass;
-    double pass_sec = 0;
+    JobStats pass_stats;
 
     // Job 1 (§5.2 "density"): count the surviving edges.
     JobStats density_stats;
-    EdgeId m = MrCountEdgesJob(env, edges, &density_stats);
-    pass_sec += density_stats.simulated_seconds;
+    StatusOr<EdgeId> m =
+        MrCountEdgesJob(env, input.source(), base_opts, &density_stats);
+    if (!m.ok()) return m.status();
+    pass_stats.Accumulate(density_stats);
 
-    // Job 2 (§5.2 "degrees"): per-node induced degrees.
+    // Job 2 (§5.2 "degrees"): per-node induced degrees, combined map-side
+    // so the shuffle carries O(|V_alive|) records per chunk, not O(|E|).
     JobStats degree_stats;
-    std::vector<KV<NodeId, EdgeId>> degrees =
-        MrDegreeJob(env, edges, &degree_stats);
-    pass_sec += degree_stats.simulated_seconds;
+    JobOptions degree_opts = base_opts;
+    degree_opts.reduce_output_hint = alive.size();
+    StatusOr<std::vector<KV<NodeId, EdgeId>>> degrees =
+        MrDegreeJobCombined(env, input.source(), degree_opts, &degree_stats);
+    if (!degrees.ok()) return degrees.status();
+    pass_stats.Accumulate(degree_stats);
 
     const double rho =
-        static_cast<double>(m) / static_cast<double>(alive.size());
+        static_cast<double>(*m) / static_cast<double>(alive.size());
     if (rho > best_density) {
       best_density = rho;
       best = alive;
@@ -49,7 +105,7 @@ StatusOr<MrDensestResult> RunMrDensestUndirected(
     // Driver decision: mark every node at or below the threshold.
     // (Nodes with no surviving edge have degree 0 and are always marked.)
     std::fill(deg.begin(), deg.end(), 0);
-    for (const auto& kv : degrees) deg[kv.key] = kv.value;
+    for (const auto& kv : *degrees) deg[kv.key] = kv.value;
     const double threshold = factor * rho;
     NodeSet marked(n);
     for (NodeId u = 0; u < n; ++u) {
@@ -63,8 +119,8 @@ StatusOr<MrDensestResult> RunMrDensestUndirected(
       PassSnapshot snap;
       snap.pass = pass;
       snap.nodes = static_cast<NodeId>(alive.size() + marked.size());
-      snap.edges = m;
-      snap.weight = static_cast<double>(m);
+      snap.edges = *m;
+      snap.weight = static_cast<double>(*m);
       snap.density = rho;
       snap.threshold = threshold;
       snap.removed = marked.size();
@@ -72,29 +128,43 @@ StatusOr<MrDensestResult> RunMrDensestUndirected(
     }
 
     // Jobs 3+4 (§5.2 "removal"): delete marked nodes and incident edges.
-    if (!marked.empty() && !edges.empty()) {
+    if (!marked.empty() && !input.in_memory_empty()) {
       JobStats removal1, removal2;
-      edges = MrRemoveNodesJob(env, edges, marked, &removal1, &removal2);
-      pass_sec += removal1.simulated_seconds + removal2.simulated_seconds;
+      JobOptions removal_opts = base_opts;
+      removal_opts.reduce_output_hint = *m;
+      StatusOr<MrEdges> survivors = MrRemoveNodesJob(
+          env, input.source(), marked, removal_opts, &removal1, &removal2);
+      if (!survivors.ok()) return survivors.status();
+      input.ReplaceWithSurvivors(std::move(*survivors));
+      pass_stats.Accumulate(removal1);
+      pass_stats.Accumulate(removal2);
     }
-    out.pass_seconds.push_back(pass_sec);
+    out.pass_seconds.push_back(pass_stats.simulated_seconds);
+    out.pass_stats.push_back(pass_stats);
   }
 
   out.result.nodes = best.ToVector();
   out.result.density = best_density < 0 ? 0.0 : best_density;
   out.result.passes = pass;
   out.totals = env.totals();
+  out.input_scans = cursor.passes();
   return out;
 }
 
+StatusOr<MrDensestResult> RunMrDensestUndirected(
+    MapReduceEnv& env, const EdgeList& graph,
+    const MrDensestOptions& options) {
+  EdgeListStream stream(graph);
+  return RunMrDensestUndirected(env, stream, options);
+}
+
 StatusOr<MrDirectedResult> RunMrDensestDirected(
-    MapReduceEnv& env, const EdgeList& arcs_in,
-    const MrDirectedOptions& options) {
+    MapReduceEnv& env, EdgeStream& stream, const MrDirectedOptions& options) {
   if (options.epsilon < 0) {
     return Status::InvalidArgument("epsilon must be >= 0");
   }
   if (!(options.c > 0)) return Status::InvalidArgument("c must be > 0");
-  const NodeId n = arcs_in.num_nodes();
+  const NodeId n = stream.num_nodes();
   if (n == 0) return Status::InvalidArgument("graph has no nodes");
 
   MrDirectedResult out;
@@ -102,24 +172,33 @@ StatusOr<MrDirectedResult> RunMrDensestDirected(
   NodeSet s(n, /*full=*/true), t(n, /*full=*/true);
   NodeSet best_s = s, best_t = t;
   double best_density = -1.0;
-  MrEdges arcs = ToMrEdges(arcs_in.edges());
+  PassCursor cursor(stream);
+  DriverInput input(cursor);
+  const JobOptions base_opts =
+      DriverJobOptions(options.spill_budget_bytes, options.spill_dir);
 
   std::vector<EdgeId> out_deg(n, 0), in_deg(n, 0);
   uint64_t pass = 0;
   while (!s.empty() && !t.empty() && pass < options.max_passes) {
     ++pass;
-    double pass_sec = 0;
+    JobStats pass_stats;
 
     JobStats density_stats;
-    EdgeId m = MrCountEdgesJob(env, arcs, &density_stats);
-    pass_sec += density_stats.simulated_seconds;
+    StatusOr<EdgeId> m =
+        MrCountEdgesJob(env, input.source(), base_opts, &density_stats);
+    if (!m.ok()) return m.status();
+    pass_stats.Accumulate(density_stats);
 
     JobStats degree_stats;
-    std::vector<KV<uint64_t, EdgeId>> degrees =
-        MrDirectedDegreeJob(env, arcs, &degree_stats);
-    pass_sec += degree_stats.simulated_seconds;
+    JobOptions degree_opts = base_opts;
+    degree_opts.reduce_output_hint = s.size() + t.size();
+    StatusOr<std::vector<KV<uint64_t, EdgeId>>> degrees =
+        MrDirectedDegreeJobCombined(env, input.source(), degree_opts,
+                                    &degree_stats);
+    if (!degrees.ok()) return degrees.status();
+    pass_stats.Accumulate(degree_stats);
 
-    const double rho = static_cast<double>(m) /
+    const double rho = static_cast<double>(*m) /
                        std::sqrt(static_cast<double>(s.size()) *
                                  static_cast<double>(t.size()));
     if (rho > best_density) {
@@ -130,7 +209,7 @@ StatusOr<MrDirectedResult> RunMrDensestDirected(
 
     std::fill(out_deg.begin(), out_deg.end(), 0);
     std::fill(in_deg.begin(), in_deg.end(), 0);
-    for (const auto& kv : degrees) {
+    for (const auto& kv : *degrees) {
       NodeId node = static_cast<NodeId>(kv.key >> 1);
       if (kv.key & 1) {
         in_deg[node] = kv.value;
@@ -145,7 +224,7 @@ StatusOr<MrDirectedResult> RunMrDensestDirected(
     NodeSet marked(n);
     if (peel_s) {
       const double threshold = (1.0 + options.epsilon) *
-                               static_cast<double>(m) /
+                               static_cast<double>(*m) /
                                static_cast<double>(s.size());
       for (NodeId u = 0; u < n; ++u) {
         if (s.Contains(u) && static_cast<double>(out_deg[u]) <= threshold) {
@@ -155,7 +234,7 @@ StatusOr<MrDirectedResult> RunMrDensestDirected(
       }
     } else {
       const double threshold = (1.0 + options.epsilon) *
-                               static_cast<double>(m) /
+                               static_cast<double>(*m) /
                                static_cast<double>(t.size());
       for (NodeId u = 0; u < n; ++u) {
         if (t.Contains(u) && static_cast<double>(in_deg[u]) <= threshold) {
@@ -172,20 +251,26 @@ StatusOr<MrDirectedResult> RunMrDensestDirected(
                            : s.size();
       snap.t_size = peel_s ? t.size()
                            : static_cast<NodeId>(t.size() + marked.size());
-      snap.weight = static_cast<double>(m);
+      snap.weight = static_cast<double>(*m);
       snap.density = rho;
       snap.removed_from_s = peel_s;
       snap.removed = marked.size();
       out.result.trace.push_back(snap);
     }
 
-    if (!marked.empty() && !arcs.empty()) {
+    if (!marked.empty() && !input.in_memory_empty()) {
       JobStats removal_stats;
-      arcs = MrRemoveArcsJob(env, arcs, marked, /*by_source=*/peel_s,
-                             &removal_stats);
-      pass_sec += removal_stats.simulated_seconds;
+      JobOptions removal_opts = base_opts;
+      removal_opts.reduce_output_hint = *m;
+      StatusOr<MrEdges> survivors =
+          MrRemoveArcsJob(env, input.source(), marked, /*by_source=*/peel_s,
+                          removal_opts, &removal_stats);
+      if (!survivors.ok()) return survivors.status();
+      input.ReplaceWithSurvivors(std::move(*survivors));
+      pass_stats.Accumulate(removal_stats);
     }
-    out.pass_seconds.push_back(pass_sec);
+    out.pass_seconds.push_back(pass_stats.simulated_seconds);
+    out.pass_stats.push_back(pass_stats);
   }
 
   out.result.s_nodes = best_s.ToVector();
@@ -193,7 +278,15 @@ StatusOr<MrDirectedResult> RunMrDensestDirected(
   out.result.density = best_density < 0 ? 0.0 : best_density;
   out.result.passes = pass;
   out.totals = env.totals();
+  out.input_scans = cursor.passes();
   return out;
+}
+
+StatusOr<MrDirectedResult> RunMrDensestDirected(
+    MapReduceEnv& env, const EdgeList& arcs_in,
+    const MrDirectedOptions& options) {
+  EdgeListStream stream(arcs_in);
+  return RunMrDensestDirected(env, stream, options);
 }
 
 }  // namespace densest

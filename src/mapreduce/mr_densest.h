@@ -3,6 +3,14 @@
 // (directed): the drivers orchestrate the §5.2 jobs pass by pass, exactly
 // mirroring the streaming algorithms' decisions, and collect the simulated
 // per-pass cluster time (Figure 6.7).
+//
+// The drivers read EdgeStreams: the first pass's jobs each scan the input
+// through a StreamRecordSource (binary file, generator, or in-memory
+// stream — the same inputs the streaming engines run on, counted by the
+// same PassCursor accounting), and the removal job's in-memory survivor
+// set feeds every later pass (§6.3: the graph shrinks by orders of
+// magnitude in the first passes). Shuffle memory inside each job is
+// bounded by the spill budget, not by |E|.
 
 #ifndef DENSEST_MAPREDUCE_MR_DENSEST_H_
 #define DENSEST_MAPREDUCE_MR_DENSEST_H_
@@ -14,6 +22,7 @@
 #include "graph/edge_list.h"
 #include "mapreduce/graph_jobs.h"
 #include "mapreduce/job.h"
+#include "stream/edge_stream.h"
 
 namespace densest {
 
@@ -22,6 +31,11 @@ struct MrDensestOptions {
   double epsilon = 1.0;
   uint64_t max_passes = 1000;
   bool record_trace = true;
+  /// Shuffle spill budget per job in bytes (see
+  /// JobOptions::spill_budget_bytes). 0 keeps every shuffle in memory.
+  uint64_t spill_budget_bytes = 0;
+  /// Directory for spill files ("" = the system temp directory).
+  std::string spill_dir;
 };
 
 /// \brief Result plus cluster accounting.
@@ -30,14 +44,26 @@ struct MrDensestResult {
   /// Simulated cluster seconds per pass (sums the pass's jobs) —
   /// the series of Figure 6.7.
   std::vector<double> pass_seconds;
+  /// Aggregated job counters per pass (parallel to pass_seconds); the
+  /// combiner/spill gates read these.
+  std::vector<JobStats> pass_stats;
   /// Aggregate counters over all jobs.
   JobStats totals;
+  /// Physical scans of the input stream (each first-pass job re-scans it;
+  /// once the removal job has materialized the survivors, later passes run
+  /// in memory and scan nothing).
+  uint64_t input_scans = 0;
 };
 
-/// Runs the MapReduce version of Algorithm 1 on an undirected edge list.
+/// Runs the MapReduce version of Algorithm 1 over an edge stream.
 /// Produces exactly the same subgraph as RunAlgorithm1 with the same
 /// epsilon (the drivers make identical decisions); only the execution
 /// substrate differs. Unweighted edges only (weights are ignored).
+StatusOr<MrDensestResult> RunMrDensestUndirected(MapReduceEnv& env,
+                                                 EdgeStream& stream,
+                                                 const MrDensestOptions& options);
+
+/// Convenience overload over an in-memory edge list.
 StatusOr<MrDensestResult> RunMrDensestUndirected(MapReduceEnv& env,
                                                  const EdgeList& graph,
                                                  const MrDensestOptions& options);
@@ -48,17 +74,27 @@ struct MrDirectedOptions {
   double epsilon = 1.0;
   uint64_t max_passes = 1000;
   bool record_trace = true;
+  /// See MrDensestOptions.
+  uint64_t spill_budget_bytes = 0;
+  std::string spill_dir;
 };
 
 /// \brief Directed result plus cluster accounting.
 struct MrDirectedResult {
   DirectedDensestResult result;
   std::vector<double> pass_seconds;
+  std::vector<JobStats> pass_stats;
   JobStats totals;
+  uint64_t input_scans = 0;
 };
 
-/// Runs the MapReduce version of Algorithm 3 on a directed arc list.
+/// Runs the MapReduce version of Algorithm 3 over an arc stream.
 /// Matches RunAlgorithm3 with the same options (size-ratio rule).
+StatusOr<MrDirectedResult> RunMrDensestDirected(MapReduceEnv& env,
+                                                EdgeStream& stream,
+                                                const MrDirectedOptions& options);
+
+/// Convenience overload over an in-memory arc list.
 StatusOr<MrDirectedResult> RunMrDensestDirected(MapReduceEnv& env,
                                                 const EdgeList& arcs,
                                                 const MrDirectedOptions& options);

@@ -1,0 +1,41 @@
+// Copyright 2026 The densest Authors.
+// Bridges the streaming substrate into the MapReduce engine: a
+// StreamRecordSource chunks any EdgeStream — binary file, Gnp/circulant
+// generator, in-memory edge list — into map-task input records through a
+// PassCursor, so every MR job over it is one physical scan counted by the
+// same accounting the fused streaming engines use.
+
+#ifndef DENSEST_MAPREDUCE_STREAM_SOURCE_H_
+#define DENSEST_MAPREDUCE_STREAM_SOURCE_H_
+
+#include <vector>
+
+#include "graph/types.h"
+#include "mapreduce/job.h"
+#include "stream/pass_cursor.h"
+
+namespace densest {
+
+/// \brief RecordSource over an EdgeStream: each Reset() begins one physical
+/// pass on the shared cursor; FillChunk converts the cursor's edge views
+/// into (first endpoint; second endpoint) records. Weights are dropped —
+/// the §5.2 MR jobs are unweighted. The cursor must outlive the source.
+class StreamRecordSource : public RecordSource<NodeId, NodeId> {
+ public:
+  explicit StreamRecordSource(PassCursor& cursor) : cursor_(&cursor) {}
+
+  void Reset() override { cursor_->BeginPass(); }
+  size_t FillChunk(KV<NodeId, NodeId>* buf, size_t cap) override;
+  uint64_t SizeHint() const override { return cursor_->stream().SizeHint(); }
+  /// Forwards the stream's sticky IO health; the engine aborts the job on
+  /// a truncated scan instead of reducing over partial data.
+  Status status() const override { return cursor_->stream().status(); }
+
+ private:
+  PassCursor* cursor_;
+  std::vector<Edge> scratch_;
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_MAPREDUCE_STREAM_SOURCE_H_

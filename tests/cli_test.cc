@@ -181,6 +181,51 @@ TEST_F(CliCommandTest, DirectedSingleC) {
   EXPECT_NE(out.find("peel"), std::string::npos);
 }
 
+TEST_F(CliCommandTest, MapReduceUndirectedWithSpillAndTrace) {
+  Status status;
+  std::string out =
+      Run("mapreduce", {"--eps=1", "--spill-budget=4096", "--trace"}, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.find("mapreduce algorithm 1"), std::string::npos);
+  EXPECT_NE(out.find("input scans"), std::string::npos);
+  EXPECT_NE(out.find("sim_sec"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, MapReduceDirectedSingleC) {
+  Status status;
+  std::string out = Run("mapreduce", {"--directed", "--c=2"}, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.find("mapreduce algorithm 3"), std::string::npos);
+}
+
+TEST(CliMapReduceTest, RunsOutOfCoreOnBinaryInput) {
+  // generate --format=bin, then mapreduce the file: the driver streams it
+  // from disk and must agree with the streaming algorithm's CLI path.
+  std::string path = ::testing::TempDir() + "/cli_mr.bin";
+  auto gen_args = Args::Parse({"er", path, "--nodes=200", "--edges=900",
+                               "--seed=9", "--format=bin"});
+  ASSERT_TRUE(gen_args.ok());
+  std::ostringstream gen_out;
+  ASSERT_TRUE(RunCliCommand("generate", *gen_args, gen_out).ok());
+
+  auto mr_args = Args::Parse({path, "--eps=0.5", "--spill-budget=1024"});
+  ASSERT_TRUE(mr_args.ok());
+  std::ostringstream mr_out;
+  Status status = RunCliCommand("mapreduce", *mr_args, mr_out);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  auto und_args = Args::Parse({path, "--eps=0.5"});
+  std::ostringstream und_out;
+  ASSERT_TRUE(RunCliCommand("undirected", *und_args, und_out).ok());
+  // Both report the same Summarize(...) line; compare the rho=... token.
+  auto rho_of = [](const std::string& s) {
+    size_t at = s.find("rho=");
+    return s.substr(at, s.find(' ', at) - at);
+  };
+  EXPECT_EQ(rho_of(mr_out.str()), rho_of(und_out.str()));
+  std::remove(path.c_str());
+}
+
 TEST_F(CliCommandTest, UnknownFlagRejected) {
   Status status;
   Run("undirected", {"--epsilonn=1"}, &status);

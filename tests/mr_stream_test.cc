@@ -1,0 +1,308 @@
+// Tests for the out-of-core MapReduce substrate: stream-backed job inputs
+// (StreamRecordSource over every stream type), the spill path of the
+// shuffle, and the drivers' bit-for-bit equivalence with the streaming
+// algorithms on file- and generator-backed inputs.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "core/algorithm1.h"
+#include "core/algorithm3.h"
+#include "gen/erdos_renyi.h"
+#include "mapreduce/graph_jobs.h"
+#include "mapreduce/job.h"
+#include "mapreduce/mr_densest.h"
+#include "mapreduce/stream_source.h"
+#include "stream/file_stream.h"
+#include "stream/generated_stream.h"
+#include "stream/memory_stream.h"
+#include "stream/pass_cursor.h"
+
+namespace densest {
+namespace {
+
+// ---- RecordSource plumbing. ----
+
+TEST(StreamRecordSourceTest, DeliversEveryEdgeAndCountsScans) {
+  EdgeList el = ErdosRenyiGnm(200, 1000, 11);
+  EdgeListStream stream(el);
+  PassCursor cursor(stream);
+  StreamRecordSource source(cursor);
+
+  for (int scan = 1; scan <= 2; ++scan) {
+    source.Reset();
+    std::vector<KV<NodeId, NodeId>> got;
+    KV<NodeId, NodeId> buf[64];
+    size_t n;
+    while ((n = source.FillChunk(buf, 64)) > 0) {
+      got.insert(got.end(), buf, buf + n);
+    }
+    ASSERT_EQ(got.size(), el.num_edges());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].key, el.edges()[i].u);
+      EXPECT_EQ(got[i].value, el.edges()[i].v);
+    }
+    EXPECT_EQ(cursor.passes(), static_cast<uint64_t>(scan));
+  }
+}
+
+TEST(ChainRecordSourceTest, ConcatenatesInOrderAndResets) {
+  std::vector<KV<NodeId, NodeId>> a = {{1, 2}, {3, 4}};
+  std::vector<KV<NodeId, NodeId>> b = {{5, 6}};
+  VectorRecordSource<NodeId, NodeId> sa(a), sb(b);
+  ChainRecordSource<NodeId, NodeId> chain(sa, sb);
+  for (int round = 0; round < 2; ++round) {
+    chain.Reset();
+    std::vector<KV<NodeId, NodeId>> got;
+    KV<NodeId, NodeId> buf[8];
+    size_t n;
+    while ((n = chain.FillChunk(buf, 8)) > 0) got.insert(got.end(), buf, buf + n);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].key, 1u);
+    EXPECT_EQ(got[2].key, 5u);
+  }
+  EXPECT_EQ(chain.SizeHint(), 3u);
+}
+
+// ---- Spill path: identical results with and without spilling. ----
+
+std::vector<KV<NodeId, EdgeId>> RunDegreeJob(const MrEdges& edges,
+                                             uint64_t budget,
+                                             JobStats* stats) {
+  MapReduceEnv env({}, 4);
+  VectorRecordSource<NodeId, NodeId> source(edges);
+  JobOptions opts;
+  opts.spill_budget_bytes = budget;
+  auto out = MrDegreeJobCombined(env, source, opts, stats);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return std::move(*out);
+}
+
+TEST(SpillShuffleTest, EveryPartitionSpillsAndOutputIsByteIdentical) {
+  EdgeList el = ErdosRenyiGnm(400, 5000, 21);
+  MrEdges edges = ToMrEdges(el.edges());
+
+  JobStats in_memory_stats, spilled_stats;
+  auto in_memory = RunDegreeJob(edges, 0, &in_memory_stats);
+  // A 1-byte budget gives every partition a share below one record: every
+  // append spills, so the whole shuffle goes through disk.
+  auto spilled = RunDegreeJob(edges, 1, &spilled_stats);
+
+  EXPECT_EQ(in_memory_stats.spill_bytes_written, 0u);
+  EXPECT_GT(spilled_stats.spill_bytes_written, 0u);
+  EXPECT_EQ(spilled_stats.spill_bytes_read,
+            spilled_stats.spill_bytes_written);
+  EXPECT_GT(spilled_stats.spill_runs, 0u);
+  // Identical chunking on both sides: the output must match record for
+  // record, in order — the merge-read reproduces the stable sort exactly.
+  ASSERT_EQ(spilled.size(), in_memory.size());
+  for (size_t i = 0; i < spilled.size(); ++i) {
+    EXPECT_EQ(spilled[i].key, in_memory[i].key) << "i=" << i;
+    EXPECT_EQ(spilled[i].value, in_memory[i].value) << "i=" << i;
+  }
+  // The spilled run costs more simulated time (spill IO is charged).
+  EXPECT_GT(spilled_stats.simulated_seconds,
+            in_memory_stats.simulated_seconds);
+}
+
+TEST(SpillShuffleTest, OutputOrderInvariantAcrossThreadCountsAndBudgets) {
+  // Partition count and chunk boundaries are fixed constants, never
+  // derived from the thread count — so the output matches record for
+  // record, in order, with no sorting, for every (threads, budget) pair.
+  EdgeList el = ErdosRenyiGnm(300, 4000, 22);
+  MrEdges edges = ToMrEdges(el.edges());
+  auto reference = RunDegreeJob(edges, 0, nullptr);
+  for (size_t threads : {1u, 3u, 8u}) {
+    for (uint64_t budget : {uint64_t{1}, uint64_t{1} << 12, uint64_t{0}}) {
+      MapReduceEnv env({}, threads);
+      VectorRecordSource<NodeId, NodeId> source(edges);
+      JobOptions opts;
+      opts.spill_budget_bytes = budget;
+      auto out = MrDegreeJobCombined(env, source, opts, nullptr);
+      ASSERT_TRUE(out.ok());
+      ASSERT_EQ(out->size(), reference.size());
+      for (size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ((*out)[i].key, reference[i].key)
+            << "threads=" << threads << " budget=" << budget << " i=" << i;
+        EXPECT_EQ((*out)[i].value, reference[i].value);
+      }
+    }
+  }
+}
+
+// ---- Driver equivalence with streaming, on every stream type. ----
+
+void ExpectMrMatchesStreaming(EdgeStream& stream, double epsilon,
+                              uint64_t spill_budget) {
+  Algorithm1Options stream_opt;
+  stream_opt.epsilon = epsilon;
+  auto streaming = RunAlgorithm1(stream, stream_opt);
+  ASSERT_TRUE(streaming.ok()) << streaming.status().ToString();
+
+  MapReduceEnv env;
+  MrDensestOptions mr_opt;
+  mr_opt.epsilon = epsilon;
+  mr_opt.spill_budget_bytes = spill_budget;
+  auto mr = RunMrDensestUndirected(env, stream, mr_opt);
+  ASSERT_TRUE(mr.ok()) << mr.status().ToString();
+
+  EXPECT_EQ(mr->result.nodes, streaming->nodes);
+  EXPECT_DOUBLE_EQ(mr->result.density, streaming->density);
+  EXPECT_EQ(mr->result.passes, streaming->passes);
+  EXPECT_GT(mr->input_scans, 0u);
+}
+
+TEST(MrStreamEquivalenceTest, EdgeListStream) {
+  EdgeList el = ErdosRenyiGnm(150, 900, 31);
+  EdgeListStream stream(el);
+  ExpectMrMatchesStreaming(stream, 0.5, 0);
+}
+
+TEST(MrStreamEquivalenceTest, BinaryFileStream) {
+  const std::string path = ::testing::TempDir() + "/mr_equiv_edges.bin";
+  EdgeList el = ErdosRenyiGnm(150, 900, 32);
+  ASSERT_TRUE(WriteBinaryEdgeFile(path, el, /*weighted=*/false).ok());
+  auto stream = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(stream.ok());
+  ExpectMrMatchesStreaming(**stream, 0.5, 0);
+  std::remove(path.c_str());
+}
+
+TEST(MrStreamEquivalenceTest, BinaryFileStreamUnderTinySpillBudget) {
+  // The acceptance configuration: a disk-backed input plus a shuffle
+  // budget far below the graph's total KV footprint, so the degree jobs
+  // must spill — and the answer still matches streaming bit for bit.
+  const std::string path = ::testing::TempDir() + "/mr_equiv_spill.bin";
+  EdgeList el = ErdosRenyiGnm(200, 3000, 33);
+  ASSERT_TRUE(WriteBinaryEdgeFile(path, el, /*weighted=*/false).ok());
+  auto stream = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(stream.ok());
+  ExpectMrMatchesStreaming(**stream, 1.0, /*spill_budget=*/256);
+
+  MapReduceEnv env;
+  MrDensestOptions opt;
+  opt.epsilon = 1.0;
+  opt.spill_budget_bytes = 256;
+  auto mr = RunMrDensestUndirected(env, **stream, opt);
+  ASSERT_TRUE(mr.ok());
+  EXPECT_GT(mr->totals.spill_bytes_written, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(MrStreamEquivalenceTest, GnpGeneratorStream) {
+  GnpEdgeStream stream(120, 0.08, 41);
+  ExpectMrMatchesStreaming(stream, 0.5, 0);
+}
+
+TEST(MrStreamEquivalenceTest, CirculantGeneratorStream) {
+  CirculantEdgeStream stream(128, 6);
+  ExpectMrMatchesStreaming(stream, 0.0, 0);
+}
+
+TEST(MrStreamEquivalenceTest, FirstPassScanAccounting) {
+  // Pass 1 runs three stream-scanning jobs (density, degrees, removal pass
+  // 1); after the removal job materializes survivors, no job touches the
+  // stream again.
+  EdgeList el = ErdosRenyiGnm(100, 600, 42);
+  EdgeListStream stream(el);
+  MapReduceEnv env;
+  MrDensestOptions opt;
+  opt.epsilon = 0.5;
+  auto mr = RunMrDensestUndirected(env, stream, opt);
+  ASSERT_TRUE(mr.ok());
+  EXPECT_GT(mr->result.passes, 1u);
+  EXPECT_EQ(mr->input_scans, 3u);
+}
+
+TEST(MrDirectedStreamEquivalenceTest, BinaryFileArcStream) {
+  const std::string path = ::testing::TempDir() + "/mr_equiv_arcs.bin";
+  EdgeList el = ErdosRenyiDirectedGnm(120, 900, 51);
+  ASSERT_TRUE(WriteBinaryEdgeFile(path, el, /*weighted=*/false).ok());
+  auto stream = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(stream.ok());
+
+  Algorithm3Options stream_opt;
+  stream_opt.c = 2.0;
+  stream_opt.epsilon = 1.0;
+  auto streaming = RunAlgorithm3(**stream, stream_opt);
+  ASSERT_TRUE(streaming.ok());
+
+  MapReduceEnv env;
+  MrDirectedOptions mr_opt;
+  mr_opt.c = 2.0;
+  mr_opt.epsilon = 1.0;
+  mr_opt.spill_budget_bytes = 512;  // force spilling on top
+  auto mr = RunMrDensestDirected(env, **stream, mr_opt);
+  ASSERT_TRUE(mr.ok());
+
+  EXPECT_EQ(mr->result.s_nodes, streaming->s_nodes);
+  EXPECT_EQ(mr->result.t_nodes, streaming->t_nodes);
+  EXPECT_DOUBLE_EQ(mr->result.density, streaming->density);
+  EXPECT_EQ(mr->result.passes, streaming->passes);
+  std::remove(path.c_str());
+}
+
+// ---- IO failure: truncated inputs abort the job, not the answer. ----
+
+TEST(MrStreamFailureTest, TruncatedBinaryInputSurfacesIOError) {
+  const std::string path = ::testing::TempDir() + "/mr_truncated.bin";
+  EdgeList el = ErdosRenyiGnm(200, 2000, 61);
+  ASSERT_TRUE(WriteBinaryEdgeFile(path, el, /*weighted=*/false).ok());
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 700 * 8);
+
+  auto stream = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(stream.ok());
+  MapReduceEnv env;
+  auto mr = RunMrDensestUndirected(env, **stream, {});
+  ASSERT_FALSE(mr.ok());
+  EXPECT_EQ(mr.status().code(), Status::Code::kIOError);
+  std::remove(path.c_str());
+}
+
+// ---- Combiner ceiling: the shuffle carries O(V), not O(E). ----
+
+TEST(MrCombinerTest, DegreeShuffleBoundedByAliveNodesPerChunk) {
+  EdgeList el = ErdosRenyiGnm(500, 20000, 71);
+  MrEdges edges = ToMrEdges(el.edges());
+  MapReduceEnv env;
+  VectorRecordSource<NodeId, NodeId> source(edges);
+  JobOptions opts;
+  JobStats stats;
+  auto out = MrDegreeJobCombined(env, source, opts, &stats);
+  ASSERT_TRUE(out.ok());
+
+  const uint64_t chunks =
+      (edges.size() + opts.map_chunk_records - 1) / opts.map_chunk_records;
+  EXPECT_EQ(stats.map_output_records, 2 * el.num_edges());
+  EXPECT_EQ(stats.combine_input_records, stats.map_output_records);
+  EXPECT_LE(stats.combine_output_records, chunks * el.num_nodes());
+  EXPECT_LT(stats.combine_output_records, stats.map_output_records);
+}
+
+TEST(MrCombinerTest, DirectedDegreeCombinedMatchesPlain) {
+  EdgeList el = ErdosRenyiDirectedGnm(200, 3000, 72);
+  MrEdges arcs = ToMrEdges(el.edges());
+  MapReduceEnv env;
+  auto plain = MrDirectedDegreeJob(env, arcs);
+  VectorRecordSource<NodeId, NodeId> source(arcs);
+  JobStats stats;
+  auto combined = MrDirectedDegreeJobCombined(env, source, JobOptions{}, &stats);
+  ASSERT_TRUE(combined.ok());
+
+  auto by_key = [](const auto& a, const auto& b) { return a.key < b.key; };
+  std::sort(plain.begin(), plain.end(), by_key);
+  std::sort(combined->begin(), combined->end(), by_key);
+  ASSERT_EQ(plain.size(), combined->size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].key, (*combined)[i].key);
+    EXPECT_EQ(plain[i].value, (*combined)[i].value);
+  }
+  EXPECT_LT(stats.combine_output_records, stats.map_output_records);
+}
+
+}  // namespace
+}  // namespace densest
