@@ -85,6 +85,19 @@ bool RunSmokeGates(bench::BenchJson& json) {
               static_cast<unsigned long long>(mr->input_scans));
   if (!identical) ok = false;
 
+  // Gate 1b: stream-scan IO charge. The first-pass jobs scan the binary
+  // file through StreamRecordSource; a zero map_input_bytes total means
+  // the cost model stopped charging the DFS read the mappers perform.
+  json.Add("map_input_bytes",
+           static_cast<double>(mr->totals.map_input_bytes));
+  std::printf("map input scan: %llu DFS bytes charged\n",
+              static_cast<unsigned long long>(mr->totals.map_input_bytes));
+  if (mr->totals.map_input_bytes <
+      el.num_edges() * StreamRecordSource::kDfsRecordBytes) {
+    std::printf("FAIL: map_input_bytes below one full input scan\n");
+    ok = false;
+  }
+
   // Gate 2: spill engagement. Under that budget the first-pass shuffles
   // cannot fit in memory; a zero spill count means the budget is ignored.
   json.Add("spill_bytes_written",
@@ -171,6 +184,7 @@ int RunFigure() {
   model.num_mappers = 2000;
   model.num_reducers = 2000;
   model.map_seconds_per_record = 9.3e-5 * 2500;
+  model.map_input_seconds_per_byte = 2e-9 * 2500;
   model.reduce_seconds_per_record = 9.3e-5 * 2500;
   model.shuffle_seconds_per_byte = 4e-9 * 2500;
   model.combine_seconds_per_record = 5e-7 * 2500;

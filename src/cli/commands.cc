@@ -16,9 +16,12 @@
 #include "graph/graph_builder.h"
 #include "graph/stats.h"
 #include "io/edge_list_io.h"
+#include "dynamic/dynamic_densest.h"
+#include "dynamic/replay.h"
 #include "mapreduce/mr_densest.h"
 #include "stream/file_stream.h"
 #include "stream/memory_stream.h"
+#include "stream/update_stream.h"
 
 namespace densest {
 
@@ -301,6 +304,128 @@ Status CmdMapReduce(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+Status CmdDynamic(const Args& args, std::ostream& out) {
+  StatusOr<double> eps = args.GetDouble("eps", 0.75);
+  StatusOr<int64_t> window = args.GetInt("window", 0);
+  StatusOr<double> rate = args.GetDouble("rate", 0.0);
+  StatusOr<int64_t> query_every = args.GetInt("query-every", 1024);
+  StatusOr<int64_t> checkpoint_every = args.GetInt("checkpoint-every", 0);
+  std::string checkpoints = args.GetString("checkpoints", "exact");
+  StatusOr<int64_t> radius = args.GetInt("radius", 2);
+  std::string fallback = args.GetString("fallback", "recompute");
+  StatusOr<int64_t> threads = args.GetInt("threads", 0);
+  for (const Status& s :
+       {eps.ok() ? Status::OK() : eps.status(),
+        window.ok() ? Status::OK() : window.status(),
+        rate.ok() ? Status::OK() : rate.status(),
+        query_every.ok() ? Status::OK() : query_every.status(),
+        checkpoint_every.ok() ? Status::OK() : checkpoint_every.status(),
+        radius.ok() ? Status::OK() : radius.status(),
+        threads.ok() ? Status::OK() : threads.status()}) {
+    if (!s.ok()) return s;
+  }
+  if (*window < 0 || *radius < 0 || *threads < 0 || *query_every < 0 ||
+      *checkpoint_every < 0) {
+    return Status::InvalidArgument("flag values must be >= 0");
+  }
+  StatusOr<std::string> path = RequireGraphArg(args);
+  if (!path.ok()) return path.status();
+
+  // A .bin input replays straight from disk; text inputs are loaded and
+  // replayed from memory.
+  std::unique_ptr<BinaryFileEdgeStream> file_stream;
+  EdgeList edges;
+  std::unique_ptr<EdgeListStream> memory_stream;
+  EdgeStream* stream = nullptr;
+  if (EndsWith(*path, ".bin")) {
+    auto opened = BinaryFileEdgeStream::Open(*path);
+    if (!opened.ok()) return opened.status();
+    file_stream = std::move(*opened);
+    stream = file_stream.get();
+  } else {
+    StatusOr<EdgeList> loaded = ReadEdgeListText(*path);
+    if (!loaded.ok()) return loaded.status();
+    edges = std::move(*loaded);
+    memory_stream = std::make_unique<EdgeListStream>(edges);
+    stream = memory_stream.get();
+  }
+
+  DynamicDensestOptions opt;
+  opt.epsilon = *eps;
+  opt.window_radius = static_cast<uint32_t>(*radius);
+  opt.engine_options.num_threads = static_cast<size_t>(*threads);
+  if (fallback == "recompute") {
+    opt.fallback = DynamicFallback::kRecompute;
+  } else if (fallback == "rebuild") {
+    opt.fallback = DynamicFallback::kRebuildOnly;
+  } else if (fallback == "never") {
+    opt.fallback = DynamicFallback::kNever;
+  } else {
+    return Status::InvalidArgument("unknown --fallback: " + fallback);
+  }
+  StatusOr<std::unique_ptr<DynamicDensest>> engine =
+      DynamicDensest::Create(stream->num_nodes(), opt);
+  if (!engine.ok()) return engine.status();
+
+  ReplayOptions replay_opt;
+  replay_opt.target_updates_per_sec = *rate;
+  replay_opt.query_every = static_cast<uint64_t>(*query_every);
+  replay_opt.checkpoint_every = static_cast<uint64_t>(*checkpoint_every);
+  if (checkpoints == "exact") {
+    replay_opt.checkpoint_mode = CheckpointMode::kExactFlow;
+  } else if (checkpoints == "batch") {
+    replay_opt.checkpoint_mode = CheckpointMode::kBatchAlgorithm1;
+  } else {
+    return Status::InvalidArgument("unknown --checkpoints: " + checkpoints);
+  }
+
+  InsertReplayUpdateStream inserts(*stream);
+  std::unique_ptr<SlidingWindowUpdateStream> windowed;
+  UpdateStream* updates = &inserts;
+  if (*window > 0) {
+    windowed = std::make_unique<SlidingWindowUpdateStream>(
+        *stream, static_cast<uint64_t>(*window));
+    updates = windowed.get();
+  }
+
+  StatusOr<ReplayReport> report = ReplayUpdates(*updates, **engine, replay_opt);
+  if (!report.ok()) return report.status();
+
+  out << "dynamic densest (eps=" << *eps
+      << (*window > 0 ? ", sliding window " + std::to_string(*window)
+                      : std::string(", insert-only"))
+      << "): rho=" << report->final_density;
+  if (report->final_certified) {
+    out << " certified rho* < " << report->final_upper_bound << " (band "
+        << (*engine)->ApproxBand() << "x)\n";
+  } else {
+    // Only possible under --fallback=never: the window degraded and the
+    // engine is serving best-effort answers without a certificate.
+    out << " UNCERTIFIED (window degraded; --fallback=never)\n";
+  }
+  out << "updates: " << report->updates << " ("
+      << report->engine_stats.inserts << " ins, "
+      << report->engine_stats.deletes << " del, "
+      << report->engine_stats.ignored << " ignored) at "
+      << static_cast<uint64_t>(report->updates_per_sec) << "/s\n";
+  out << "queries: " << report->queries
+      << "  p50=" << report->query_latency_us.Quantile(0.5)
+      << "us  p99=" << report->query_latency_us.Quantile(0.99) << "us\n";
+  out << "maintenance: " << report->engine_stats.level_moves
+      << " level moves, " << report->engine_stats.recomputes
+      << " recomputes, " << report->engine_stats.window_moves
+      << " window moves\n";
+  if (!report->checkpoints.empty()) {
+    out << "checkpoints: " << report->checkpoints.size()
+        << "  band=" << (report->band_ok ? "OK" : "VIOLATED")
+        << "  max error=" << report->max_observed_error << "\n";
+  }
+  if (!report->band_ok) {
+    return Status::Internal("maintained density left the certified band");
+  }
+  return Status::OK();
+}
+
 Status CmdExact(const Args& args, std::ostream& out) {
   StatusOr<std::string> path = RequireGraphArg(args);
   if (!path.ok()) return path.status();
@@ -429,6 +554,14 @@ std::string CliUsage() {
       "      [--mappers=2000 --reducers=2000] [--trace]\n"
       "      simulated-cluster MapReduce drivers; .bin graphs stream\n"
       "      out-of-core, shuffles spill to disk under --spill-budget\n"
+      "  dynamic <graph> [--eps=0.75] [--window=W] [--rate=R]\n"
+      "      [--query-every=1024] [--checkpoint-every=N]\n"
+      "      [--checkpoints=exact|batch] [--radius=2]\n"
+      "      [--fallback=recompute|rebuild|never] [--threads=0]\n"
+      "      incremental maintenance service: replays the graph as a\n"
+      "      timestamped insert stream (--window adds a sliding-window\n"
+      "      deleter) and reports throughput, query latency percentiles\n"
+      "      and the certified approximation band\n"
       "  exact <graph>\n"
       "      exact rho* via Goldberg's max-flow reduction\n"
       "  enumerate <graph> [--eps=0.5] [--count=10] [--min-density=1]\n"
@@ -452,6 +585,8 @@ Status RunCliCommand(const std::string& command, const Args& args,
     status = CmdDirected(args, out);
   } else if (command == "mapreduce") {
     status = CmdMapReduce(args, out);
+  } else if (command == "dynamic") {
+    status = CmdDynamic(args, out);
   } else if (command == "exact") {
     status = CmdExact(args, out);
   } else if (command == "enumerate") {

@@ -15,7 +15,7 @@
 namespace densest {
 
 /// Dispatches `command` with `args`; returns the command's status.
-/// Known commands: stats, undirected, directed, mapreduce, exact,
+/// Known commands: stats, undirected, directed, mapreduce, dynamic, exact,
 /// enumerate, generate.
 Status RunCliCommand(const std::string& command, const Args& args,
                      std::ostream& out);
@@ -43,6 +43,17 @@ Status CmdDirected(const Args& args, std::ostream& out);
 ///        --spill-budget (bytes, 0 = in-memory shuffle), --mappers (2000),
 ///        --reducers (2000), --trace.
 Status CmdMapReduce(const Args& args, std::ostream& out);
+
+/// `dynamic <graph>`: the incremental maintenance service. Replays the
+/// graph's edges as a timestamped insertion stream (optionally with a
+/// sliding-window deleter) into a DynamicDensest engine, queries on a
+/// schedule, and reports update throughput, query latency percentiles and
+/// the certified approximation band.
+/// Flags: --eps (0.75), --window (0 = insert-only), --rate (0 = unthrottled),
+///        --query-every (1024), --checkpoint-every (0),
+///        --checkpoints (exact|batch), --radius (2),
+///        --fallback (recompute|rebuild|never), --threads (0).
+Status CmdDynamic(const Args& args, std::ostream& out);
 
 /// `exact <graph>`: Goldberg exact solver (undirected only).
 Status CmdExact(const Args& args, std::ostream& out);

@@ -480,6 +480,14 @@ StatusOr<std::vector<UndirectedDensestResult>> MultiRunEngine::RunUndirectedRuns
   return results;
 }
 
+StatusOr<UndirectedDensestResult> MultiRunEngine::RecomputeUndirected(
+    EdgeStream& stream, const Algorithm1Options& options) {
+  StatusOr<std::vector<UndirectedDensestResult>> results =
+      RunUndirectedRuns(stream, std::vector<Algorithm1Options>{options});
+  if (!results.ok()) return results.status();
+  return std::move((*results)[0]);
+}
+
 StatusOr<std::vector<UndirectedDensestResult>> RunAlgorithm1EpsilonSweep(
     EdgeStream& stream, const Algorithm1Options& base,
     const std::vector<double>& epsilons, MultiRunEngine* engine) {

@@ -189,6 +189,15 @@ class MultiRunEngine {
   StatusOr<std::vector<UndirectedDensestResult>> RunUndirectedRuns(
       EdgeStream& stream, const std::vector<Algorithm2Options>& runs);
 
+  /// Batch recompute entry point for the dynamic maintenance service
+  /// (dynamic/dynamic_densest.h): one Algorithm 1 run over a frozen
+  /// snapshot of the service's live edge set, driven through this engine so
+  /// the service's slow path shares scratch, thread fan-out and scan
+  /// accounting with every other batch sweep instead of being a separate
+  /// world.
+  StatusOr<UndirectedDensestResult> RecomputeUndirected(
+      EdgeStream& stream, const Algorithm1Options& options);
+
   /// Physical scans of the stream the last Drive() performed.
   uint64_t last_physical_passes() const { return last_physical_passes_; }
   /// Sum over runs of the stream passes they consumed — what the same

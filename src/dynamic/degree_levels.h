@@ -1,0 +1,216 @@
+// Copyright 2026 The densest Authors.
+// The level/bucket state behind the incremental densest-subgraph engine:
+// the dynamic graph itself (adjacency + a flat edge-presence set) and one
+// Bhattacharya-style degree-level decomposition per density threshold
+// (arXiv:1504.02268).
+//
+// For a threshold d and slack parameter eps, a DegreeLevels structure
+// partitions the nodes into levels 0..L (L ~ log_{1+eps} n). Writing
+// Z_i = {v : level(v) >= i}, it maintains two invariants after every
+// update settles:
+//
+//   (I1, promote) no node v with level(v) < L has
+//                 deg_{Z_level(v)}(v) >= 2(1+eps)d   — else it moves up;
+//   (I2, demote)  every node v with level(v) > 0 has
+//                 deg_{Z_{level(v)-1}}(v) >= 2d      — else it moves down.
+//
+// These give the two certificates the engine serves:
+//   * Z_L == empty  =>  rho*(G) < 2(1+eps)d      (the densest subgraph,
+//     whose min degree is >= rho*, would survive every level);
+//   * Z_L != empty  =>  some Z_i has rho(Z_i) > d/(1+eps)  (pigeonhole:
+//     some level shrinks by less than (1+eps), and every node above it
+//     carries >= 2d edges into it).
+//
+// The hysteresis between the promote (2(1+eps)d) and demote (2d)
+// thresholds is what makes single-level moves terminate and keeps the
+// amortized update cost poly-logarithmic: a freshly moved node is strictly
+// inside both bounds, so it cannot oscillate.
+//
+// Each node carries two exact counters, updated in O(1) per incident
+// update and O(deg) per level move:
+//   up_deg(v)   = #neighbors at level >= level(v)      (deg_{Z_level})
+//   near_deg(v) = #neighbors at level >= level(v) - 1  (deg_{Z_{level-1}})
+// Both counters and the level live in ONE packed per-node record: the
+// engine maintains a dozen of these structures per update, and the hot
+// no-move path touches exactly one cache line per structure per endpoint.
+
+#ifndef DENSEST_DYNAMIC_DEGREE_LEVELS_H_
+#define DENSEST_DYNAMIC_DEGREE_LEVELS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace densest {
+
+/// \brief Open-addressing hash set of undirected edge keys (canonical
+/// u < v packed into one uint64). Linear probing with backward-shift
+/// deletion, so load stays tombstone-free under heavy churn — the
+/// edge-presence test is on the path of every update the service applies.
+class EdgeKeySet {
+ public:
+  EdgeKeySet();
+
+  /// Canonical key of the undirected edge {u, v} (requires u != v).
+  static uint64_t Key(NodeId u, NodeId v) {
+    const NodeId lo = u < v ? u : v;
+    const NodeId hi = u < v ? v : u;
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  }
+
+  bool Contains(uint64_t key) const;
+  /// Inserts `key`; false if already present.
+  bool Insert(uint64_t key);
+  /// Erases `key`; false if absent.
+  bool Erase(uint64_t key);
+  uint64_t size() const { return size_; }
+
+ private:
+  // lo < hi <= 0xffffffff in every valid key, so a key whose low word is
+  // all-ones can never occur and serves as the empty-slot sentinel.
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  size_t IdealSlot(uint64_t key) const;
+  void Grow();
+
+  std::vector<uint64_t> slots_;
+  uint64_t size_ = 0;
+  size_t mask_ = 0;
+};
+
+/// \brief The mutable graph the service maintains: per-node neighbor
+/// vectors plus the EdgeKeySet that makes it a simple graph (duplicate
+/// inserts and deletes of absent edges are rejected, not applied twice).
+class DynamicAdjacency {
+ public:
+  explicit DynamicAdjacency(NodeId n) : adj_(n) {}
+
+  NodeId num_nodes() const { return static_cast<NodeId>(adj_.size()); }
+  EdgeId num_edges() const { return m_; }
+
+  /// Adds {u, v}; false (and no change) when the edge is already present,
+  /// a self-loop, or out of the node range.
+  bool Insert(NodeId u, NodeId v);
+  /// Removes {u, v}; false (and no change) when absent.
+  bool Erase(NodeId u, NodeId v);
+  bool Contains(NodeId u, NodeId v) const {
+    if (u == v || u >= num_nodes() || v >= num_nodes()) return false;
+    return present_.Contains(EdgeKeySet::Key(u, v));
+  }
+
+  std::span<const NodeId> neighbors(NodeId u) const { return adj_[u]; }
+  uint32_t degree(NodeId u) const {
+    return static_cast<uint32_t>(adj_[u].size());
+  }
+
+  /// Snapshot of the current edge set (each edge once, u < v) — what the
+  /// recompute fallback and the exactness checkpoints run on.
+  EdgeList ToEdgeList() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+  EdgeKeySet present_;
+  EdgeId m_ = 0;
+};
+
+/// \brief One degree-level decomposition for one density threshold.
+///
+/// The structure never owns the graph: every mutation call names the
+/// DynamicAdjacency (already updated for inserts/deletes) it should read
+/// neighbor lists from. All K structures of the engine's threshold window
+/// share that one adjacency.
+class DegreeLevels {
+ public:
+  /// Decomposition for threshold `d` over `n` nodes with `levels` levels
+  /// (the engine sizes levels so (1+eps)^levels > n).
+  DegreeLevels(NodeId n, double d, double epsilon, uint32_t levels);
+
+  double threshold() const { return d_; }
+  uint32_t levels() const { return levels_; }
+  /// |Z_L|: nonempty certifies rho* > d/(1+eps) somewhere below; empty
+  /// certifies rho* < 2(1+eps)d.
+  NodeId top_count() const { return level_count_[levels_]; }
+
+  /// Applies one edge update. The adjacency must ALREADY contain (for
+  /// OnInsert) / no longer contain (for OnDelete) the edge. Settles every
+  /// cascade before returning, so the invariants hold at every instant a
+  /// query can observe. Returns the number of level moves performed.
+  uint64_t OnInsert(NodeId u, NodeId v, const DynamicAdjacency& adj);
+  uint64_t OnDelete(NodeId u, NodeId v, const DynamicAdjacency& adj);
+
+  /// Rebuilds the decomposition from scratch over the adjacency's current
+  /// edge set (the static peeling construction; O(levels * m) worst case).
+  /// Used when the engine's threshold window slides onto this slot.
+  void Rebuild(const DynamicAdjacency& adj);
+
+  /// Densest level set: max over i of rho(Z_i), with the attaining i.
+  /// O(levels); reads only maintained aggregates.
+  struct BestLevel {
+    double density = 0;
+    uint32_t level = 0;
+    NodeId nodes = 0;
+    EdgeId edges = 0;
+  };
+  BestLevel FindBestLevel() const;
+
+  /// Members of Z_i (ascending ids); O(n).
+  std::vector<NodeId> CollectLevelSet(uint32_t level) const;
+
+  /// Node's current level (tests and the engine's introspection).
+  uint32_t level(NodeId v) const { return state_[v].level; }
+  /// Maintained counters (exposed so tests can cross-check them against a
+  /// brute-force recount; see the class comment for their definitions).
+  uint32_t up_deg(NodeId v) const { return state_[v].up; }
+  uint32_t near_deg(NodeId v) const { return state_[v].near; }
+
+ private:
+  /// All mutable per-node state of one structure, packed so the hot
+  /// no-move path (bump two counters, check two triggers) costs one cache
+  /// line per endpoint.
+  struct NodeState {
+    uint32_t up = 0;
+    uint32_t near = 0;
+    uint16_t level = 0;
+  };
+
+  /// Moves one level up/down, rescanning v's neighborhood to refresh both
+  /// counters and patching the neighbors' counters and the per-level edge
+  /// aggregates.
+  void Promote(NodeId v, const DynamicAdjacency& adj);
+  void Demote(NodeId v, const DynamicAdjacency& adj);
+  /// Drains the dirty worklist until both invariants hold everywhere.
+  uint64_t Settle(const DynamicAdjacency& adj);
+  void PushIfTriggered(NodeId v);
+  bool PromoteTriggered(const NodeState& s) const {
+    return s.level < levels_ && s.up >= promote_ceil_;
+  }
+  bool DemoteTriggered(const NodeState& s) const {
+    return s.level > 0 && s.near < demote_ceil_;
+  }
+
+  double d_;
+  double promote_;  // 2(1+eps)d
+  double demote_;   // 2d
+  /// Integer forms of the thresholds: for integer counters c,
+  /// c >= promote_ <=> c >= ceil(promote_) and c < demote_ <=>
+  /// c < ceil(demote_) — the hot trigger checks stay in uint32.
+  uint32_t promote_ceil_;
+  uint32_t demote_ceil_;
+  uint32_t levels_;
+  std::vector<NodeState> state_;
+  /// Nodes at exactly level i.
+  std::vector<NodeId> level_count_;
+  /// Edges whose endpoint-level minimum is exactly i; suffix sums give
+  /// |E(Z_i)| in O(levels) at query time.
+  std::vector<EdgeId> edges_min_level_;
+  /// Dirty worklist scratch (LIFO; deterministic order).
+  std::vector<NodeId> work_;
+  std::vector<uint8_t> queued_;
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_DYNAMIC_DEGREE_LEVELS_H_

@@ -1,0 +1,160 @@
+#include "dynamic/replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "common/timer.h"
+#include "core/algorithm1.h"
+#include "flow/goldberg.h"
+#include "graph/undirected_graph.h"
+#include "stream/memory_stream.h"
+
+namespace densest {
+
+namespace {
+
+/// Relative slack for the band comparisons: the maintained aggregates are
+/// integer edge/node counts, but the reference densities come through
+/// floating-point division.
+constexpr double kRelTol = 1e-9;
+
+bool LeqWithTol(double a, double b) { return a <= b * (1.0 + kRelTol) + 1e-12; }
+
+/// Recomputes the reference density of the engine's live edge set and
+/// checks the certified sandwich around it.
+Status TakeCheckpoint(DynamicDensest& engine, const ReplayOptions& options,
+                      uint64_t update_index, ReplayReport& report) {
+  ReplayCheckpoint cp;
+  cp.update_index = update_index;
+  const DynamicDensest::Answer answer = engine.Query();
+  cp.maintained = answer.density;
+  cp.upper_bound = answer.upper_bound;
+
+  EdgeList edges = engine.CurrentEdges();
+  if (edges.empty()) {
+    cp.reference = 0;
+    cp.in_band = answer.certified && answer.density == 0;
+  } else if (options.checkpoint_mode == CheckpointMode::kExactFlow) {
+    UndirectedGraph g = UndirectedGraph::FromEdgeList(edges);
+    StatusOr<ExactDensestResult> exact = ExactDensestSubgraph(g);
+    if (!exact.ok()) return exact.status();
+    cp.reference = exact->density;
+    // The maintained density is a real induced density (<= rho*) and the
+    // certificate promises rho* < upper_bound.
+    cp.in_band = answer.certified &&
+                 LeqWithTol(cp.maintained, cp.reference) &&
+                 LeqWithTol(cp.reference, cp.upper_bound);
+  } else {
+    EdgeListStream stream(edges);
+    Algorithm1Options opt;
+    opt.epsilon = 0.0;
+    opt.record_trace = false;
+    StatusOr<UndirectedDensestResult> batch = RunAlgorithm1(stream, opt);
+    if (!batch.ok()) return batch.status();
+    cp.reference = batch->density;
+    // rho_b <= rho* <= 2 rho_b widens both sides of the sandwich.
+    cp.in_band = answer.certified &&
+                 LeqWithTol(cp.maintained, 2.0 * cp.reference) &&
+                 LeqWithTol(cp.reference, answer.upper_bound);
+  }
+
+  if (cp.maintained > 0 && cp.reference > 0) {
+    report.max_observed_error = std::max(report.max_observed_error,
+                                         cp.reference / cp.maintained);
+  }
+  if (!cp.in_band) report.band_ok = false;
+  report.checkpoints.push_back(cp);
+  return Status::OK();
+}
+
+void TimedQuery(DynamicDensest& engine, ReplayReport& report) {
+  WallTimer timer;
+  const DynamicDensest::Answer answer = engine.Query();
+  report.query_latency_us.Add(timer.ElapsedSeconds() * 1e6);
+  ++report.queries;
+  // The answer itself is intentionally unused: the cadence exists to
+  // measure serving latency under load, not to sample densities.
+  (void)answer;
+}
+
+}  // namespace
+
+StatusOr<ReplayReport> ReplayUpdates(UpdateStream& updates,
+                                     DynamicDensest& engine,
+                                     const ReplayOptions& options) {
+  ReplayReport report;
+  const size_t batch_cap = std::max<size_t>(1, options.batch_size);
+  std::vector<EdgeUpdate> batch(batch_cap);
+  updates.Reset();
+
+  // Throttling cadence: re-check the pace every ~1k updates.
+  constexpr uint64_t kPaceEvery = 1024;
+  WallTimer wall;
+  double apply_seconds = 0;
+  uint64_t count = 0;
+
+  auto until_boundary = [&](uint64_t every) -> uint64_t {
+    if (every == 0) return UINT64_MAX;
+    return every - (count % every);
+  };
+
+  while (true) {
+    const size_t got = updates.NextBatch(batch.data(), batch_cap);
+    if (got == 0) break;
+    size_t i = 0;
+    while (i < got) {
+      // Apply in uninterrupted runs up to the next query / checkpoint /
+      // pacing boundary, so apply throughput is timed without the cost of
+      // serving mixed in.
+      uint64_t run = std::min<uint64_t>(got - i, until_boundary(kPaceEvery));
+      run = std::min(run, until_boundary(options.query_every));
+      run = std::min(run, until_boundary(options.checkpoint_every));
+      WallTimer apply_timer;
+      engine.ApplyBatch(
+          std::span<const EdgeUpdate>(batch.data() + i, run));
+      apply_seconds += apply_timer.ElapsedSeconds();
+      i += run;
+      count += run;
+      if (options.query_every != 0 && count % options.query_every == 0) {
+        TimedQuery(engine, report);
+      }
+      if (options.checkpoint_every != 0 &&
+          count % options.checkpoint_every == 0) {
+        if (Status s = TakeCheckpoint(engine, options, count, report);
+            !s.ok()) {
+          return s;
+        }
+      }
+      if (options.target_updates_per_sec > 0 && count % kPaceEvery == 0) {
+        const double expected =
+            static_cast<double>(count) / options.target_updates_per_sec;
+        const double ahead = expected - wall.ElapsedSeconds();
+        if (ahead > 0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
+        }
+      }
+    }
+  }
+  // A disk-backed stream signals mid-replay failure by ending early;
+  // reporting a density maintained over a truncated update sequence would
+  // be the dynamic version of the truncated-pass bug.
+  if (Status s = updates.status(); !s.ok()) return s;
+
+  report.updates = count;
+  report.wall_seconds = wall.ElapsedSeconds();
+  report.updates_per_sec =
+      apply_seconds > 0 ? static_cast<double>(count) / apply_seconds : 0;
+
+  TimedQuery(engine, report);
+  const DynamicDensest::Answer final_answer = engine.Query();
+  report.final_density = final_answer.density;
+  report.final_upper_bound = final_answer.upper_bound;
+  report.final_certified = final_answer.certified;
+  report.final_edges = engine.num_edges();
+  report.engine_stats = engine.stats();
+  return report;
+}
+
+}  // namespace densest

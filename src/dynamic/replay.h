@@ -1,0 +1,89 @@
+// Copyright 2026 The densest Authors.
+// The replay driver of the dynamic maintenance service: feeds an
+// UpdateStream into a DynamicDensest engine at a target rate, issues
+// density queries on a schedule, verifies the certified approximation band
+// against recomputation checkpoints, and reports update throughput and
+// query latency percentiles.
+
+#ifndef DENSEST_DYNAMIC_REPLAY_H_
+#define DENSEST_DYNAMIC_REPLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "dynamic/dynamic_densest.h"
+#include "stream/update_stream.h"
+
+namespace densest {
+
+/// \brief How a checkpoint recomputes the reference density.
+enum class CheckpointMode {
+  /// Goldberg's exact max-flow solver: the checkpoint knows rho* exactly,
+  /// so the band check is airtight. O(n^2-ish) per checkpoint — for tests
+  /// and smoke-scale graphs.
+  kExactFlow,
+  /// Batch Algorithm 1 (epsilon 0): a 2-approximation lower bound
+  /// rho_b with rho_b <= rho* <= 2 rho_b; the band check widens
+  /// accordingly. Cheap enough for large replays.
+  kBatchAlgorithm1,
+};
+
+/// \brief Knobs for one replay.
+struct ReplayOptions {
+  /// Target update feed rate (updates/second); 0 = unthrottled.
+  double target_updates_per_sec = 0;
+  /// Issue (and time) a density query every N applied updates (0 = only
+  /// the final query).
+  uint64_t query_every = 1024;
+  /// Verify the certified band against a recomputation every N applied
+  /// updates (0 = never).
+  uint64_t checkpoint_every = 0;
+  CheckpointMode checkpoint_mode = CheckpointMode::kExactFlow;
+  /// Updates pulled from the stream per NextBatch call.
+  size_t batch_size = 4096;
+};
+
+/// \brief One band-verification point.
+struct ReplayCheckpoint {
+  uint64_t update_index = 0;   ///< applied updates when taken
+  double maintained = 0;       ///< engine's served density
+  double upper_bound = 0;      ///< engine's certified upper bound
+  double reference = 0;        ///< recomputed density (exact or batch)
+  bool in_band = true;
+};
+
+/// \brief What one replay measured.
+struct ReplayReport {
+  uint64_t updates = 0;  ///< updates read from the stream (incl. ignored)
+  double wall_seconds = 0;
+  double updates_per_sec = 0;
+  uint64_t queries = 0;
+  Histogram query_latency_us;  ///< per-query latency, microseconds
+  std::vector<ReplayCheckpoint> checkpoints;
+  /// Max over checkpoints of reference / maintained (1 = the maintained
+  /// density matched the recomputation; bounded by the certified band).
+  double max_observed_error = 0;
+  /// False if any checkpoint left the certified band.
+  bool band_ok = true;
+  double final_density = 0;
+  double final_upper_bound = 0;
+  /// False when the final answer was served from a degraded window
+  /// (DynamicFallback::kNever only): final_upper_bound is meaningless and
+  /// final_density is best-effort.
+  bool final_certified = true;
+  EdgeId final_edges = 0;
+  DynamicDensestStats engine_stats;
+};
+
+/// Replays `updates` into `engine`. Fails when the update stream reports a
+/// sticky IO error (a truncated replay must not masquerade as a finished
+/// one) or when a checkpoint recomputation fails.
+StatusOr<ReplayReport> ReplayUpdates(UpdateStream& updates,
+                                     DynamicDensest& engine,
+                                     const ReplayOptions& options);
+
+}  // namespace densest
+
+#endif  // DENSEST_DYNAMIC_REPLAY_H_

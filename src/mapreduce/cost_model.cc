@@ -7,6 +7,7 @@ namespace densest {
 
 void JobStats::Accumulate(const JobStats& other) {
   map_input_records += other.map_input_records;
+  map_input_bytes += other.map_input_bytes;
   map_output_records += other.map_output_records;
   combine_input_records += other.combine_input_records;
   combine_output_records += other.combine_output_records;
@@ -21,7 +22,9 @@ void JobStats::Accumulate(const JobStats& other) {
 
 std::string JobStats::ToString() const {
   std::ostringstream os;
-  os << "map_in=" << map_input_records << " map_out=" << map_output_records
+  os << "map_in=" << map_input_records
+     << " map_in_bytes=" << map_input_bytes
+     << " map_out=" << map_output_records
      << " combine_in=" << combine_input_records
      << " combine_out=" << combine_output_records
      << " shuffle_bytes=" << shuffle_bytes
@@ -40,6 +43,8 @@ double SimulateJobSeconds(const CostModel& model, const JobStats& stats) {
   // runs on the reducers (Hadoop's merge phase).
   double map_time = (static_cast<double>(stats.map_input_records) *
                          model.map_seconds_per_record +
+                     static_cast<double>(stats.map_input_bytes) *
+                         model.map_input_seconds_per_byte +
                      static_cast<double>(stats.combine_input_records) *
                          model.combine_seconds_per_record) /
                     mappers;

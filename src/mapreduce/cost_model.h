@@ -22,6 +22,10 @@ struct CostModel {
   int num_reducers = 2000;
   /// Seconds to process one record in a map task.
   double map_seconds_per_record = 2e-6;
+  /// Seconds per byte the mappers *read from the DFS* (the stream scan
+  /// feeding the map tasks). Charged only for stream-backed job inputs;
+  /// in-memory survivor passes read cluster RAM and pay nothing here.
+  double map_input_seconds_per_byte = 2e-9;
   /// Seconds to process one record in a reduce task.
   double reduce_seconds_per_record = 2e-6;
   /// Seconds per shuffled byte (network + sort).
@@ -42,6 +46,9 @@ struct CostModel {
 /// \brief Execution counters of one simulated job.
 struct JobStats {
   uint64_t map_input_records = 0;
+  /// Bytes the map phase read from the DFS (stream-backed sources only;
+  /// 0 for in-memory inputs). What map_input_seconds_per_byte charges.
+  uint64_t map_input_bytes = 0;
   uint64_t map_output_records = 0;
   /// Records fed through a map-side combiner (0 when the job has none);
   /// what the cost model charges combiner time for.

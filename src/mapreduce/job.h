@@ -80,6 +80,12 @@ class RecordSource {
   virtual uint64_t SizeHint() const { return 0; }
   /// Health of the source; see EdgeStream::status().
   virtual Status status() const { return Status::OK(); }
+  /// Cumulative bytes this source has read from backing storage (the DFS
+  /// of the modeled cluster) since construction. 0 for in-memory sources —
+  /// they read cluster RAM, which the cost model charges per record, not
+  /// per byte. The engine snapshots this around the map drain and charges
+  /// the delta as JobStats::map_input_bytes.
+  virtual uint64_t bytes_scanned() const { return 0; }
 };
 
 /// \brief RecordSource over an in-memory vector (the classic job input).
@@ -130,6 +136,9 @@ class ChainRecordSource : public RecordSource<K, V> {
   Status status() const override {
     if (Status s = first_->status(); !s.ok()) return s;
     return second_->status();
+  }
+  uint64_t bytes_scanned() const override {
+    return first_->bytes_scanned() + second_->bytes_scanned();
   }
 
  private:
@@ -237,6 +246,7 @@ StatusOr<std::vector<KV<K3, V3>>> RunJobOnSource(
   std::vector<std::vector<KV<K1, V1>>> inputs(chunks_per_round);
   std::vector<std::vector<KV<K2, V2>>> outputs(chunks_per_round);
   std::vector<uint64_t> raw_counts(chunks_per_round, 0);
+  const uint64_t input_bytes_before = source.bytes_scanned();
   source.Reset();
   bool source_dry = false;
   while (!source_dry) {
@@ -268,6 +278,7 @@ StatusOr<std::vector<KV<K3, V3>>> RunJobOnSource(
   // A disk-backed source signals mid-scan failure by ending early; mapping
   // a truncated input would produce a plausible-looking wrong answer.
   if (Status s = source.status(); !s.ok()) return s;
+  stats.map_input_bytes = source.bytes_scanned() - input_bytes_before;
 
   constexpr bool kHasCombiner =
       !std::is_same_v<std::decay_t<CombineFn>, std::nullptr_t>;

@@ -10,6 +10,7 @@ size_t StreamRecordSource::FillChunk(KV<NodeId, NodeId>* buf, size_t cap) {
   for (size_t i = 0; i < view.size(); ++i) {
     buf[i] = KV<NodeId, NodeId>{view[i].u, view[i].v};
   }
+  bytes_scanned_ += view.size() * kDfsRecordBytes;
   return view.size();
 }
 

@@ -24,16 +24,26 @@ class StreamRecordSource : public RecordSource<NodeId, NodeId> {
  public:
   explicit StreamRecordSource(PassCursor& cursor) : cursor_(&cursor) {}
 
+  /// Wire size of one §5.2 edge record on the modeled DFS — the packed
+  /// (u:u32, v:u32) record of the binary edge-file format. Every stream
+  /// type is charged this uniformly, so the modeled scan IO is a pure
+  /// function of the record count, not of which backend happened to serve
+  /// the scan.
+  static constexpr uint64_t kDfsRecordBytes = 2 * sizeof(NodeId);
+
   void Reset() override { cursor_->BeginPass(); }
   size_t FillChunk(KV<NodeId, NodeId>* buf, size_t cap) override;
   uint64_t SizeHint() const override { return cursor_->stream().SizeHint(); }
   /// Forwards the stream's sticky IO health; the engine aborts the job on
   /// a truncated scan instead of reducing over partial data.
   Status status() const override { return cursor_->stream().status(); }
+  /// kDfsRecordBytes per record delivered, across all scans.
+  uint64_t bytes_scanned() const override { return bytes_scanned_; }
 
  private:
   PassCursor* cursor_;
   std::vector<Edge> scratch_;
+  uint64_t bytes_scanned_ = 0;
 };
 
 }  // namespace densest

@@ -226,6 +226,67 @@ TEST(CliMapReduceTest, RunsOutOfCoreOnBinaryInput) {
   std::remove(path.c_str());
 }
 
+TEST_F(CliCommandTest, DynamicInsertOnlyReplayWithCheckpoints) {
+  Status status;
+  std::string out = Run(
+      "dynamic", {"--query-every=200", "--checkpoint-every=500"}, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.find("insert-only"), std::string::npos);
+  EXPECT_NE(out.find("certified rho* <"), std::string::npos);
+  EXPECT_NE(out.find("band=OK"), std::string::npos);
+  EXPECT_NE(out.find("p99="), std::string::npos);
+}
+
+TEST_F(CliCommandTest, DynamicSlidingWindowReplay) {
+  Status status;
+  std::string out = Run(
+      "dynamic",
+      {"--window=300", "--eps=0.5", "--fallback=rebuild", "--query-every=0"},
+      &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.find("sliding window 300"), std::string::npos);
+  EXPECT_NE(out.find("del"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, DynamicNeverFallbackReportsUncertified) {
+  // The planted clique's density exceeds the boot window, and
+  // --fallback=never forbids re-centering: the report must say so instead
+  // of printing an impossible certified bound.
+  Status status;
+  std::string out =
+      Run("dynamic", {"--fallback=never", "--query-every=0"}, &status);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(out.find("UNCERTIFIED"), std::string::npos);
+  EXPECT_EQ(out.find("certified rho* <"), std::string::npos);
+}
+
+TEST_F(CliCommandTest, DynamicRejectsBadFlagValues) {
+  Status status;
+  Run("dynamic", {"--fallback=sometimes"}, &status);
+  ASSERT_FALSE(status.ok());
+  Run("dynamic", {"--checkpoints=psychic"}, &status);
+  ASSERT_FALSE(status.ok());
+  Run("dynamic", {"--window=-1"}, &status);
+  ASSERT_FALSE(status.ok());
+}
+
+TEST(CliDynamicTest, RunsOnBinaryInput) {
+  std::string path = ::testing::TempDir() + "/cli_dyn.bin";
+  auto gen_args = Args::Parse({"er", path, "--nodes=200", "--edges=900",
+                               "--seed=9", "--format=bin"});
+  ASSERT_TRUE(gen_args.ok());
+  std::ostringstream gen_out;
+  ASSERT_TRUE(RunCliCommand("generate", *gen_args, gen_out).ok());
+
+  auto dyn_args = Args::Parse({path, "--checkpoint-every=400"});
+  ASSERT_TRUE(dyn_args.ok());
+  std::ostringstream dyn_out;
+  Status status = RunCliCommand("dynamic", *dyn_args, dyn_out);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_NE(dyn_out.str().find("band=OK"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST_F(CliCommandTest, UnknownFlagRejected) {
   Status status;
   Run("undirected", {"--epsilonn=1"}, &status);

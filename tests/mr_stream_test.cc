@@ -304,5 +304,117 @@ TEST(MrCombinerTest, DirectedDegreeCombinedMatchesPlain) {
   EXPECT_LT(stats.combine_output_records, stats.map_output_records);
 }
 
+TEST(MapInputIoChargeTest, StreamBackedJobsChargeDfsBytes) {
+  EdgeList edges = ErdosRenyiGnm(200, 1200, 31);
+  EdgeListStream stream(edges);
+  PassCursor cursor(stream);
+  StreamRecordSource source(cursor);
+  MapReduceEnv env;
+  JobStats stats;
+  auto degrees = MrDegreeJobCombined(env, source, JobOptions{}, &stats);
+  ASSERT_TRUE(degrees.ok());
+  // One full scan: exactly the modeled wire size per record, regardless of
+  // the backend that served the edges.
+  EXPECT_EQ(stats.map_input_bytes,
+            edges.num_edges() * StreamRecordSource::kDfsRecordBytes);
+  EXPECT_EQ(source.bytes_scanned(), stats.map_input_bytes);
+
+  // A second job over the same source is charged its own scan, not the
+  // cumulative total.
+  JobStats stats2;
+  auto count = MrCountEdgesJob(env, source, JobOptions{}, &stats2);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(stats2.map_input_bytes,
+            edges.num_edges() * StreamRecordSource::kDfsRecordBytes);
+  EXPECT_EQ(source.bytes_scanned(), 2 * stats2.map_input_bytes);
+}
+
+TEST(MapInputIoChargeTest, InMemoryJobsChargeNothing) {
+  EdgeList edges = ErdosRenyiGnm(100, 500, 33);
+  MrEdges records = ToMrEdges(edges.edges());
+  MapReduceEnv env;
+  JobStats stats;
+  MrDegreeJobCombined(env, records, &stats);
+  EXPECT_EQ(stats.map_input_bytes, 0u);
+}
+
+TEST(MapInputIoChargeTest, SimulatedSecondsIncludeScanIo) {
+  CostModel model;
+  JobStats stats;
+  stats.map_input_records = 1000;
+  const double without = SimulateJobSeconds(model, stats);
+  stats.map_input_bytes = 1 << 30;
+  const double with = SimulateJobSeconds(model, stats);
+  EXPECT_NEAR(with - without,
+              model.skew_factor * static_cast<double>(stats.map_input_bytes) *
+                  model.map_input_seconds_per_byte /
+                  std::max(1, model.num_mappers),
+              1e-12);
+}
+
+TEST(MapInputIoChargeTest, DriverTotalsCoverEveryInputScan) {
+  // The undirected driver's pass-1 jobs each scan the stream; the charged
+  // bytes must equal input_scans full scans of the edge file.
+  EdgeList edges = ErdosRenyiGnm(150, 800, 35);
+  EdgeListStream stream(edges);
+  MapReduceEnv env;
+  MrDensestOptions opt;
+  opt.epsilon = 0.5;
+  auto r = RunMrDensestUndirected(env, stream, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->input_scans, 0u);
+  EXPECT_EQ(r->totals.map_input_bytes,
+            r->input_scans * edges.num_edges() *
+                StreamRecordSource::kDfsRecordBytes);
+}
+
+/// Winner-tree stress: dozens of spilled runs per partition with heavy
+/// key duplication across runs — the merge-read order (and with it the
+/// grouped value order) must be byte-identical to the in-memory path the
+/// tree replaces.
+TEST(SpillShuffleTest, ManyRunsWithDuplicateKeysMergeIdentically) {
+  std::vector<KV<NodeId, NodeId>> records;
+  Rng rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    // 16 distinct keys over 20k records: every run holds every key.
+    records.push_back(
+        {static_cast<NodeId>(rng.UniformU64(16)), static_cast<NodeId>(i)});
+  }
+  auto run_with_budget = [&](uint64_t budget) {
+    JobOptions opts;
+    opts.spill_budget_bytes = budget;
+    opts.num_partitions = 2;
+    ShuffleWriter<NodeId, NodeId> shuffle(opts.num_partitions, opts);
+    // Many tiny appends => many sorted runs per partition.
+    for (size_t i = 0; i < records.size(); i += 100) {
+      std::vector<KV<NodeId, NodeId>> chunk(
+          records.begin() + i,
+          records.begin() + std::min(records.size(), i + 100));
+      EXPECT_TRUE(shuffle.Append(std::move(chunk)).ok());
+    }
+    std::vector<std::pair<NodeId, std::vector<NodeId>>> groups;
+    std::vector<NodeId> values;
+    for (size_t p = 0; p < shuffle.num_partitions(); ++p) {
+      EXPECT_TRUE(shuffle
+                      .ReducePartition(p, &values,
+                                       [&](NodeId key,
+                                           const std::vector<NodeId>& vs) {
+                                         groups.emplace_back(key, vs);
+                                       })
+                      .ok());
+    }
+    return std::make_pair(shuffle.spill_runs(), groups);
+  };
+  auto [runs_spilled, spilled] = run_with_budget(1024);  // every append spills
+  auto [runs_memory, in_memory] = run_with_budget(0);
+  EXPECT_GT(runs_spilled, 50u);
+  EXPECT_EQ(runs_memory, 0u);
+  ASSERT_EQ(spilled.size(), in_memory.size());
+  for (size_t i = 0; i < spilled.size(); ++i) {
+    EXPECT_EQ(spilled[i].first, in_memory[i].first) << "group " << i;
+    EXPECT_EQ(spilled[i].second, in_memory[i].second) << "group " << i;
+  }
+}
+
 }  // namespace
 }  // namespace densest

@@ -1,0 +1,178 @@
+// Tests for the dynamic update-stream substrate: memory and binary-file
+// streams, the insert-only replay generator, the sliding-window deleter,
+// and the shared sticky-status error model.
+
+#include "stream/update_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gen/erdos_renyi.h"
+#include "stream/memory_stream.h"
+
+namespace densest {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("update_stream_test_" + name + "_" +
+           std::to_string(::testing::UnitTest::GetInstance()->random_seed())))
+      .string();
+}
+
+std::vector<EdgeUpdate> Drain(UpdateStream& stream) {
+  stream.Reset();
+  std::vector<EdgeUpdate> out;
+  EdgeUpdate u;
+  while (stream.Next(&u)) out.push_back(u);
+  return out;
+}
+
+TEST(EdgeUpdateTest, PackedLayout) {
+  EXPECT_EQ(sizeof(EdgeUpdate), 24u);
+  EdgeUpdate ins = InsertUpdate(3, 5, 7);
+  EXPECT_TRUE(ins.is_insert());
+  EXPECT_EQ(ins.timestamp, 7u);
+  EXPECT_FALSE(DeleteUpdate(3, 5, 8).is_insert());
+}
+
+TEST(MemoryUpdateStreamTest, DeliversAllAndRewinds) {
+  std::vector<EdgeUpdate> updates = {InsertUpdate(0, 1, 1),
+                                     InsertUpdate(1, 2, 2),
+                                     DeleteUpdate(0, 1, 3)};
+  MemoryUpdateStream stream(updates, 3);
+  EXPECT_EQ(stream.num_nodes(), 3u);
+  EXPECT_EQ(stream.SizeHint(), 3u);
+  EXPECT_EQ(Drain(stream), updates);
+  EXPECT_EQ(Drain(stream), updates);  // Reset replays identically
+}
+
+TEST(MemoryUpdateStreamTest, NextBatchMatchesNext) {
+  std::vector<EdgeUpdate> updates;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    updates.push_back(InsertUpdate(i % 50, (i + 1) % 50, i + 1));
+  }
+  MemoryUpdateStream stream(updates, 50);
+  stream.Reset();
+  std::vector<EdgeUpdate> batched;
+  EdgeUpdate buf[64];
+  size_t got;
+  while ((got = stream.NextBatch(buf, 64)) > 0) {
+    batched.insert(batched.end(), buf, buf + got);
+  }
+  EXPECT_EQ(batched, updates);
+}
+
+TEST(BinaryUpdateFileTest, RoundTrip) {
+  std::vector<EdgeUpdate> updates = {InsertUpdate(0, 1, 1),
+                                     DeleteUpdate(0, 1, 2),
+                                     InsertUpdate(4, 2, 3)};
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(WriteBinaryUpdateFile(path, 5, updates).ok());
+  auto stream = BinaryFileUpdateStream::Open(path);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ((*stream)->num_nodes(), 5u);
+  EXPECT_EQ((*stream)->SizeHint(), 3u);
+  EXPECT_EQ(Drain(**stream), updates);
+  EXPECT_EQ(Drain(**stream), updates);
+  EXPECT_TRUE((*stream)->status().ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryUpdateFileTest, RejectsWrongMagic) {
+  const std::string path = TempPath("magic");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[64] = "not an update file at all, sorry";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  auto stream = BinaryFileUpdateStream::Open(path);
+  EXPECT_FALSE(stream.ok());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryUpdateFileTest, TruncationSetsStickyStatus) {
+  std::vector<EdgeUpdate> updates;
+  for (uint32_t i = 0; i < 100; ++i) updates.push_back(InsertUpdate(i, i + 1, i));
+  const std::string path = TempPath("trunc");
+  ASSERT_TRUE(WriteBinaryUpdateFile(path, 101, updates).ok());
+  // Chop off the last 30 records plus a partial one.
+  std::filesystem::resize_file(
+      path, sizeof(BinaryUpdateFileHeader) + 70 * sizeof(EdgeUpdate) + 5);
+  auto stream = BinaryFileUpdateStream::Open(path);
+  ASSERT_TRUE(stream.ok());
+  std::vector<EdgeUpdate> got = Drain(**stream);
+  EXPECT_LT(got.size(), updates.size());
+  EXPECT_EQ((*stream)->status().code(), Status::Code::kIOError);
+  // Sticky across Reset: the file stays bad.
+  (*stream)->Reset();
+  EXPECT_EQ((*stream)->status().code(), Status::Code::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(InsertReplayTest, ReplaysEveryEdgeWithIncreasingTimestamps) {
+  EdgeList edges = ErdosRenyiGnm(100, 400, 7);
+  EdgeListStream base(edges);
+  InsertReplayUpdateStream replay(base);
+  EXPECT_EQ(replay.num_nodes(), edges.num_nodes());
+  std::vector<EdgeUpdate> got = Drain(replay);
+  ASSERT_EQ(got.size(), edges.num_edges());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i].is_insert());
+    EXPECT_EQ(got[i].timestamp, i + 1);
+    EXPECT_EQ(got[i].u, edges.edges()[i].u);
+    EXPECT_EQ(got[i].v, edges.edges()[i].v);
+  }
+  // Reset restarts both edges and timestamps.
+  EXPECT_EQ(Drain(replay), got);
+}
+
+TEST(SlidingWindowTest, KeepsAtMostWindowEdgesLive) {
+  EdgeList edges = ErdosRenyiGnm(60, 500, 11);
+  EdgeListStream base(edges);
+  const uint64_t kWindow = 64;
+  SlidingWindowUpdateStream stream(base, kWindow);
+  stream.Reset();
+  std::multiset<std::pair<NodeId, NodeId>> live;
+  std::vector<std::pair<NodeId, NodeId>> fifo;
+  size_t fifo_head = 0;
+  EdgeUpdate u;
+  uint64_t last_ts = 0;
+  while (stream.Next(&u)) {
+    EXPECT_EQ(u.timestamp, last_ts + 1);
+    last_ts = u.timestamp;
+    if (u.is_insert()) {
+      live.insert({u.u, u.v});
+      fifo.emplace_back(u.u, u.v);
+    } else {
+      // Deletions evict exactly the oldest live insert.
+      ASSERT_LT(fifo_head, fifo.size());
+      EXPECT_EQ(std::make_pair(u.u, u.v), fifo[fifo_head]);
+      live.erase(live.find({u.u, u.v}));
+      ++fifo_head;
+    }
+    EXPECT_LE(live.size(), kWindow + 1);
+  }
+  // The stream ends with the final window intact.
+  EXPECT_EQ(live.size(), std::min<uint64_t>(kWindow, edges.num_edges()));
+  // Total updates: m inserts + (m - W) deletes.
+  EXPECT_EQ(last_ts, edges.num_edges() + (edges.num_edges() - kWindow));
+  EXPECT_EQ(stream.SizeHint(), last_ts);
+}
+
+TEST(SlidingWindowTest, SmallStreamNeverDeletes) {
+  EdgeList edges = ErdosRenyiGnm(30, 40, 3);
+  EdgeListStream base(edges);
+  SlidingWindowUpdateStream stream(base, 1000);
+  for (const EdgeUpdate& u : Drain(stream)) {
+    EXPECT_TRUE(u.is_insert());
+  }
+}
+
+}  // namespace
+}  // namespace densest
