@@ -3,23 +3,30 @@
 // certified approximation band against exact recomputation checkpoints,
 // and measures update throughput and query latency percentiles.
 //
-// Usage: bench_dynamic [smoke]
+// Usage: bench_dynamic [smoke|snapshot]
 //
-//   smoke  CI gate: fails (exit 1) when the maintained density leaves the
-//          certified band versus exact recomputation on the insert-only or
-//          sliding-window workload, when the insert-only final answer is
-//          inconsistent with batch RunAlgorithm1 on the same edges, or
-//          when in-memory replay throughput falls below a conservative
-//          floor. Emits bench_results/BENCH_dynamic.json either way.
+//   smoke     CI gate: fails (exit 1) when the maintained density leaves
+//             the certified band versus exact recomputation on the
+//             insert-only or sliding-window workload, when the insert-only
+//             final answer is inconsistent with batch RunAlgorithm1 on the
+//             same edges, when in-memory replay throughput falls below a
+//             conservative floor, or when the crash-snapshot gate (below)
+//             fails. Emits bench_results/BENCH_dynamic.json either way.
+//   snapshot  Just the crash-snapshot gate: snapshot-write overhead under
+//             5% of apply time and a restore drill that must land on the
+//             bit-identical final answer. No throughput floor, so it also
+//             runs meaningfully under sanitizer builds.
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 #include "bench_common.h"
 #include "common/timer.h"
 #include "core/algorithm1.h"
 #include "dynamic/dynamic_densest.h"
 #include "dynamic/replay.h"
+#include "dynamic/snapshot.h"
 #include "gen/erdos_renyi.h"
 #include "stream/memory_stream.h"
 #include "stream/update_stream.h"
@@ -182,9 +189,111 @@ bool RunThroughputGate(bench::BenchJson& json) {
   return true;
 }
 
+/// CI ceiling for crash-safety overhead: wall time spent writing
+/// snapshots, as a fraction of pure apply time at the default cadence.
+constexpr double kMaxSnapshotOverheadPct = 5.0;
+
+/// Replays a windowed workload with periodic crash snapshots, then proves
+/// the last snapshot restores: a fresh engine resumed from it and fed the
+/// remaining updates must land on the bit-identical final answer. False
+/// when a snapshot fails, the restore diverges, or the snapshot cadence
+/// costs more than kMaxSnapshotOverheadPct of apply time.
+bool RunSnapshotGate(bench::BenchJson& json) {
+  // Sized like a production cadence: ~0.7 MB of engine state snapshotted
+  // every 200k updates over a 560k-update replay. The gate is IO-bound —
+  // what it really bounds is state_bytes * cadence against apply rate.
+  EdgeList edges = ErdosRenyiGnm(20000, 300000, 77);
+  EdgeListStream base(edges);
+  SlidingWindowUpdateStream windowed(base, 40000);
+  std::vector<EdgeUpdate> updates;
+  windowed.Reset();
+  EdgeUpdate u;
+  while (windowed.Next(&u)) updates.push_back(u);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bench_dynamic_snapshot.bin")
+          .string();
+  MemoryUpdateStream stream(updates, edges.num_nodes());
+  auto engine = DynamicDensest::Create(edges.num_nodes());
+  if (!engine.ok()) {
+    std::printf("FAIL: %s\n", engine.status().ToString().c_str());
+    return false;
+  }
+  ReplayOptions opt;
+  opt.query_every = 0;
+  opt.snapshot_every = 200000;
+  opt.snapshot_path = path;
+  auto report = ReplayUpdates(stream, **engine, opt);
+  if (!report.ok()) {
+    std::printf("FAIL: %s\n", report.status().ToString().c_str());
+    return false;
+  }
+  const double apply_seconds =
+      static_cast<double>(report->updates) / report->updates_per_sec;
+  const double overhead_pct =
+      100.0 * report->snapshot_seconds / apply_seconds;
+  json.Add("snapshots_written", static_cast<double>(report->snapshots_written));
+  json.Add("snapshot_overhead_pct", overhead_pct);
+  bool ok = true;
+  std::printf(
+      "snapshots: %llu written over %llu updates, %.1fms total (%.2f%% of "
+      "apply time, gate <%.0f%%)%s\n",
+      static_cast<unsigned long long>(report->snapshots_written),
+      static_cast<unsigned long long>(report->updates),
+      report->snapshot_seconds * 1e3, overhead_pct, kMaxSnapshotOverheadPct,
+      report->snapshots_failed > 0 ? "  [WRITE FAILURES]" : "");
+  if (report->snapshots_failed > 0 || report->snapshots_written == 0) {
+    std::printf("FAIL: %s\n", report->snapshots_failed > 0
+                                  ? report->last_snapshot_error.c_str()
+                                  : "no snapshot was written");
+    ok = false;
+  }
+  if (overhead_pct >= kMaxSnapshotOverheadPct) {
+    std::printf("FAIL: snapshot overhead above the gate\n");
+    ok = false;
+  }
+
+  // Crash-recovery drill: resume from the last snapshot on disk and apply
+  // the tail of the same sequence; the served answer must match the
+  // uninterrupted engine's exactly, not approximately.
+  bool restore_ok = false;
+  auto restored = ReadSnapshot(path, DynamicDensestOptions{});
+  if (!restored.ok()) {
+    std::printf("FAIL: restore: %s\n", restored.status().ToString().c_str());
+  } else {
+    for (uint64_t i = restored->cursor; i < updates.size(); ++i) {
+      restored->engine->Apply(updates[i]);
+    }
+    const DynamicDensest::Answer a = (*engine)->Query();
+    const DynamicDensest::Answer b = restored->engine->Query();
+    restore_ok = a.density == b.density && a.upper_bound == b.upper_bound &&
+                 (*engine)->num_edges() == restored->engine->num_edges();
+    std::printf(
+        "restore drill: resumed at update %llu of %zu, final rho %.4f vs "
+        "%.4f: %s\n",
+        static_cast<unsigned long long>(restored->cursor), updates.size(),
+        b.density, a.density, restore_ok ? "IDENTICAL" : "DIVERGED");
+  }
+  json.Add("snapshot_restore_ok", restore_ok ? 1 : 0);
+  std::remove(path.c_str());
+  return ok && restore_ok;
+}
+
+int RunSnapshotOnly() {
+  bench::Banner("Dynamic maintenance [snapshot]",
+                "crash-snapshot overhead + bit-identical restore drill");
+  bench::BenchJson json("dynamic_snapshot");
+  const bool ok = RunSnapshotGate(json);
+  if (Status js = json.Write(); !js.ok()) {
+    std::printf("warning: %s\n", js.ToString().c_str());
+  }
+  std::printf("%s\n", ok ? "SNAPSHOT GATE OK" : "SNAPSHOT GATE FAILED");
+  return ok ? 0 : 1;
+}
+
 int RunSmoke() {
   bench::Banner("Dynamic maintenance [smoke]",
-                "certified-band + insert-only-equivalence + throughput gate");
+                "band + insert-only-equivalence + throughput + snapshot gate");
   bench::BenchJson json("dynamic");
   bool ok = true;
   const Workload insert_only{"insert_only", ErdosRenyiGnm(800, 6000, 41), 0};
@@ -193,6 +302,7 @@ int RunSmoke() {
   if (!RunBandGate(insert_only, json)) ok = false;
   if (!RunBandGate(sliding, json)) ok = false;
   if (!RunThroughputGate(json)) ok = false;
+  if (!RunSnapshotGate(json)) ok = false;
   json.Add("band_ok", ok ? 1 : 0);
   // Written on success and failure alike: a red CI leg still uploads the
   // partial metrics, which is when they are needed most.
@@ -268,5 +378,8 @@ int RunFigure() {
 
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "smoke") == 0) return RunSmoke();
+  if (argc > 1 && std::strcmp(argv[1], "snapshot") == 0) {
+    return RunSnapshotOnly();
+  }
   return RunFigure();
 }

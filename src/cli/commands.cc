@@ -4,6 +4,7 @@
 #include <memory>
 #include <sstream>
 
+#include "common/failpoint.h"
 #include "core/algorithm1.h"
 #include "core/algorithm2.h"
 #include "core/algorithm3.h"
@@ -18,6 +19,7 @@
 #include "io/edge_list_io.h"
 #include "dynamic/dynamic_densest.h"
 #include "dynamic/replay.h"
+#include "dynamic/snapshot.h"
 #include "mapreduce/mr_densest.h"
 #include "stream/file_stream.h"
 #include "stream/memory_stream.h"
@@ -314,6 +316,13 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
   StatusOr<int64_t> radius = args.GetInt("radius", 2);
   std::string fallback = args.GetString("fallback", "recompute");
   StatusOr<int64_t> threads = args.GetInt("threads", 0);
+  std::string snapshot_path = args.GetString("snapshot", "");
+  StatusOr<int64_t> snapshot_every = args.GetInt("snapshot-every", 0);
+  StatusOr<bool> resume = args.GetBool("resume", false);
+  StatusOr<int64_t> evict_batch = args.GetInt("evict-batch", 1);
+  StatusOr<int64_t> trim_hysteresis = args.GetInt("trim-hysteresis", 64);
+  StatusOr<int64_t> retry_attempts = args.GetInt("retry-attempts", 4);
+  StatusOr<double> retry_base_ms = args.GetDouble("retry-base-ms", 0.1);
   for (const Status& s :
        {eps.ok() ? Status::OK() : eps.status(),
         window.ok() ? Status::OK() : window.status(),
@@ -321,12 +330,29 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
         query_every.ok() ? Status::OK() : query_every.status(),
         checkpoint_every.ok() ? Status::OK() : checkpoint_every.status(),
         radius.ok() ? Status::OK() : radius.status(),
-        threads.ok() ? Status::OK() : threads.status()}) {
+        threads.ok() ? Status::OK() : threads.status(),
+        snapshot_every.ok() ? Status::OK() : snapshot_every.status(),
+        resume.ok() ? Status::OK() : resume.status(),
+        evict_batch.ok() ? Status::OK() : evict_batch.status(),
+        trim_hysteresis.ok() ? Status::OK() : trim_hysteresis.status(),
+        retry_attempts.ok() ? Status::OK() : retry_attempts.status(),
+        retry_base_ms.ok() ? Status::OK() : retry_base_ms.status()}) {
     if (!s.ok()) return s;
   }
   if (*window < 0 || *radius < 0 || *threads < 0 || *query_every < 0 ||
-      *checkpoint_every < 0) {
+      *checkpoint_every < 0 || *snapshot_every < 0) {
     return Status::InvalidArgument("flag values must be >= 0");
+  }
+  if (*evict_batch < 1 || *trim_hysteresis < 1 || *retry_attempts < 1 ||
+      *retry_base_ms < 0) {
+    return Status::InvalidArgument(
+        "--evict-batch/--trim-hysteresis/--retry-attempts must be >= 1");
+  }
+  if (*snapshot_every > 0 && snapshot_path.empty()) {
+    return Status::InvalidArgument("--snapshot-every needs --snapshot=PATH");
+  }
+  if (*resume && snapshot_path.empty()) {
+    return Status::InvalidArgument("--resume needs --snapshot=PATH");
   }
   StatusOr<std::string> path = RequireGraphArg(args);
   if (!path.ok()) return path.status();
@@ -341,6 +367,10 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
     auto opened = BinaryFileEdgeStream::Open(*path);
     if (!opened.ok()) return opened.status();
     file_stream = std::move(*opened);
+    RetryPolicy retry;
+    retry.max_attempts = static_cast<int>(*retry_attempts);
+    retry.base_delay_ms = *retry_base_ms;
+    file_stream->set_retry_policy(retry);
     stream = file_stream.get();
   } else {
     StatusOr<EdgeList> loaded = ReadEdgeListText(*path);
@@ -353,6 +383,7 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
   DynamicDensestOptions opt;
   opt.epsilon = *eps;
   opt.window_radius = static_cast<uint32_t>(*radius);
+  opt.trim_hysteresis = static_cast<uint32_t>(*trim_hysteresis);
   opt.engine_options.num_threads = static_cast<size_t>(*threads);
   if (fallback == "recompute") {
     opt.fallback = DynamicFallback::kRecompute;
@@ -363,14 +394,12 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
   } else {
     return Status::InvalidArgument("unknown --fallback: " + fallback);
   }
-  StatusOr<std::unique_ptr<DynamicDensest>> engine =
-      DynamicDensest::Create(stream->num_nodes(), opt);
-  if (!engine.ok()) return engine.status();
-
   ReplayOptions replay_opt;
   replay_opt.target_updates_per_sec = *rate;
   replay_opt.query_every = static_cast<uint64_t>(*query_every);
   replay_opt.checkpoint_every = static_cast<uint64_t>(*checkpoint_every);
+  replay_opt.snapshot_every = static_cast<uint64_t>(*snapshot_every);
+  replay_opt.snapshot_path = snapshot_path;
   if (checkpoints == "exact") {
     replay_opt.checkpoint_mode = CheckpointMode::kExactFlow;
   } else if (checkpoints == "batch") {
@@ -379,16 +408,40 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
     return Status::InvalidArgument("unknown --checkpoints: " + checkpoints);
   }
 
+  // --resume: restore the engine and stream position from the snapshot. A
+  // missing/torn/corrupted snapshot degrades to a full replay from scratch
+  // — logged, never silently served — so restart is always safe.
+  std::unique_ptr<DynamicDensest> engine;
+  if (*resume) {
+    StatusOr<RestoredEngine> restored = ReadSnapshot(snapshot_path, opt);
+    if (restored.ok()) {
+      engine = std::move(restored->engine);
+      replay_opt.skip_updates = restored->cursor;
+      out << "resumed from " << snapshot_path << " at update "
+          << restored->cursor << "\n";
+    } else {
+      out << "snapshot unusable (" << restored.status().ToString()
+          << "); degrading to full replay from scratch\n";
+    }
+  }
+  if (engine == nullptr) {
+    StatusOr<std::unique_ptr<DynamicDensest>> created =
+        DynamicDensest::Create(stream->num_nodes(), opt);
+    if (!created.ok()) return created.status();
+    engine = std::move(*created);
+  }
+
   InsertReplayUpdateStream inserts(*stream);
   std::unique_ptr<SlidingWindowUpdateStream> windowed;
   UpdateStream* updates = &inserts;
   if (*window > 0) {
     windowed = std::make_unique<SlidingWindowUpdateStream>(
-        *stream, static_cast<uint64_t>(*window));
+        *stream, static_cast<uint64_t>(*window),
+        static_cast<uint64_t>(*evict_batch));
     updates = windowed.get();
   }
 
-  StatusOr<ReplayReport> report = ReplayUpdates(*updates, **engine, replay_opt);
+  StatusOr<ReplayReport> report = ReplayUpdates(*updates, *engine, replay_opt);
   if (!report.ok()) return report.status();
 
   out << "dynamic densest (eps=" << *eps
@@ -397,7 +450,7 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
       << "): rho=" << report->final_density;
   if (report->final_certified) {
     out << " certified rho* < " << report->final_upper_bound << " (band "
-        << (*engine)->ApproxBand() << "x)\n";
+        << engine->ApproxBand() << "x)\n";
   } else {
     // Only possible under --fallback=never: the window degraded and the
     // engine is serving best-effort answers without a certificate.
@@ -414,7 +467,22 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
   out << "maintenance: " << report->engine_stats.level_moves
       << " level moves, " << report->engine_stats.recomputes
       << " recomputes, " << report->engine_stats.window_moves
-      << " window moves\n";
+      << " window moves, " << report->engine_stats.recomputes_avoided
+      << " trims suppressed\n";
+  if (report->snapshots_written > 0 || report->snapshots_failed > 0) {
+    out << "snapshots: " << report->snapshots_written << " written in "
+        << report->snapshot_seconds << "s";
+    if (report->snapshots_failed > 0) {
+      out << "  " << report->snapshots_failed << " FAILED (last: "
+          << report->last_snapshot_error << ")";
+    }
+    out << "\n";
+  }
+  if (const IoRetryStats retry = updates->io_retry_stats();
+      retry.retries > 0 || retry.exhausted > 0) {
+    out << "io retries: " << retry.retries << " (" << retry.healed
+        << " healed, " << retry.exhausted << " exhausted)\n";
+  }
   if (!report->checkpoints.empty()) {
     out << "checkpoints: " << report->checkpoints.size()
         << "  band=" << (report->band_ok ? "OK" : "VIOLATED")
@@ -558,10 +626,16 @@ std::string CliUsage() {
       "      [--query-every=1024] [--checkpoint-every=N]\n"
       "      [--checkpoints=exact|batch] [--radius=2]\n"
       "      [--fallback=recompute|rebuild|never] [--threads=0]\n"
+      "      [--snapshot=F --snapshot-every=N] [--resume]\n"
+      "      [--evict-batch=1] [--trim-hysteresis=64]\n"
+      "      [--retry-attempts=4 --retry-base-ms=0.1]\n"
       "      incremental maintenance service: replays the graph as a\n"
       "      timestamped insert stream (--window adds a sliding-window\n"
-      "      deleter) and reports throughput, query latency percentiles\n"
-      "      and the certified approximation band\n"
+      "      deleter, --evict-batch amortizes its deletions) and reports\n"
+      "      throughput, query latency percentiles and the certified\n"
+      "      approximation band. --snapshot-every writes crash-recovery\n"
+      "      checkpoints; --resume restores from one (a torn or corrupt\n"
+      "      snapshot degrades to a full replay, never a wrong density)\n"
       "  exact <graph>\n"
       "      exact rho* via Goldberg's max-flow reduction\n"
       "  enumerate <graph> [--eps=0.5] [--count=10] [--min-density=1]\n"
@@ -571,11 +645,25 @@ std::string CliUsage() {
       "                er chung-lu [--nodes --edges --exponent]\n"
       "\n"
       "graphs: text edge lists (\"u v [w]\" lines, # comments) or .bin files\n"
-      "        written by `generate --format=bin`.\n";
+      "        written by `generate --format=bin`.\n"
+      "\n"
+      "global flags:\n"
+      "  --failpoint=\"name:spec[;name:spec]\"\n"
+      "      arm fault-injection points (builds with -DDENSEST_FAILPOINTS=ON\n"
+      "      only); see src/common/failpoint.h for names and the spec grammar\n";
 }
 
 Status RunCliCommand(const std::string& command, const Args& args,
                      std::ostream& out) {
+  // Global fault-injection flag, valid for every command:
+  // --failpoint="name:spec[;name:spec]" (see common/failpoint.h for the
+  // spec grammar). Fails loudly when the build compiled failpoints out.
+  if (const std::string failpoints = args.GetString("failpoint", "");
+      !failpoints.empty()) {
+    if (Status s = Failpoints::Instance().SetFromFlag(failpoints); !s.ok()) {
+      return s;
+    }
+  }
   Status status;
   if (command == "stats") {
     status = CmdStats(args, out);

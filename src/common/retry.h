@@ -1,0 +1,56 @@
+// Copyright 2026 The densest Authors.
+// Bounded retry-with-backoff for transient (kUnavailable) IO faults.
+// Permanent faults (kIOError) are never retried: a dead disk stays dead,
+// and retrying it would only delay the loud abort the sticky-status model
+// promises. The policy is deliberately tiny — attempts and delays, no
+// jitter — so injected-fault tests stay deterministic.
+
+#ifndef DENSEST_COMMON_RETRY_H_
+#define DENSEST_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace densest {
+
+/// \brief Knobs for the retry loops at the IO seams (binary stream
+/// prefetch, spill reads). `max_attempts` counts total tries, so 1 means
+/// "no retries".
+struct RetryPolicy {
+  int max_attempts = 4;
+  double base_delay_ms = 0.1;  // doubled per retry: 0.1, 0.2, 0.4, ...
+  double max_delay_ms = 50.0;
+
+  /// Exponential backoff delay before retry number `retry` (0-based).
+  double DelayMs(int retry) const {
+    double d = base_delay_ms;
+    for (int i = 0; i < retry && d < max_delay_ms; ++i) d *= 2.0;
+    return d < max_delay_ms ? d : max_delay_ms;
+  }
+};
+
+/// \brief Observable outcome of the retry loops, surfaced through
+/// PassStats / JobStats so transient faults that healed are visible and
+/// distinguishable from permanent ones that aborted.
+struct IoRetryStats {
+  uint64_t retries = 0;    ///< individual retry attempts made
+  uint64_t healed = 0;     ///< operations that succeeded after >=1 retry
+  uint64_t exhausted = 0;  ///< operations that failed every attempt
+
+  void Accumulate(const IoRetryStats& other) {
+    retries += other.retries;
+    healed += other.healed;
+    exhausted += other.exhausted;
+  }
+};
+
+/// Sleeps for the policy's backoff before retry number `retry` (0-based).
+inline void BackoffSleep(const RetryPolicy& policy, int retry) {
+  const auto us = static_cast<int64_t>(policy.DelayMs(retry) * 1000.0);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace densest
+
+#endif  // DENSEST_COMMON_RETRY_H_

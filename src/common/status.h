@@ -29,6 +29,7 @@ class Status {
     kOutOfRange = 4,
     kFailedPrecondition = 5,
     kInternal = 6,
+    kUnavailable = 7,
   };
 
   /// Constructs an OK status.
@@ -55,12 +56,18 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
   /// @}
 
   /// Returns true iff the status is OK.
   bool ok() const { return code_ == Code::kOk; }
   /// Returns the error category.
   Code code() const { return code_; }
+  /// True for transient faults a bounded retry may heal (kUnavailable),
+  /// false for permanent errors like kIOError that must abort loudly.
+  bool IsRetryable() const { return code_ == Code::kUnavailable; }
   /// Returns the error message ("" for OK statuses).
   const std::string& message() const { return message_; }
   /// Renders e.g. "InvalidArgument: epsilon must be >= 0".

@@ -118,6 +118,44 @@ EdgeList DynamicAdjacency::ToEdgeList() const {
   return out;
 }
 
+Status DynamicAdjacency::RestoreAdjacency(std::vector<std::vector<NodeId>> lists) {
+  const NodeId n = num_nodes();
+  if (lists.size() != n) {
+    return Status::InvalidArgument("adjacency node count mismatch");
+  }
+  EdgeKeySet present;
+  EdgeId m = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId x : lists[u]) {
+      if (x == u) return Status::InvalidArgument("self-loop in adjacency");
+      if (x >= n) return Status::InvalidArgument("node id out of range");
+      if (u < x) {
+        if (!present.Insert(EdgeKeySet::Key(u, x))) {
+          return Status::InvalidArgument("duplicate edge in adjacency");
+        }
+        ++m;
+      }
+    }
+  }
+  // Symmetry: every u > x entry must have been registered from the x side.
+  EdgeId mirrored = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId x : lists[u]) {
+      if (u > x) {
+        if (!present.Contains(EdgeKeySet::Key(x, u))) {
+          return Status::InvalidArgument("asymmetric adjacency");
+        }
+        ++mirrored;
+      }
+    }
+  }
+  if (mirrored != m) return Status::InvalidArgument("asymmetric adjacency");
+  adj_ = std::move(lists);
+  present_ = std::move(present);
+  m_ = m;
+  return Status::OK();
+}
+
 // ---------------------------------------------------------- DegreeLevels --
 
 namespace {
@@ -310,6 +348,11 @@ void DegreeLevels::Rebuild(const DynamicAdjacency& adj) {
     cur.swap(next);
   }
 
+  RecomputeAggregates(adj);
+}
+
+void DegreeLevels::RecomputeAggregates(const DynamicAdjacency& adj) {
+  const NodeId n = adj.num_nodes();
   std::fill(level_count_.begin(), level_count_.end(), NodeId{0});
   std::fill(edges_min_level_.begin(), edges_min_level_.end(), EdgeId{0});
   for (NodeId v = 0; v < n; ++v) {
@@ -326,6 +369,25 @@ void DegreeLevels::Rebuild(const DynamicAdjacency& adj) {
     state_[v].up = up;
     state_[v].near = near;
   }
+}
+
+Status DegreeLevels::RestoreLevels(const DynamicAdjacency& adj,
+                                   std::span<const uint16_t> levels) {
+  if (levels.size() != state_.size() ||
+      adj.num_nodes() != static_cast<NodeId>(state_.size())) {
+    return Status::InvalidArgument("level-array size mismatch");
+  }
+  for (uint16_t l : levels) {
+    if (l > levels_) return Status::InvalidArgument("level above the ladder");
+  }
+  for (size_t v = 0; v < levels.size(); ++v) {
+    state_[v] = NodeState{};
+    state_[v].level = levels[v];
+  }
+  work_.clear();
+  std::fill(queued_.begin(), queued_.end(), 0);
+  RecomputeAggregates(adj);
+  return Status::OK();
 }
 
 DegreeLevels::BestLevel DegreeLevels::FindBestLevel() const {

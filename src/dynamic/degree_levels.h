@@ -41,6 +41,7 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "graph/edge_list.h"
 #include "graph/types.h"
 
@@ -110,6 +111,15 @@ class DynamicAdjacency {
   /// recompute fallback and the exactness checkpoints run on.
   EdgeList ToEdgeList() const;
 
+  /// Replaces the whole adjacency with `lists` VERBATIM — per-node
+  /// neighbor-vector order included. Order matters: Erase swap-removes and
+  /// the level structures iterate neighbor lists in storage order, so a
+  /// restored engine only evolves bit-identically to the snapshotted one
+  /// if the vectors match byte for byte, not merely as sets. Rebuilds the
+  /// presence set and edge count; fails with InvalidArgument on self-loops,
+  /// out-of-range ids, duplicates, or an asymmetric adjacency.
+  Status RestoreAdjacency(std::vector<std::vector<NodeId>> lists);
+
  private:
   std::vector<std::vector<NodeId>> adj_;
   EdgeKeySet present_;
@@ -146,6 +156,14 @@ class DegreeLevels {
   /// Used when the engine's threshold window slides onto this slot.
   void Rebuild(const DynamicAdjacency& adj);
 
+  /// Restores the per-node levels VERBATIM from a snapshot and recomputes
+  /// every aggregate (counters, level counts, edge minima) from them plus
+  /// the adjacency. The input must be a settled state over exactly `adj`
+  /// (which a snapshot of a settled engine always is); fails with
+  /// InvalidArgument on a level above the ladder or a size mismatch.
+  Status RestoreLevels(const DynamicAdjacency& adj,
+                       std::span<const uint16_t> levels);
+
   /// Densest level set: max over i of rho(Z_i), with the attaining i.
   /// O(levels); reads only maintained aggregates.
   struct BestLevel {
@@ -176,6 +194,10 @@ class DegreeLevels {
     uint16_t level = 0;
   };
 
+  /// Recomputes up/near counters, level counts and edge minima from the
+  /// current levels + adjacency (the shared tail of Rebuild and
+  /// RestoreLevels — both are pure functions of that pair).
+  void RecomputeAggregates(const DynamicAdjacency& adj);
   /// Moves one level up/down, rescanning v's neighborhood to refresh both
   /// counters and patching the neighbors' counters and the per-level edge
   /// aggregates.

@@ -26,7 +26,41 @@ StatusOr<std::unique_ptr<DynamicDensest>> DynamicDensest::Create(
   if (options.recompute_epsilon < 0) {
     return Status::InvalidArgument("recompute_epsilon must be >= 0");
   }
+  if (options.trim_hysteresis == 0) {
+    return Status::InvalidArgument("trim_hysteresis must be >= 1");
+  }
   return std::unique_ptr<DynamicDensest>(new DynamicDensest(n, options));
+}
+
+StatusOr<std::unique_ptr<DynamicDensest>> DynamicDensest::FromSnapshotState(
+    NodeId n, const DynamicDensestOptions& options,
+    std::vector<std::vector<NodeId>> adjacency, uint32_t lo,
+    std::vector<std::vector<uint16_t>> slot_levels, uint32_t trim_streak,
+    const DynamicDensestStats& stats) {
+  StatusOr<std::unique_ptr<DynamicDensest>> created = Create(n, options);
+  if (!created.ok()) return created.status();
+  DynamicDensest& e = **created;
+  Status s = e.adj_.RestoreAdjacency(std::move(adjacency));
+  if (!s.ok()) return s;
+  if (slot_levels.empty()) {
+    return Status::InvalidArgument("snapshot maintains no slots");
+  }
+  const uint64_t hi = lo + static_cast<uint64_t>(slot_levels.size()) - 1;
+  if (hi > e.max_slot_) {
+    return Status::InvalidArgument("snapshot window above the threshold grid");
+  }
+  e.lo_ = lo;
+  e.slots_.clear();
+  e.slots_.reserve(slot_levels.size());
+  for (size_t i = 0; i < slot_levels.size(); ++i) {
+    e.slots_.emplace_back(n, e.ThresholdOf(lo + static_cast<uint32_t>(i)),
+                          options.epsilon, e.levels_);
+    s = e.slots_.back().RestoreLevels(e.adj_, slot_levels[i]);
+    if (!s.ok()) return s;
+  }
+  e.trim_streak_ = trim_streak;
+  e.stats_ = stats;
+  return created;
 }
 
 DynamicDensest::DynamicDensest(NodeId n, const DynamicDensestOptions& options)
@@ -142,9 +176,22 @@ void DynamicDensest::MaybeFallback() {
       // the bottom to a fall-cushion below k*: free — every kept slot
       // stays live, nothing is rebuilt, and if density later falls
       // through the cushion the ordinary fallback re-centers downward.
+      // Hysteresis: a density hovering at a slot boundary flips this
+      // condition on and off every few updates, and each trim drops low
+      // slots that the very next dip re-enters at recompute+rebuild cost.
+      // Trim only once the drift has held for trim_hysteresis consecutive
+      // updates; a streak that dies earlier was a transient excursion
+      // whose trim (and follow-up recompute) we avoided.
       if (k_star >= 0 && static_cast<uint32_t>(k_star) > lo_ + trim_span_) {
-        const uint32_t cushion = trim_span_ > 2 ? trim_span_ - 2 : 0;
-        MoveWindow(static_cast<uint32_t>(k_star) - cushion, window_hi());
+        if (++trim_streak_ >= options_.trim_hysteresis) {
+          const uint32_t cushion = trim_span_ > 2 ? trim_span_ - 2 : 0;
+          MoveWindow(static_cast<uint32_t>(k_star) - cushion, window_hi());
+        } else {
+          ++stats_.trims_deferred;
+        }
+      } else if (trim_streak_ > 0) {
+        trim_streak_ = 0;
+        ++stats_.recomputes_avoided;
       }
       return;
     }
@@ -232,6 +279,7 @@ void DynamicDensest::MoveWindow(uint32_t new_lo, uint32_t new_hi) {
   }
   slots_ = std::move(next);
   lo_ = new_lo;
+  trim_streak_ = 0;  // the drift condition is relative to the new low end
   ++stats_.window_moves;
 }
 

@@ -83,6 +83,14 @@ struct DynamicDensestOptions {
   DynamicFallback fallback = DynamicFallback::kRecompute;
   /// Epsilon for the batch Algorithm 1 recompute (kRecompute only).
   double recompute_epsilon = 0.5;
+  /// Consecutive updates the window-trim condition (k* drifted more than
+  /// trim_span_ above the window's low end) must hold before the bottom is
+  /// actually trimmed. A density hovering at a slot boundary flips the
+  /// condition on and off every few updates; trimming on the first flip
+  /// drops low slots that the very next dip needs back, and re-entering
+  /// them costs a full recompute + rebuild. 1 restores the immediate-trim
+  /// behavior. Must be >= 1.
+  uint32_t trim_hysteresis = 64;
   /// Thread fan-out of the recompute engine (see MultiRunOptions); any
   /// value yields identical recompute results.
   MultiRunOptions engine_options;
@@ -97,6 +105,13 @@ struct DynamicDensestStats {
   uint64_t recomputes = 0;       ///< batch fallback runs
   uint64_t window_moves = 0;     ///< times the threshold window re-centered
   uint64_t structures_rebuilt = 0;
+  /// Updates on which the trim condition held but hysteresis deferred the
+  /// move (see DynamicDensestOptions::trim_hysteresis).
+  uint64_t trims_deferred = 0;
+  /// Trim streaks that reset before reaching the hysteresis threshold —
+  /// each is a transient excursion whose trim (and the recompute the next
+  /// density dip would have forced) was suppressed.
+  uint64_t recomputes_avoided = 0;
   double last_recompute_density = 0;
 };
 
@@ -109,6 +124,20 @@ class DynamicDensest {
   /// InvalidArgument for n == 0 or an out-of-range epsilon.
   static StatusOr<std::unique_ptr<DynamicDensest>> Create(
       NodeId n, const DynamicDensestOptions& options = {});
+
+  /// Reconstructs an engine from snapshotted state (dynamic/snapshot.h
+  /// handles the byte format; this takes the decoded pieces): the
+  /// adjacency VERBATIM (see DynamicAdjacency::RestoreAdjacency on why
+  /// order matters), the window's first slot, one per-node level array per
+  /// maintained slot, the trim streak, and the accumulated stats. Fails
+  /// with InvalidArgument when any piece is internally inconsistent. A
+  /// successful restore is bit-for-bit: the engine evolves identically to
+  /// the one the state was captured from.
+  static StatusOr<std::unique_ptr<DynamicDensest>> FromSnapshotState(
+      NodeId n, const DynamicDensestOptions& options,
+      std::vector<std::vector<NodeId>> adjacency, uint32_t lo,
+      std::vector<std::vector<uint16_t>> slot_levels, uint32_t trim_streak,
+      const DynamicDensestStats& stats);
 
   /// Applies one update. Self-loops, out-of-range endpoints, duplicate
   /// inserts and deletes of absent edges are counted in stats().ignored
@@ -148,6 +177,14 @@ class DynamicDensest {
   /// (1+eps)^k); exposed for tests and the replay report.
   uint32_t window_lo() const { return lo_; }
   uint32_t window_hi() const { return lo_ + static_cast<uint32_t>(slots_.size()) - 1; }
+  /// Snapshot introspection (dynamic/snapshot.cc serializes through
+  /// these): the maintained slots, the live adjacency, and the hysteresis
+  /// streak — together with window_lo() and stats(), the engine's entire
+  /// mutable state.
+  size_t num_slots() const { return slots_.size(); }
+  const DegreeLevels& slot(size_t i) const { return slots_[i]; }
+  const DynamicAdjacency& adjacency() const { return adj_; }
+  uint32_t trim_streak() const { return trim_streak_; }
 
  private:
   DynamicDensest(NodeId n, const DynamicDensestOptions& options);
@@ -170,6 +207,7 @@ class DynamicDensest {
   uint32_t max_slot_;   // top of the threshold grid: d_max certainly empty
   uint32_t trim_span_;  // max k* drift above lo_ before a re-center
   uint32_t lo_ = 0;     // first maintained slot
+  uint32_t trim_streak_ = 0;  // consecutive updates the trim condition held
   std::vector<DegreeLevels> slots_;
   std::unique_ptr<MultiRunEngine> engine_;  // lazily created on recompute
   DynamicDensestStats stats_;

@@ -9,6 +9,7 @@
 #define DENSEST_DYNAMIC_REPLAY_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/histogram.h"
@@ -43,6 +44,16 @@ struct ReplayOptions {
   CheckpointMode checkpoint_mode = CheckpointMode::kExactFlow;
   /// Updates pulled from the stream per NextBatch call.
   size_t batch_size = 4096;
+  /// Write a crash-recovery snapshot (dynamic/snapshot.h) every N applied
+  /// updates (0 = never; requires snapshot_path). Snapshot time is
+  /// reported separately and never counted into apply throughput.
+  uint64_t snapshot_every = 0;
+  /// Where snapshots go (atomically overwritten each time).
+  std::string snapshot_path;
+  /// Skip this many updates from the (reset) stream before applying — the
+  /// resume cursor of a restored snapshot. Snapshot cursors are absolute:
+  /// they include this offset.
+  uint64_t skip_updates = 0;
 };
 
 /// \brief One band-verification point.
@@ -75,6 +86,15 @@ struct ReplayReport {
   bool final_certified = true;
   EdgeId final_edges = 0;
   DynamicDensestStats engine_stats;
+  /// Snapshots successfully written / failed this replay. A failed write
+  /// degrades gracefully: the replay continues (a checkpoint is a restart
+  /// optimization, not correctness) and the failure is reported here.
+  uint64_t snapshots_written = 0;
+  uint64_t snapshots_failed = 0;
+  std::string last_snapshot_error;
+  /// Wall time spent writing snapshots — kept OUT of updates_per_sec so
+  /// the snapshot cadence's overhead is directly observable against it.
+  double snapshot_seconds = 0;
 };
 
 /// Replays `updates` into `engine`. Fails when the update stream reports a

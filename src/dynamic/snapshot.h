@@ -1,0 +1,55 @@
+// Copyright 2026 The densest Authors.
+// Crash-safe checkpoint/restore for the dynamic maintenance service.
+//
+// A snapshot captures the engine's ENTIRE mutable state — the adjacency
+// verbatim (neighbor-vector order included; see
+// DynamicAdjacency::RestoreAdjacency), the per-slot per-node levels, the
+// window placement, the hysteresis streak, the accumulated stats — plus
+// the position in the update stream it was taken at. Restoring and
+// resuming the stream from that cursor therefore evolves bit-identically
+// to a run that never stopped.
+//
+// The file is versioned and checksummed (FNV-1a-64 over the body) and
+// written atomically (temp file + rename), so a crash mid-write leaves
+// either the previous snapshot or none — never a torn one that parses. A
+// torn, corrupted or wrong-version file fails with IOError and the caller
+// degrades to a full rebuild; a snapshot can make restart cheaper, never
+// the served densities wrong.
+
+#ifndef DENSEST_DYNAMIC_SNAPSHOT_H_
+#define DENSEST_DYNAMIC_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "dynamic/dynamic_densest.h"
+
+namespace densest {
+
+/// \brief Atomically writes the engine's state to `path`. `cursor` is the
+/// number of updates the engine has consumed from its stream — the offset
+/// a restored run resumes from. Fails with IOError on any write problem
+/// (the target file is untouched; at worst a *.tmp sibling is left behind).
+Status WriteSnapshot(const std::string& path, const DynamicDensest& engine,
+                     uint64_t cursor);
+
+/// \brief A restored engine plus the stream position to resume from.
+struct RestoredEngine {
+  std::unique_ptr<DynamicDensest> engine;
+  uint64_t cursor = 0;
+};
+
+/// \brief Reads `path` and reconstructs the engine under `options` (which
+/// must match the options of the run that wrote the snapshot — epsilon and
+/// window shape are not stored, they are configuration). Fails with
+/// IOError on a missing, torn, corrupted or wrong-version file and with
+/// InvalidArgument when the decoded state is internally inconsistent; in
+/// either case the caller falls back to replaying from scratch.
+StatusOr<RestoredEngine> ReadSnapshot(const std::string& path,
+                                      const DynamicDensestOptions& options);
+
+}  // namespace densest
+
+#endif  // DENSEST_DYNAMIC_SNAPSHOT_H_

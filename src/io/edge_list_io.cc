@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
+
 namespace densest {
 
 StatusOr<EdgeList> ReadEdgeListText(const std::string& path) {
@@ -15,6 +17,11 @@ StatusOr<EdgeList> ReadEdgeListText(const std::string& path) {
   size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
+    if (DENSEST_FAILPOINT("edge_list.read") != FailpointAction::kNone) {
+      // Models a mid-file device failure: same observable as in.bad().
+      return Status::IOError("read error (injected): " + path + ":" +
+                             std::to_string(lineno));
+    }
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream ss(line);
     long long u, v;

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/failpoint.h"
+
 namespace densest {
 
 namespace {
@@ -55,8 +57,34 @@ SpillFile::~SpillFile() {
   std::filesystem::remove(path_, ec);  // best effort
 }
 
+FailpointAction SpillFile::EvalFailpointWithRetry(const char* name) const {
+  int attempt = 0;
+  for (;;) {
+    const FailpointAction fp = DENSEST_FAILPOINT(name);
+    if (fp != FailpointAction::kUnavailable) {
+      if (attempt > 0) healed_.fetch_add(1, std::memory_order_relaxed);
+      return fp;
+    }
+    if (attempt + 1 >= retry_policy_.max_attempts) {
+      exhausted_.fetch_add(1, std::memory_order_relaxed);
+      return FailpointAction::kUnavailable;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    BackoffSleep(retry_policy_, attempt++);
+  }
+}
+
 StatusOr<size_t> SpillFile::ReadAt(uint64_t offset, void* buf, size_t cap) {
   if (offset >= bytes_written_) return size_t{0};
+  const FailpointAction fp = EvalFailpointWithRetry("spill.read_at");
+  if (fp == FailpointAction::kUnavailable) {
+    return Status::Unavailable(
+        "read failed after " + std::to_string(retry_policy_.max_attempts) +
+        " attempts: spill file " + path_);
+  }
+  if (fp == FailpointAction::kIOError) {
+    return Status::IOError("read error (injected) on spill file " + path_);
+  }
   if (read_file_ == nullptr) {
     read_file_ = std::fopen(path_.c_str(), "rb");
     if (read_file_ == nullptr) {
@@ -70,7 +98,8 @@ StatusOr<size_t> SpillFile::ReadAt(uint64_t offset, void* buf, size_t cap) {
   }
   const size_t want = static_cast<size_t>(
       std::min<uint64_t>(cap, bytes_written_ - offset));
-  const size_t got = std::fread(buf, 1, want, read_file_);
+  size_t got = std::fread(buf, 1, want, read_file_);
+  if (fp == FailpointAction::kShortRead) got /= 2;  // torn positioned read
   if (got != want) {
     if (std::ferror(read_file_)) {
       return Status::IOError("read error on spill file " + path_ + ": " +
@@ -87,7 +116,16 @@ StatusOr<size_t> SpillFile::ReadAt(uint64_t offset, void* buf, size_t cap) {
 Status SpillFile::Append(const void* data, size_t bytes) {
   if (!status_.ok()) return status_;
   if (bytes == 0) return Status::OK();
-  const size_t written = std::fwrite(data, 1, bytes, file_);
+  const FailpointAction fp = EvalFailpointWithRetry("spill.append");
+  if (fp == FailpointAction::kUnavailable) {
+    status_ = Status::Unavailable(
+        "write failed after " + std::to_string(retry_policy_.max_attempts) +
+        " attempts: spill file " + path_);
+    return status_;
+  }
+  const size_t written =
+      fp == FailpointAction::kNone ? std::fwrite(data, 1, bytes, file_)
+                                   : bytes / 2;  // injected short write
   if (written != bytes) {
     status_ = Status::IOError("short write to spill file " + path_ + ": " +
                               ErrnoMessage());
@@ -124,11 +162,12 @@ StatusOr<SpillFile::Reader> SpillFile::OpenReader(uint64_t offset,
     std::fclose(file);
     return Status::IOError("cannot seek spill file " + path_ + ": " + msg);
   }
-  return Reader(file, length, path_);
+  return Reader(this, file, length, path_);
 }
 
 SpillFile::Reader::Reader(Reader&& other) noexcept
-    : file_(other.file_),
+    : owner_(other.owner_),
+      file_(other.file_),
       remaining_(other.remaining_),
       path_(std::move(other.path_)) {
   other.file_ = nullptr;
@@ -138,6 +177,7 @@ SpillFile::Reader::Reader(Reader&& other) noexcept
 SpillFile::Reader& SpillFile::Reader::operator=(Reader&& other) noexcept {
   if (this != &other) {
     if (file_ != nullptr) std::fclose(file_);
+    owner_ = other.owner_;
     file_ = other.file_;
     remaining_ = other.remaining_;
     path_ = std::move(other.path_);
@@ -156,7 +196,16 @@ StatusOr<size_t> SpillFile::Reader::Read(void* buf, size_t cap) {
   const size_t want = static_cast<size_t>(
       std::min<uint64_t>(cap, remaining_));
   if (want == 0) return size_t{0};
-  const size_t got = std::fread(buf, 1, want, file_);
+  const FailpointAction fp = owner_->EvalFailpointWithRetry("spill.read");
+  if (fp == FailpointAction::kUnavailable) {
+    return Status::Unavailable("read failed after retries: spill file " +
+                               path_);
+  }
+  if (fp == FailpointAction::kIOError) {
+    return Status::IOError("read error (injected) on spill file " + path_);
+  }
+  size_t got = std::fread(buf, 1, want, file_);
+  if (fp == FailpointAction::kShortRead) got /= 2;  // torn sequential read
   if (got != want) {
     // The segment promised more bytes than the file delivered: either an
     // IO error or somebody truncated the file. Both corrupt the partition.

@@ -17,6 +17,8 @@ void JobStats::Accumulate(const JobStats& other) {
   spill_bytes_written += other.spill_bytes_written;
   spill_bytes_read += other.spill_bytes_read;
   spill_runs += other.spill_runs;
+  io_retries += other.io_retries;
+  io_retries_healed += other.io_retries_healed;
   simulated_seconds += other.simulated_seconds;
 }
 
@@ -31,8 +33,12 @@ std::string JobStats::ToString() const {
      << " reduce_groups=" << reduce_input_groups
      << " reduce_out=" << reduce_output_records
      << " spill_written=" << spill_bytes_written
-     << " spill_read=" << spill_bytes_read
-     << " sim_seconds=" << simulated_seconds;
+     << " spill_read=" << spill_bytes_read;
+  if (io_retries > 0 || io_retries_healed > 0) {
+    os << " io_retries=" << io_retries
+       << " io_retries_healed=" << io_retries_healed;
+  }
+  os << " sim_seconds=" << simulated_seconds;
   return os.str();
 }
 

@@ -65,6 +65,11 @@ struct JobStats {
   uint64_t spill_bytes_read = 0;
   /// Sorted runs spilled across all partitions.
   uint64_t spill_runs = 0;
+  /// Transient IO faults retried during the job (input source reads plus
+  /// spill IO), and how many operations healed after retrying. Nonzero
+  /// counters on a successful job mean it limped through transient faults.
+  uint64_t io_retries = 0;
+  uint64_t io_retries_healed = 0;
   /// Wall-clock the modeled cluster would have spent on this job.
   double simulated_seconds = 0;
 

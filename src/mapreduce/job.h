@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "mapreduce/cost_model.h"
@@ -86,6 +87,10 @@ class RecordSource {
   /// per byte. The engine snapshots this around the map drain and charges
   /// the delta as JobStats::map_input_bytes.
   virtual uint64_t bytes_scanned() const { return 0; }
+  /// Cumulative retry-loop outcomes of the source's IO seam (see
+  /// common/retry.h); snapshotted around the map drain like bytes_scanned
+  /// and surfaced as JobStats::io_retries.
+  virtual IoRetryStats io_retry_stats() const { return {}; }
 };
 
 /// \brief RecordSource over an in-memory vector (the classic job input).
@@ -139,6 +144,11 @@ class ChainRecordSource : public RecordSource<K, V> {
   }
   uint64_t bytes_scanned() const override {
     return first_->bytes_scanned() + second_->bytes_scanned();
+  }
+  IoRetryStats io_retry_stats() const override {
+    IoRetryStats total = first_->io_retry_stats();
+    total.Accumulate(second_->io_retry_stats());
+    return total;
   }
 
  private:
@@ -247,6 +257,7 @@ StatusOr<std::vector<KV<K3, V3>>> RunJobOnSource(
   std::vector<std::vector<KV<K2, V2>>> outputs(chunks_per_round);
   std::vector<uint64_t> raw_counts(chunks_per_round, 0);
   const uint64_t input_bytes_before = source.bytes_scanned();
+  const IoRetryStats source_retries_before = source.io_retry_stats();
   source.Reset();
   bool source_dry = false;
   while (!source_dry) {
@@ -321,6 +332,13 @@ StatusOr<std::vector<KV<K3, V3>>> RunJobOnSource(
   stats.spill_bytes_written = shuffle.spill_bytes_written();
   stats.spill_bytes_read = shuffle.spill_bytes_read();
   stats.spill_runs = shuffle.spill_runs();
+  const IoRetryStats source_retries = source.io_retry_stats();
+  const IoRetryStats spill_retries = shuffle.io_retry_stats();
+  stats.io_retries = (source_retries.retries - source_retries_before.retries) +
+                     spill_retries.retries;
+  stats.io_retries_healed =
+      (source_retries.healed - source_retries_before.healed) +
+      spill_retries.healed;
   stats.simulated_seconds = SimulateJobSeconds(env.cost_model(), stats);
 
   env.AccumulateTotals(stats);

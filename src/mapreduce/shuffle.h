@@ -152,6 +152,18 @@ class ShuffleWriter {
     return total;
   }
 
+  /// Retry-loop outcomes accumulated across all partitions' spill files
+  /// (write and merge-read seams); see common/retry.h.
+  IoRetryStats io_retry_stats() const {
+    IoRetryStats total;
+    for (const Partition& part : partitions_) {
+      if (part.spill != nullptr) {
+        total.Accumulate(part.spill->io_retry_stats());
+      }
+    }
+    return total;
+  }
+
   /// Streams partition `p`'s records grouped by key, in the stable-sorted
   /// order of the append sequence: fn(key, values) once per distinct key.
   /// `values` is caller-owned scratch reused across groups.

@@ -39,6 +39,11 @@ class StreamRecordSource : public RecordSource<NodeId, NodeId> {
   Status status() const override { return cursor_->stream().status(); }
   /// kDfsRecordBytes per record delivered, across all scans.
   uint64_t bytes_scanned() const override { return bytes_scanned_; }
+  /// Forwards the stream's retry-loop outcomes (transient faults healed
+  /// by the prefetch retry loop show up in JobStats::io_retries).
+  IoRetryStats io_retry_stats() const override {
+    return cursor_->stream().io_retry_stats();
+  }
 
  private:
   PassCursor* cursor_;

@@ -11,6 +11,7 @@
 #include <functional>
 #include <span>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "graph/types.h"
 
@@ -64,6 +65,13 @@ class EdgeStream {
   /// aborting the run with the error instead of peeling on bad statistics.
   /// In-memory and generator streams cannot fail and keep the OK default.
   virtual Status status() const { return Status::OK(); }
+
+  /// Outcomes of the retry loop at this stream's IO seam: transient
+  /// (kUnavailable) faults that were retried, healed, or exhausted. All
+  /// zero for streams that cannot fail. Surfaced through PassStats so a
+  /// run that limped through transient faults is distinguishable from a
+  /// clean one.
+  virtual IoRetryStats io_retry_stats() const { return {}; }
 
   /// True when every edge is guaranteed to carry weight exactly 1.0.
   /// Unit-weight sums are exact in double precision, so the pass engine may

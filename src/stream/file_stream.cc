@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/failpoint.h"
+
 namespace densest {
 
 namespace {
@@ -17,6 +19,10 @@ Status WriteBinaryEdgeFile(const std::string& path, const EdgeList& edges,
                            bool weighted) {
   FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  if (DENSEST_FAILPOINT("edge_file.write") != FailpointAction::kNone) {
+    std::fclose(f);
+    return Status::IOError("short write (injected): " + path);
+  }
 
   BinaryEdgeFileHeader header;
   header.num_nodes = edges.num_nodes();
@@ -89,12 +95,50 @@ BinaryFileEdgeStream::~BinaryFileEdgeStream() {
 void BinaryFileEdgeStream::IssuePrefetch() {
   if (exhausted_) return;
   prefetch_ = reader_->Submit([this] {
-    back_len_ = std::fread(back_.data() + kMaxRecord, 1, kBufferBytes, file_);
-    // A short fread means EOF *or* a read error; only ferror tells them
-    // apart, and it must be checked here while the task owns the FILE.
-    // Treating an error as EOF would silently truncate the pass and yield
-    // a plausible-looking density over a partial edge set.
-    back_error_ = back_len_ < kBufferBytes && std::ferror(file_) != 0;
+    back_unavailable_ = false;
+    int attempt = 0;
+    for (;;) {
+      // The failpoint models the device: evaluated before the real fread,
+      // a transient (kUnavailable) fault is retried with backoff until the
+      // policy's budget runs out, so an armed "times=K" spec heals mid-loop
+      // exactly like a flaky-then-recovered disk.
+      const FailpointAction fp = DENSEST_FAILPOINT("edge_stream.read");
+      if (fp == FailpointAction::kUnavailable) {
+        if (attempt + 1 >= retry_policy_.max_attempts) {
+          ++retry_stats_.exhausted;
+          back_len_ = 0;
+          back_error_ = false;
+          back_unavailable_ = true;
+          return;
+        }
+        ++retry_stats_.retries;
+        BackoffSleep(retry_policy_, attempt++);
+        continue;
+      }
+      if (attempt > 0) ++retry_stats_.healed;
+      if (fp == FailpointAction::kIOError) {
+        back_len_ = 0;
+        back_error_ = true;
+        return;
+      }
+      back_len_ = std::fread(back_.data() + kMaxRecord, 1, kBufferBytes, file_);
+      // A short fread means EOF *or* a read error; only ferror tells them
+      // apart, and it must be checked here while the task owns the FILE.
+      // Treating an error as EOF would silently truncate the pass and yield
+      // a plausible-looking density over a partial edge set.
+      back_error_ = back_len_ < kBufferBytes && std::ferror(file_) != 0;
+      if (fp == FailpointAction::kShortRead && back_len_ > 0) {
+        // Torn read: deliver only the first half of the chunk, rounded to
+        // a record boundary so the decode loop sees valid records and the
+        // truncation is caught by the emitted_-vs-header accounting, not
+        // by feeding garbage node ids downstream. The delivered length
+        // drops below kBufferBytes, which marks the stream exhausted —
+        // the bytes past the tear are never decoded.
+        const size_t record = weighted_ ? kWeightedRecord : kUnweightedRecord;
+        back_len_ = (back_len_ / 2 / record) * record;
+      }
+      return;
+    }
   });
 }
 
@@ -138,6 +182,18 @@ bool BinaryFileEdgeStream::Refill(size_t record) {
     exhausted_ = true;
     return false;
   }
+  if (back_unavailable_) {
+    // Transient fault the retry budget could not heal. Sticky like every
+    // other stream error, but kUnavailable so callers can tell "retry the
+    // whole pass later" apart from "the file is bad".
+    if (status_.ok()) {
+      status_ = Status::Unavailable(
+          "read failed after " + std::to_string(retry_policy_.max_attempts) +
+          " attempts: " + path_);
+    }
+    exhausted_ = true;
+    return false;
+  }
   if (got + tail < record) {
     if (status_.ok()) {
       status_ = Status::IOError(
@@ -163,7 +219,10 @@ bool BinaryFileEdgeStream::Refill(size_t record) {
 }
 
 bool BinaryFileEdgeStream::Next(Edge* e) {
-  if (emitted_ >= header_.num_edges) return false;
+  // A failed stream stays failed: emitting data again on the next pass
+  // while status() still reports the error would let a multi-pass caller
+  // mix complete and truncated passes over the same file.
+  if (emitted_ >= header_.num_edges || !status_.ok()) return false;
   const size_t record = weighted_ ? kWeightedRecord : kUnweightedRecord;
   if (buf_len_ - buf_pos_ < record && !Refill(record)) return false;
   std::memcpy(&e->u, front_.data() + buf_pos_, sizeof(uint32_t));
@@ -185,6 +244,7 @@ size_t BinaryFileEdgeStream::NextBatch(Edge* buf, size_t cap) {
   // chunk instead of one per record, and the record unpack loop is branch-
   // free apart from the weighted/unweighted split hoisted outside it.
   size_t produced = 0;
+  if (!status_.ok()) return 0;  // sticky, same as Next()
   const size_t record = weighted_ ? kWeightedRecord : kUnweightedRecord;
   while (produced < cap && emitted_ < header_.num_edges) {
     if (buf_len_ - buf_pos_ < record && !Refill(record)) break;

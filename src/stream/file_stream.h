@@ -69,6 +69,14 @@ class BinaryFileEdgeStream : public EdgeStream {
   /// IO volume.
   uint64_t bytes_read() const { return bytes_read_; }
 
+  /// Retry knobs for transient (kUnavailable) faults in the prefetch task.
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+
+  /// Outcomes of the prefetch retry loop. Counters are written by the
+  /// prefetch task, so like back_len_ they are only coherent between
+  /// hand-offs; callers read them after a pass drains or after Reset().
+  IoRetryStats io_retry_stats() const override { return retry_stats_; }
+
  private:
   BinaryFileEdgeStream() = default;
   /// Starts the background fread of the next chunk into back_.
@@ -99,7 +107,13 @@ class BinaryFileEdgeStream : public EdgeStream {
   // than EOF (std::ferror, checked inside the task while it still owns the
   // FILE). Read only after WaitPrefetch, like back_len_.
   bool back_error_ = false;
+  // Whether the prefetch task exhausted its retry budget against a
+  // transient fault; surfaces as a sticky kUnavailable (distinct from the
+  // permanent kIOError of back_error_). Read only after WaitPrefetch.
+  bool back_unavailable_ = false;
   bool exhausted_ = false;
+  RetryPolicy retry_policy_;
+  IoRetryStats retry_stats_;  // written by the prefetch task; see accessor
   std::unique_ptr<ThreadPool> reader_;  // one background read thread
   std::future<void> prefetch_;
 };

@@ -3,12 +3,30 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/failpoint.h"
+
 namespace densest {
 
 size_t UpdateStream::NextBatch(EdgeUpdate* buf, size_t cap) {
   size_t got = 0;
   while (got < cap && Next(&buf[got])) ++got;
   return got;
+}
+
+uint64_t UpdateStream::Skip(uint64_t n) {
+  // Drain-based default: delivers the updates into scratch and discards
+  // them, which keeps generator state (sliding-window FIFO, tick counters)
+  // exactly as if the updates had been consumed.
+  EdgeUpdate scratch[256];
+  uint64_t skipped = 0;
+  while (skipped < n) {
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(n - skipped, std::size(scratch)));
+    const size_t got = NextBatch(scratch, want);
+    if (got == 0) break;
+    skipped += got;
+  }
+  return skipped;
 }
 
 // ---------------------------------------------------------------- memory --
@@ -26,6 +44,12 @@ size_t MemoryUpdateStream::NextBatch(EdgeUpdate* buf, size_t cap) {
   return take;
 }
 
+uint64_t MemoryUpdateStream::Skip(uint64_t n) {
+  const uint64_t take = std::min<uint64_t>(n, updates_->size() - pos_);
+  pos_ += static_cast<size_t>(take);
+  return take;
+}
+
 // ----------------------------------------------------------- binary file --
 
 Status WriteBinaryUpdateFile(const std::string& path, NodeId num_nodes,
@@ -36,12 +60,24 @@ Status WriteBinaryUpdateFile(const std::string& path, NodeId num_nodes,
   header.num_nodes = num_nodes;
   header.num_updates = updates.size();
   bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
+  if (ok && DENSEST_FAILPOINT("update_file.write") != FailpointAction::kNone) {
+    ok = false;  // models fwrite returning short (disk full mid-body)
+  }
   if (ok && !updates.empty()) {
     ok = std::fwrite(updates.data(), sizeof(EdgeUpdate), updates.size(), f) ==
          updates.size();
   }
-  if (std::fclose(f) != 0) ok = false;
-  if (!ok) return Status::IOError("short write: " + path);
+  if (!ok) {
+    std::fclose(f);
+    return Status::IOError("short write: " + path);
+  }
+  // fclose flushes the stdio buffer; with buffered writes this is where a
+  // full disk actually surfaces, so it gets its own failpoint and message.
+  const bool flush_failed =
+      DENSEST_FAILPOINT("update_file.flush") != FailpointAction::kNone;
+  if (std::fclose(f) != 0 || flush_failed) {
+    return Status::IOError("flush failed: " + path);
+  }
   return Status::OK();
 }
 
@@ -89,7 +125,34 @@ size_t BinaryFileUpdateStream::NextBatch(EdgeUpdate* buf, size_t cap) {
     exhausted_ = true;
     return 0;
   }
-  const size_t got = std::fread(buf, sizeof(EdgeUpdate), want, file_);
+  FailpointAction fp;
+  int attempt = 0;
+  for (;;) {
+    fp = DENSEST_FAILPOINT("update_stream.read");
+    if (fp != FailpointAction::kUnavailable) break;
+    if (attempt + 1 >= retry_policy_.max_attempts) {
+      ++retry_stats_.exhausted;
+      exhausted_ = true;
+      status_ = Status::Unavailable(
+          "read failed after " + std::to_string(retry_policy_.max_attempts) +
+          " attempts: " + path_);
+      return 0;
+    }
+    ++retry_stats_.retries;
+    BackoffSleep(retry_policy_, attempt++);
+  }
+  if (attempt > 0) ++retry_stats_.healed;
+  if (fp == FailpointAction::kIOError) {
+    exhausted_ = true;
+    status_ = Status::IOError("read error (injected): " + path_);
+    return 0;
+  }
+  size_t got = std::fread(buf, sizeof(EdgeUpdate), want, file_);
+  if (fp == FailpointAction::kShortRead) {
+    // Torn file: pretend it physically ends mid-batch, so the real
+    // truncation detection below fires.
+    got /= 2;
+  }
   if (got < want) {
     exhausted_ = true;
     if (std::ferror(file_) != 0) {
@@ -107,6 +170,20 @@ size_t BinaryFileUpdateStream::NextBatch(EdgeUpdate* buf, size_t cap) {
 
 bool BinaryFileUpdateStream::Next(EdgeUpdate* u) {
   return NextBatch(u, 1) == 1;
+}
+
+uint64_t BinaryFileUpdateStream::Skip(uint64_t n) {
+  if (exhausted_ || !status_.ok() || n == 0) return 0;
+  const uint64_t take = std::min(n, header_.num_updates - delivered_);
+  const uint64_t target = sizeof(BinaryUpdateFileHeader) +
+                          (delivered_ + take) * sizeof(EdgeUpdate);
+  if (std::fseek(file_, static_cast<long>(target), SEEK_SET) != 0) {
+    status_ = Status::IOError("seek failed: " + path_);
+    exhausted_ = true;
+    return 0;
+  }
+  delivered_ += take;
+  return take;
 }
 
 // --------------------------------------------------------- insert replay --
@@ -130,19 +207,34 @@ size_t InsertReplayUpdateStream::NextBatch(EdgeUpdate* buf, size_t cap) {
 // -------------------------------------------------------- sliding window --
 
 bool SlidingWindowUpdateStream::Next(EdgeUpdate* u) {
-  // An insert that overfills the window owes one eviction, emitted as the
-  // next update (live_ never holds more than window_ + 1 edges).
-  if (live_.size() > window_) {
+  // Inserts run until the window overfills by a full eviction batch, then
+  // the owed evictions are emitted back-to-back (oldest first). With
+  // eviction_batch_ == 1 this is exactly the classic interleaving: one
+  // eviction after each overfilling insert.
+  if (pending_evictions_ == 0) {
+    Edge e;
+    if (edges_->Next(&e)) {
+      live_.emplace_back(e.u, e.v);
+      *u = InsertUpdate(e.u, e.v, ++tick_);
+      if (live_.size() >= window_ + eviction_batch_) {
+        pending_evictions_ = live_.size() - window_;
+      }
+      return true;
+    }
+    // Inner stream ended: drain any overfill so the final live set is the
+    // last min(m, window_) edges, matching the per-update path bit for bit.
+    if (live_.size() > window_) {
+      pending_evictions_ = live_.size() - window_;
+    }
+  }
+  if (pending_evictions_ > 0) {
+    --pending_evictions_;
     const auto [du, dv] = live_.front();
     live_.pop_front();
     *u = DeleteUpdate(du, dv, ++tick_);
     return true;
   }
-  Edge e;
-  if (!edges_->Next(&e)) return false;
-  live_.emplace_back(e.u, e.v);
-  *u = InsertUpdate(e.u, e.v, ++tick_);
-  return true;
+  return false;
 }
 
 uint64_t SlidingWindowUpdateStream::SizeHint() const {

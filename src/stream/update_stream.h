@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "graph/types.h"
 #include "stream/edge_stream.h"
@@ -84,8 +85,20 @@ class UpdateStream {
   /// virtual dispatch (the replay driver's hot path only calls this).
   virtual size_t NextBatch(EdgeUpdate* buf, size_t cap);
 
+  /// Skips the next `n` updates without delivering them — the restore path
+  /// uses this to resume a replay from a snapshot's saved cursor. The base
+  /// implementation drains through NextBatch, which is O(n) but keeps any
+  /// generator state (e.g. the sliding window's FIFO) consistent; seekable
+  /// streams override it with an O(1) seek. Returns how many updates were
+  /// actually skipped (fewer than `n` only at end of stream or on error).
+  virtual uint64_t Skip(uint64_t n);
+
   /// Sticky health of the stream; see EdgeStream::status().
   virtual Status status() const { return Status::OK(); }
+
+  /// Retry-loop outcomes at this stream's IO seam; see
+  /// EdgeStream::io_retry_stats().
+  virtual IoRetryStats io_retry_stats() const { return {}; }
 
   /// Number of nodes in the graph (known in advance, as in the
   /// semi-streaming model; updates never grow the node universe).
@@ -105,6 +118,7 @@ class MemoryUpdateStream : public UpdateStream {
   void Reset() override { pos_ = 0; }
   bool Next(EdgeUpdate* u) override;
   size_t NextBatch(EdgeUpdate* buf, size_t cap) override;
+  uint64_t Skip(uint64_t n) override;
   NodeId num_nodes() const override { return num_nodes_; }
   uint64_t SizeHint() const override { return updates_->size(); }
 
@@ -145,9 +159,15 @@ class BinaryFileUpdateStream : public UpdateStream {
   void Reset() override;
   bool Next(EdgeUpdate* u) override;
   size_t NextBatch(EdgeUpdate* buf, size_t cap) override;
+  /// O(1) resume: seeks straight to record `delivered_ + n`.
+  uint64_t Skip(uint64_t n) override;
   Status status() const override { return status_; }
   NodeId num_nodes() const override { return header_.num_nodes; }
   uint64_t SizeHint() const override { return header_.num_updates; }
+
+  /// Retry knobs for transient (kUnavailable) faults in NextBatch.
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  IoRetryStats io_retry_stats() const override { return retry_stats_; }
 
  private:
   BinaryFileUpdateStream() = default;
@@ -158,6 +178,8 @@ class BinaryFileUpdateStream : public UpdateStream {
   uint64_t delivered_ = 0;
   bool exhausted_ = false;
   Status status_;  // sticky; see status()
+  RetryPolicy retry_policy_;
+  IoRetryStats retry_stats_;
 };
 
 /// \brief Generator: replays an EdgeStream as pure insertions — every edge
@@ -175,6 +197,9 @@ class InsertReplayUpdateStream : public UpdateStream {
   bool Next(EdgeUpdate* u) override;
   size_t NextBatch(EdgeUpdate* buf, size_t cap) override;
   Status status() const override { return edges_->status(); }
+  IoRetryStats io_retry_stats() const override {
+    return edges_->io_retry_stats();
+  }
   NodeId num_nodes() const override { return edges_->num_nodes(); }
   uint64_t SizeHint() const override { return edges_->SizeHint(); }
 
@@ -185,23 +210,37 @@ class InsertReplayUpdateStream : public UpdateStream {
 };
 
 /// \brief Generator: sliding-window deleter. Replays an EdgeStream as
-/// insertions and, once more than `window` edges are live, follows each
-/// insertion with the deletion of the oldest live edge — so the described
-/// graph is always the most recent `window` edges of the replay. When the
-/// inner stream ends the final window is left live (no drain). Keeps O(W)
-/// state (the FIFO of live edges).
+/// insertions and, once the window overfills, evicts the oldest live edges
+/// — so the described graph converges to the most recent `window` edges of
+/// the replay. Keeps O(W + B) state (the FIFO of live edges).
+///
+/// `eviction_batch` (B, default 1) amortizes deletion-heavy windows: the
+/// window may overfill to `window + B` live edges before B evictions are
+/// emitted back-to-back, instead of one eviction interleaved after every
+/// insert. When the inner stream ends, any overfill is drained so the
+/// final live set is exactly the last min(m, window) edges — identical to
+/// the per-update (B = 1) path, which the equivalence test in
+/// update_stream_test.cc pins down. Total update count is unchanged:
+/// m + max(0, m - W) regardless of B.
 class SlidingWindowUpdateStream : public UpdateStream {
  public:
-  SlidingWindowUpdateStream(EdgeStream& edges, uint64_t window)
-      : edges_(&edges), window_(window) {}
+  SlidingWindowUpdateStream(EdgeStream& edges, uint64_t window,
+                            uint64_t eviction_batch = 1)
+      : edges_(&edges),
+        window_(window),
+        eviction_batch_(eviction_batch < 1 ? 1 : eviction_batch) {}
 
   void Reset() override {
     edges_->Reset();
     live_.clear();
+    pending_evictions_ = 0;
     tick_ = 0;
   }
   bool Next(EdgeUpdate* u) override;
   Status status() const override { return edges_->status(); }
+  IoRetryStats io_retry_stats() const override {
+    return edges_->io_retry_stats();
+  }
   NodeId num_nodes() const override { return edges_->num_nodes(); }
   /// Inserts plus the deletions the window forces, when the inner count is
   /// known: m + max(0, m - W).
@@ -210,7 +249,9 @@ class SlidingWindowUpdateStream : public UpdateStream {
  private:
   EdgeStream* edges_;
   uint64_t window_;
+  uint64_t eviction_batch_;
   std::deque<std::pair<NodeId, NodeId>> live_;
+  uint64_t pending_evictions_ = 0;  // evictions owed but not yet emitted
   uint64_t tick_ = 0;
 };
 

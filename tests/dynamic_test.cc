@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -258,6 +259,72 @@ void CheckBand(DynamicDensest& engine) {
   EXPECT_NEAR(a.density,
               static_cast<double>(induced) / static_cast<double>(nodes.size()),
               kTol);
+}
+
+TEST(DynamicDensestTest, HysteresisSuppressesBoundaryTrimThrash) {
+  // Grow a clique edge by edge: the certifying slot climbs far above the
+  // window's low end, so the trim condition starts holding. With
+  // trim_hysteresis=1 (the legacy immediate-trim behavior) each excursion
+  // moves the window right away; with a large hysteresis the drift is
+  // deferred, counted, and — when density falls back — fully avoided.
+  const NodeId kClique = 40;
+  auto grow = [](DynamicDensest& engine) {
+    uint64_t ts = 0;
+    for (NodeId u = 0; u < kClique; ++u) {
+      for (NodeId v = u + 1; v < kClique; ++v) {
+        engine.Apply(InsertUpdate(u, v, ++ts));
+      }
+    }
+    return ts;
+  };
+
+  DynamicDensestOptions immediate;
+  immediate.epsilon = 0.3;
+  immediate.trim_hysteresis = 1;
+  auto eager = DynamicDensest::Create(kClique, immediate);
+  ASSERT_TRUE(eager.ok());
+  grow(**eager);
+
+  DynamicDensestOptions lazy = immediate;
+  lazy.trim_hysteresis = 1u << 30;  // defer forever
+  auto deferred = DynamicDensest::Create(kClique, lazy);
+  ASSERT_TRUE(deferred.ok());
+  uint64_t ts = grow(**deferred);
+
+  // The workload hits the trim condition (else this test is vacuous), the
+  // eager engine acted on it, the deferred one only counted it.
+  EXPECT_GT((*deferred)->stats().trims_deferred, 0u);
+  EXPECT_EQ((*deferred)->stats().recomputes_avoided, 0u);
+  EXPECT_GT((*eager)->stats().window_moves,
+            (*deferred)->stats().window_moves);
+  EXPECT_GE((*eager)->window_lo(), (*deferred)->window_lo());
+  // Both serve correct certified answers — hysteresis trades maintenance
+  // cost only, never the band.
+  CheckBand(**eager);
+  CheckBand(**deferred);
+
+  // A transient excursion: grow a fresh engine only until the drift streak
+  // has clearly formed (full growth would end on a re-centering that
+  // resets it), then let density fall back. The streak dies without ever
+  // trimming — that is the avoided recompute.
+  auto probe = DynamicDensest::Create(kClique, lazy);
+  ASSERT_TRUE(probe.ok());
+  std::vector<std::pair<NodeId, NodeId>> inserted;
+  ts = 0;
+  for (NodeId u = 0; u < kClique && (*probe)->trim_streak() < 8; ++u) {
+    for (NodeId v = u + 1; v < kClique && (*probe)->trim_streak() < 8; ++v) {
+      (*probe)->Apply(InsertUpdate(u, v, ++ts));
+      inserted.emplace_back(u, v);
+    }
+  }
+  ASSERT_GE((*probe)->trim_streak(), 8u) << "workload never armed the streak";
+  for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+    (*probe)->Apply(DeleteUpdate(it->first, it->second, ++ts));
+    if ((*probe)->stats().recomputes_avoided > 0) break;
+  }
+  EXPECT_GT((*probe)->stats().recomputes_avoided, 0u);
+  EXPECT_EQ((*probe)->trim_streak(), 0u);
+  CheckBand(**probe);
 }
 
 TEST(DynamicDensestTest, BandHoldsUnderInsertDeleteChurn) {

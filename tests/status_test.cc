@@ -28,6 +28,17 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
   EXPECT_FALSE(Status::Internal("x").ok());
   EXPECT_EQ(Status::Internal("boom").message(), "boom");
+  EXPECT_EQ(Status::Unavailable("x").code(), Status::Code::kUnavailable);
+  EXPECT_EQ(Status::Unavailable("x").ToString(), "Unavailable: x");
+}
+
+TEST(StatusTest, OnlyUnavailableIsRetryable) {
+  // The retry loops key off this split: kUnavailable is the transient
+  // class worth retrying; kIOError (dead disk, torn file) is permanent.
+  EXPECT_TRUE(Status::Unavailable("flaky nfs").IsRetryable());
+  EXPECT_FALSE(Status::IOError("dead disk").IsRetryable());
+  EXPECT_FALSE(Status::Internal("bug").IsRetryable());
+  EXPECT_FALSE(Status().IsRetryable());
 }
 
 TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
