@@ -17,6 +17,7 @@
 #include "graph/graph_builder.h"
 #include "graph/stats.h"
 #include "io/edge_list_io.h"
+#include "dynamic/chaos.h"
 #include "dynamic/dynamic_densest.h"
 #include "dynamic/replay.h"
 #include "dynamic/snapshot.h"
@@ -323,6 +324,9 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
   StatusOr<int64_t> trim_hysteresis = args.GetInt("trim-hysteresis", 64);
   StatusOr<int64_t> retry_attempts = args.GetInt("retry-attempts", 4);
   StatusOr<double> retry_base_ms = args.GetDouble("retry-base-ms", 0.1);
+  StatusOr<double> deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  StatusOr<int64_t> rearm_updates = args.GetInt("rearm-updates", 4096);
+  StatusOr<bool> check_invariants = args.GetBool("check-invariants", false);
   for (const Status& s :
        {eps.ok() ? Status::OK() : eps.status(),
         window.ok() ? Status::OK() : window.status(),
@@ -336,8 +340,19 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
         evict_batch.ok() ? Status::OK() : evict_batch.status(),
         trim_hysteresis.ok() ? Status::OK() : trim_hysteresis.status(),
         retry_attempts.ok() ? Status::OK() : retry_attempts.status(),
-        retry_base_ms.ok() ? Status::OK() : retry_base_ms.status()}) {
+        retry_base_ms.ok() ? Status::OK() : retry_base_ms.status(),
+        deadline_ms.ok() ? Status::OK() : deadline_ms.status(),
+        rearm_updates.ok() ? Status::OK() : rearm_updates.status(),
+        check_invariants.ok() ? Status::OK() : check_invariants.status()}) {
     if (!s.ok()) return s;
+  }
+  if (*deadline_ms < 0 || *rearm_updates < 1) {
+    return Status::InvalidArgument(
+        "--deadline-ms must be >= 0 and --rearm-updates >= 1");
+  }
+  if (*check_invariants && *checkpoint_every == 0) {
+    return Status::InvalidArgument(
+        "--check-invariants needs --checkpoint-every=N");
   }
   if (*window < 0 || *radius < 0 || *threads < 0 || *query_every < 0 ||
       *checkpoint_every < 0 || *snapshot_every < 0) {
@@ -385,6 +400,8 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
   opt.window_radius = static_cast<uint32_t>(*radius);
   opt.trim_hysteresis = static_cast<uint32_t>(*trim_hysteresis);
   opt.engine_options.num_threads = static_cast<size_t>(*threads);
+  opt.recompute_deadline_ms = *deadline_ms;
+  opt.recompute_rearm_updates = static_cast<uint32_t>(*rearm_updates);
   if (fallback == "recompute") {
     opt.fallback = DynamicFallback::kRecompute;
   } else if (fallback == "rebuild") {
@@ -400,6 +417,7 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
   replay_opt.checkpoint_every = static_cast<uint64_t>(*checkpoint_every);
   replay_opt.snapshot_every = static_cast<uint64_t>(*snapshot_every);
   replay_opt.snapshot_path = snapshot_path;
+  replay_opt.check_invariants = *check_invariants;
   if (checkpoints == "exact") {
     replay_opt.checkpoint_mode = CheckpointMode::kExactFlow;
   } else if (checkpoints == "batch") {
@@ -469,6 +487,13 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
       << " recomputes, " << report->engine_stats.window_moves
       << " window moves, " << report->engine_stats.recomputes_avoided
       << " trims suppressed\n";
+  if (report->engine_stats.recomputes_cancelled > 0 ||
+      report->engine_stats.stale_answers_served > 0) {
+    out << "overload: " << report->engine_stats.recomputes_cancelled
+        << " recomputes cancelled by the " << *deadline_ms
+        << "ms deadline, " << report->engine_stats.stale_answers_served
+        << " queries served the widened stale band\n";
+  }
   if (report->snapshots_written > 0 || report->snapshots_failed > 0) {
     out << "snapshots: " << report->snapshots_written << " written in "
         << report->snapshot_seconds << "s";
@@ -491,6 +516,76 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
   if (!report->band_ok) {
     return Status::Internal("maintained density left the certified band");
   }
+  return Status::OK();
+}
+
+Status CmdChaos(const Args& args, std::ostream& out) {
+  StatusOr<bool> smoke = args.GetBool("smoke", false);
+  StatusOr<bool> verbose = args.GetBool("verbose", false);
+  StatusOr<int64_t> schedules = args.GetInt("schedules", 20);
+  StatusOr<int64_t> seed = args.GetInt("seed", 1);
+  StatusOr<int64_t> nodes = args.GetInt("nodes", 70);
+  StatusOr<int64_t> edges = args.GetInt("edges", 1200);
+  StatusOr<int64_t> window = args.GetInt("window", 150);
+  StatusOr<double> eps = args.GetDouble("eps", 0.6);
+  StatusOr<int64_t> checkpoint_every = args.GetInt("checkpoint-every", 300);
+  StatusOr<int64_t> snapshot_every = args.GetInt("snapshot-every", 100);
+  StatusOr<int64_t> max_faults = args.GetInt("max-faults", 6);
+  StatusOr<int64_t> batch_size = args.GetInt("batch-size", 64);
+  std::string scratch = args.GetString("scratch", "");
+  for (const Status& s :
+       {smoke.ok() ? Status::OK() : smoke.status(),
+        verbose.ok() ? Status::OK() : verbose.status(),
+        schedules.ok() ? Status::OK() : schedules.status(),
+        seed.ok() ? Status::OK() : seed.status(),
+        nodes.ok() ? Status::OK() : nodes.status(),
+        edges.ok() ? Status::OK() : edges.status(),
+        window.ok() ? Status::OK() : window.status(),
+        eps.ok() ? Status::OK() : eps.status(),
+        checkpoint_every.ok() ? Status::OK() : checkpoint_every.status(),
+        snapshot_every.ok() ? Status::OK() : snapshot_every.status(),
+        max_faults.ok() ? Status::OK() : max_faults.status(),
+        batch_size.ok() ? Status::OK() : batch_size.status()}) {
+    if (!s.ok()) return s;
+  }
+  if (*schedules < 1 || *nodes < 2 || *edges < 1 || *window < 1 ||
+      *checkpoint_every < 1 || *snapshot_every < 1 || *max_faults < 0 ||
+      *batch_size < 1) {
+    return Status::InvalidArgument("chaos: flag value out of range");
+  }
+
+  ChaosOptions opt;
+  opt.schedules = static_cast<uint32_t>(*schedules);
+  opt.seed = static_cast<uint64_t>(*seed);
+  opt.nodes = static_cast<NodeId>(*nodes);
+  opt.edges = static_cast<EdgeId>(*edges);
+  opt.window = static_cast<uint64_t>(*window);
+  opt.epsilon = *eps;
+  opt.checkpoint_every = static_cast<uint64_t>(*checkpoint_every);
+  opt.snapshot_every = static_cast<uint64_t>(*snapshot_every);
+  opt.max_faults = static_cast<uint32_t>(*max_faults);
+  opt.batch_size = static_cast<size_t>(*batch_size);
+  opt.scratch_dir = scratch;
+  if (*verbose) opt.log = &out;
+  if (*smoke) {
+    // The CI gate: a fixed seed so every run checks the identical fault
+    // schedules, and never fewer than the contract's 20.
+    opt.seed = 20120817;
+    if (opt.schedules < 20) opt.schedules = 20;
+  }
+
+  if (!Failpoints::compiled_in()) {
+    out << "failpoints compiled out (-DDENSEST_FAILPOINTS=OFF): "
+           "running a fault-free soak (snapshots, band checks, audits)\n";
+  }
+  StatusOr<ChaosReport> report = RunChaos(opt);
+  if (!report.ok()) return report.status();
+  out << "chaos: " << report->schedules << " schedules survived: "
+      << report->total_faults << " faults injected, " << report->total_kills
+      << " kills recovered (" << report->total_full_rebuilds
+      << " full rebuilds), " << report->total_band_checks << " band checks, "
+      << report->total_invariant_audits << " invariant audits; every final "
+      << "state bit-identical to its fault-free reference\n";
   return Status::OK();
 }
 
@@ -629,13 +724,29 @@ std::string CliUsage() {
       "      [--snapshot=F --snapshot-every=N] [--resume]\n"
       "      [--evict-batch=1] [--trim-hysteresis=64]\n"
       "      [--retry-attempts=4 --retry-base-ms=0.1]\n"
+      "      [--deadline-ms=0 --rearm-updates=4096] [--check-invariants]\n"
       "      incremental maintenance service: replays the graph as a\n"
       "      timestamped insert stream (--window adds a sliding-window\n"
       "      deleter, --evict-batch amortizes its deletions) and reports\n"
       "      throughput, query latency percentiles and the certified\n"
       "      approximation band. --snapshot-every writes crash-recovery\n"
       "      checkpoints; --resume restores from one (a torn or corrupt\n"
-      "      snapshot degrades to a full replay, never a wrong density)\n"
+      "      snapshot degrades to a full replay, never a wrong density).\n"
+      "      --deadline-ms bounds each background recompute: a recompute\n"
+      "      that overruns is cancelled and queries serve the last\n"
+      "      certified answer with a widened stale bound until a retried\n"
+      "      recompute (doubled budget, after --rearm-updates more\n"
+      "      updates) completes. --check-invariants audits the level\n"
+      "      structures at every checkpoint\n"
+      "  chaos [--smoke] [--schedules=20] [--seed=1] [--verbose]\n"
+      "      [--nodes=70 --edges=1200 --window=150 --eps=0.6]\n"
+      "      [--checkpoint-every=300 --snapshot-every=100]\n"
+      "      [--max-faults=6] [--batch-size=64] [--scratch=DIR]\n"
+      "      randomized chaos/soak harness: replays seeded workloads under\n"
+      "      random fault injection (crashes, dead disks, torn files,\n"
+      "      failed snapshots) with kill/snapshot-resume cycles, and fails\n"
+      "      unless every surviving engine is bit-identical to a\n"
+      "      fault-free reference run. --smoke is the fixed-seed CI gate\n"
       "  exact <graph>\n"
       "      exact rho* via Goldberg's max-flow reduction\n"
       "  enumerate <graph> [--eps=0.5] [--count=10] [--min-density=1]\n"
@@ -675,6 +786,8 @@ Status RunCliCommand(const std::string& command, const Args& args,
     status = CmdMapReduce(args, out);
   } else if (command == "dynamic") {
     status = CmdDynamic(args, out);
+  } else if (command == "chaos") {
+    status = CmdChaos(args, out);
   } else if (command == "exact") {
     status = CmdExact(args, out);
   } else if (command == "enumerate") {

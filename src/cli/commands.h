@@ -15,8 +15,8 @@
 namespace densest {
 
 /// Dispatches `command` with `args`; returns the command's status.
-/// Known commands: stats, undirected, directed, mapreduce, dynamic, exact,
-/// enumerate, generate.
+/// Known commands: stats, undirected, directed, mapreduce, dynamic, chaos,
+/// exact, enumerate, generate.
 Status RunCliCommand(const std::string& command, const Args& args,
                      std::ostream& out);
 
@@ -54,6 +54,16 @@ Status CmdMapReduce(const Args& args, std::ostream& out);
 ///        --checkpoints (exact|batch), --radius (2),
 ///        --fallback (recompute|rebuild|never), --threads (0).
 Status CmdDynamic(const Args& args, std::ostream& out);
+
+/// `chaos`: randomized chaos/soak harness over the failpoint registry
+/// (dynamic/chaos.h). Self-contained — generates its own workloads; fails
+/// with the replaying seed when any schedule diverges from the fault-free
+/// reference.
+/// Flags: --smoke (fixed-seed CI gate), --schedules (20), --seed (1),
+///        --nodes (70), --edges (1200), --window (150), --eps (0.6),
+///        --checkpoint-every (300), --snapshot-every (100),
+///        --max-faults (6), --batch-size (64), --scratch (tmp), --verbose.
+Status CmdChaos(const Args& args, std::ostream& out);
 
 /// `exact <graph>`: Goldberg exact solver (undirected only).
 Status CmdExact(const Args& args, std::ostream& out);

@@ -1,0 +1,11 @@
+#include "common/cancel.h"
+
+namespace densest {
+
+Status CancelToken::Check() const {
+  if (cancelled()) return Status::Cancelled("cancelled by caller");
+  if (deadline_expired()) return Status::DeadlineExceeded("deadline exceeded");
+  return Status::OK();
+}
+
+}  // namespace densest

@@ -1,0 +1,91 @@
+// Copyright 2026 The densest Authors.
+// Cooperative cancellation and deadlines. A CancelToken is a shared flag
+// (plus an optional wall-clock deadline) that long computations poll at
+// bounded-work granularity — once per shard round, pass round, map round,
+// flow phase, or replay batch. Engines take `const CancelToken*` with a
+// nullptr default: a null token costs nothing (one pointer test per round),
+// and a non-null token is observed within one bounded unit of work.
+//
+// Cancellation is cooperative, never preemptive: an engine that observes
+// the token finishes its current bounded unit, leaves its output in a
+// consistent (if partial) state, and returns kCancelled/kDeadlineExceeded.
+// Both codes are non-retryable — see Status::IsRetryable().
+
+#ifndef DENSEST_COMMON_CANCEL_H_
+#define DENSEST_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace densest {
+
+/// \brief Shared cancellation flag with an optional deadline.
+///
+/// Thread-safe: any thread may call Cancel(); any number of threads may
+/// poll Check()/should_stop() concurrently. The deadline is fixed at
+/// construction; checking it calls steady_clock::now() only when a
+/// deadline exists, so flag-only tokens stay a single relaxed atomic load.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A token with no deadline; stops only via Cancel().
+  CancelToken() = default;
+
+  /// A token that additionally expires `budget` from now.
+  static CancelToken WithDeadlineAfter(Clock::duration budget) {
+    return CancelToken(Clock::now() + budget);
+  }
+  /// Millisecond convenience for option structs that carry a double.
+  static CancelToken WithDeadlineAfterMs(double ms) {
+    return WithDeadlineAfter(std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(ms)));
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once Cancel() was called (does not consult the deadline).
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// True when the token has a deadline and it has passed.
+  bool deadline_expired() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// The cheap poll: cancelled, or past the deadline.
+  bool should_stop() const { return cancelled() || deadline_expired(); }
+
+  /// OK while running; kCancelled / kDeadlineExceeded once stopped.
+  /// Cancel() wins over deadline expiry when both hold, so an explicit
+  /// cancel is always reported as such.
+  Status Check() const;
+
+ private:
+  explicit CancelToken(Clock::time_point deadline)
+      : has_deadline_(true), deadline_(deadline) {}
+
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+/// Null-safe poll: false for a null token. This is the form the hot loops
+/// use; with `cancel == nullptr` it folds to one predictable branch.
+inline bool ShouldStop(const CancelToken* cancel) {
+  return cancel != nullptr && cancel->should_stop();
+}
+
+/// Null-safe status check: OK for a null token.
+inline Status CheckCancel(const CancelToken* cancel) {
+  return cancel != nullptr ? cancel->Check() : Status::OK();
+}
+
+}  // namespace densest
+
+#endif  // DENSEST_COMMON_CANCEL_H_

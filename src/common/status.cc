@@ -22,6 +22,10 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kUnavailable:
       return "Unavailable";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -30,6 +30,8 @@ class Status {
     kFailedPrecondition = 5,
     kInternal = 6,
     kUnavailable = 7,
+    kCancelled = 8,
+    kDeadlineExceeded = 9,
   };
 
   /// Constructs an OK status.
@@ -59,6 +61,12 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(Code::kUnavailable, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
   /// @}
 
   /// Returns true iff the status is OK.
@@ -67,7 +75,15 @@ class Status {
   Code code() const { return code_; }
   /// True for transient faults a bounded retry may heal (kUnavailable),
   /// false for permanent errors like kIOError that must abort loudly.
+  /// Cancellation and deadline expiry are deliberately NOT retryable:
+  /// retrying work the caller just asked to stop would defeat the point.
   bool IsRetryable() const { return code_ == Code::kUnavailable; }
+  /// True when the operation was stopped cooperatively (kCancelled or
+  /// kDeadlineExceeded) rather than failing on its own. Callers use this to
+  /// distinguish "the work was shed" from "the work is broken".
+  bool IsCancellation() const {
+    return code_ == Code::kCancelled || code_ == Code::kDeadlineExceeded;
+  }
   /// Returns the error message ("" for OK statuses).
   const std::string& message() const { return message_; }
   /// Renders e.g. "InvalidArgument: epsilon must be >= 0".

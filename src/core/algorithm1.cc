@@ -28,19 +28,22 @@ StatusOr<UndirectedDensestResult> RunAlgorithm1(
         // Pure in-memory pass (§6.3); dead edges are filtered out as we go
         // so the buffer keeps shrinking with the graph.
         stats = engine.RunUndirectedBuffer(run.buffer(), run.alive(), degrees,
-                                           /*compact=*/true);
+                                           /*compact=*/true, options.cancel);
         break;
       case Algorithm1Run::PassMode::kCollectPass:
         stats = engine.RunUndirectedCollect(stream, run.alive(), degrees,
-                                            &run.buffer());
+                                            &run.buffer(), options.cancel);
         break;
       case Algorithm1Run::PassMode::kStream:
-        stats = engine.RunUndirected(stream, run.alive(), degrees);
+        stats = engine.RunUndirected(stream, run.alive(), degrees,
+                                     options.cancel);
         break;
     }
-    // A failing stream ends its pass early and silently: the stats above
-    // would describe a truncated edge set. Abort instead of peeling on them.
+    // A failing stream — or a cancelled pass — ends early and silently:
+    // the stats above would describe a truncated edge set. Abort instead
+    // of peeling on them.
     if (Status io = stream.status(); !io.ok()) return io;
+    if (Status c = CheckCancel(options.cancel); !c.ok()) return c;
     run.ApplyPass(stats, degrees);
   }
   return run.TakeResult();

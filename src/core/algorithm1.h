@@ -5,6 +5,7 @@
 #ifndef DENSEST_CORE_ALGORITHM1_H_
 #define DENSEST_CORE_ALGORITHM1_H_
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/density.h"
 #include "graph/undirected_graph.h"
@@ -40,6 +41,10 @@ struct Algorithm1Options {
   /// several threads must each supply a private engine (the shared one
   /// holds mutable scratch and is not thread-safe).
   PassEngine* engine = nullptr;
+  /// Optional cooperative cancellation: polled once per shard round, so a
+  /// cancel/deadline is observed within one bounded unit of work and the
+  /// run returns kCancelled/kDeadlineExceeded. nullptr = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Runs Algorithm 1 over an edge stream (one Reset+scan per pass). The

@@ -26,8 +26,9 @@ StatusOr<UndirectedDensestResult> RunAlgorithm2(
 
   while (!run.done()) {
     UndirectedPassResult stats =
-        engine.RunUndirected(stream, run.alive(), degrees);
+        engine.RunUndirected(stream, run.alive(), degrees, options.cancel);
     if (Status io = stream.status(); !io.ok()) return io;
+    if (Status c = CheckCancel(options.cancel); !c.ok()) return c;
     run.ApplyPass(stats, degrees);
   }
   return run.TakeResult();

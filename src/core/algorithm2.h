@@ -6,6 +6,7 @@
 #ifndef DENSEST_CORE_ALGORITHM2_H_
 #define DENSEST_CORE_ALGORITHM2_H_
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/density.h"
 #include "graph/undirected_graph.h"
@@ -31,6 +32,8 @@ struct Algorithm2Options {
   /// Pass engine to run on; nullptr = shared DefaultPassEngine() (not
   /// thread-safe — supply a private engine for concurrent runs).
   PassEngine* engine = nullptr;
+  /// Optional cooperative cancellation (see Algorithm1Options::cancel).
+  const CancelToken* cancel = nullptr;
 };
 
 /// Runs Algorithm 2 over an edge stream. Returns the densest intermediate

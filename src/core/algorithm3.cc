@@ -29,9 +29,10 @@ StatusOr<DirectedDensestResult> RunAlgorithm3(
   std::vector<double> in_from_s(n, 0.0);
 
   while (!run.done()) {
-    DirectedPassResult stats =
-        engine.RunDirected(stream, run.s(), run.t(), out_to_t, in_from_s);
+    DirectedPassResult stats = engine.RunDirected(
+        stream, run.s(), run.t(), out_to_t, in_from_s, options.cancel);
     if (Status io = stream.status(); !io.ok()) return io;
+    if (Status c = CheckCancel(options.cancel); !c.ok()) return c;
     run.ApplyPass(stats, out_to_t, in_from_s);
   }
   return run.TakeResult();
@@ -61,6 +62,7 @@ std::vector<Algorithm3Options> CSearchGrid(NodeId n,
     run.max_passes = options.max_passes;
     run.record_trace = options.record_trace;
     run.engine = options.engine;
+    run.cancel = options.cancel;
     grid.push_back(run);
   }
   return grid;

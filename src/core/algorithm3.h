@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/density.h"
 #include "graph/directed_graph.h"
@@ -46,6 +47,8 @@ struct Algorithm3Options {
   /// Pass engine to run on; nullptr = shared DefaultPassEngine() (not
   /// thread-safe — supply a private engine for concurrent runs).
   PassEngine* engine = nullptr;
+  /// Optional cooperative cancellation (see Algorithm1Options::cancel).
+  const CancelToken* cancel = nullptr;
 };
 
 /// Runs Algorithm 3 for one ratio c over an arc stream.
@@ -84,6 +87,8 @@ struct CSearchOptions {
   /// call. Supply one to reuse its scratch across sweeps or to pick the
   /// fan-out thread count.
   MultiRunEngine* multi_engine = nullptr;
+  /// Optional cooperative cancellation for the whole sweep (fused or not).
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Result of the c-search: the best run plus the whole sweep

@@ -138,7 +138,7 @@ class FusedDirectedRun final : public MultiRunEngine::FusedRun {
 class FusedAlg1Run final : public MultiRunEngine::FusedRun {
  public:
   FusedAlg1Run(NodeId n, const Algorithm1Options& options, bool direct)
-      : logic_(n, options) {
+      : logic_(n, options), cancel_(options.cancel) {
     deg_.Init(n, direct);
   }
 
@@ -194,8 +194,13 @@ class FusedAlg1Run final : public MultiRunEngine::FusedRun {
   }
   void FinishOffStream(PassEngine& engine) override {
     while (!logic_.done()) {
+      // A cancelled run stops peeling mid-buffer; Drive's own poll then
+      // aborts the sweep before any partial result escapes.
+      if (ShouldStop(cancel_)) break;
       UndirectedPassResult stats = engine.RunUndirectedBuffer(
-          logic_.buffer(), logic_.alive(), deg_.values, /*compact=*/true);
+          logic_.buffer(), logic_.alive(), deg_.values, /*compact=*/true,
+          cancel_);
+      if (ShouldStop(cancel_)) break;
       logic_.ApplyPass(stats, deg_.values);
     }
   }
@@ -203,6 +208,7 @@ class FusedAlg1Run final : public MultiRunEngine::FusedRun {
 
  private:
   Algorithm1Run logic_;
+  const CancelToken* cancel_;
   AccumPlane deg_;
   SlotTotals totals_;
 };
@@ -261,6 +267,17 @@ std::vector<MultiRunEngine::FusedRun*> AsFusedRuns(std::vector<RunT>& states) {
   return runs;
 }
 
+/// The token governing a fused sweep: the first non-null per-run token.
+/// The physical scan is shared, so one run cannot be cancelled without
+/// stopping the whole sweep; sweep builders set one token on every run.
+template <typename OptionsT>
+const CancelToken* SweepCancel(const std::vector<OptionsT>& runs) {
+  for (const OptionsT& options : runs) {
+    if (options.cancel != nullptr) return options.cancel;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 MultiRunEngine::MultiRunEngine(const MultiRunOptions& options) {
@@ -286,7 +303,8 @@ void MultiRunEngine::Dispatch(size_t count,
 }
 
 Status MultiRunEngine::Drive(EdgeStream& stream,
-                             std::span<FusedRun* const> runs) {
+                             std::span<FusedRun* const> runs,
+                             const CancelToken* cancel) {
   last_physical_passes_ = last_logical_passes_ = last_edges_scanned_ = 0;
   batch_.resize(kShardSlots * kShardEdges);
   PassCursor cursor(stream);
@@ -317,6 +335,7 @@ Status MultiRunEngine::Drive(EdgeStream& stream,
     for (FusedRun* run : active) run->BeginPass();
     cursor.BeginPass();
     for (;;) {
+      if (ShouldStop(cancel)) break;
       // PassEngine's own shard-boundary schedule, pulled through the
       // cursor so physical-scan accounting stays in one place.
       const size_t count = PassEngine::FillShardRound(
@@ -370,6 +389,16 @@ Status MultiRunEngine::Drive(EdgeStream& stream,
       last_edges_scanned_ = cursor.edges_scanned();
       return io;
     }
+    // A cancelled pass is abandoned exactly like a failing stream: the
+    // accumulated statistics describe a truncated edge set, so abort
+    // before peeling on them. The pool is already drained (Dispatch
+    // returns only after every shard task finished), so no thread is left
+    // running against freed state.
+    if (Status c = CheckCancel(cancel); !c.ok()) {
+      last_physical_passes_ = cursor.passes();
+      last_edges_scanned_ = cursor.edges_scanned();
+      return c;
+    }
     // Reduce + peel, also run-major: only run-private state mutates.
     Dispatch(active.size(), [&](size_t i) { active[i]->FinishPass(); });
     refresh_active();
@@ -400,7 +429,7 @@ StatusOr<std::vector<DirectedDensestResult>> MultiRunEngine::RunDirectedRuns(
     states.emplace_back(n, options, direct);
   }
   std::vector<FusedRun*> fused = AsFusedRuns(states);
-  if (Status s = Drive(stream, fused); !s.ok()) return s;
+  if (Status s = Drive(stream, fused, SweepCancel(runs)); !s.ok()) return s;
 
   std::vector<DirectedDensestResult> results;
   results.reserve(states.size());
@@ -432,7 +461,7 @@ StatusOr<std::vector<UndirectedDensestResult>> MultiRunEngine::RunUndirectedRuns
     states.emplace_back(n, options, direct);
   }
   std::vector<FusedRun*> fused = AsFusedRuns(states);
-  if (Status s = Drive(stream, fused); !s.ok()) return s;
+  if (Status s = Drive(stream, fused, SweepCancel(runs)); !s.ok()) return s;
 
   std::vector<UndirectedDensestResult> results;
   results.reserve(states.size());
@@ -467,7 +496,7 @@ StatusOr<std::vector<UndirectedDensestResult>> MultiRunEngine::RunUndirectedRuns
     states.emplace_back(n, options, direct);
   }
   std::vector<FusedRun*> fused = AsFusedRuns(states);
-  if (Status s = Drive(stream, fused); !s.ok()) return s;
+  if (Status s = Drive(stream, fused, SweepCancel(runs)); !s.ok()) return s;
 
   std::vector<UndirectedDensestResult> results;
   results.reserve(states.size());

@@ -166,14 +166,21 @@ class MultiRunEngine {
   /// Fails (abandoning the partial results) when the stream reports an IO
   /// error — a failing stream ends passes early and silently, and peeling
   /// on truncated statistics would yield plausible-looking wrong answers.
-  Status Drive(EdgeStream& stream, std::span<FusedRun* const> runs);
+  /// A non-null `cancel` is polled once per chunk round of the shared scan;
+  /// on cancellation Drive abandons the sweep the same way and returns
+  /// kCancelled / kDeadlineExceeded.
+  Status Drive(EdgeStream& stream, std::span<FusedRun* const> runs,
+               const CancelToken* cancel = nullptr);
 
   /// Fused Algorithm 3: one directed peeling run per entry of `runs`, all
   /// fed from shared scans of `stream`. Results are positionally matched
   /// to `runs` and identical to sequential RunAlgorithm3 calls (see the
   /// determinism note above — including its weighted-CSR caveat; RunCSearch
   /// wraps this with a fallback that makes its guarantee unconditional).
-  /// Per-run `engine` fields are ignored.
+  /// Per-run `engine` fields are ignored. The shared scan polls the first
+  /// non-null per-run `cancel` token (the sweep entry points assume one
+  /// token governs the whole sweep — the scan is physically shared, so one
+  /// run cannot be cancelled without stopping the others).
   StatusOr<std::vector<DirectedDensestResult>> RunDirectedRuns(
       EdgeStream& stream, const std::vector<Algorithm3Options>& runs);
 

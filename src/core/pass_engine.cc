@@ -101,23 +101,24 @@ void PassEngine::ReduceAndClear(size_t plane, std::vector<double>& degrees) {
 
 UndirectedPassResult PassEngine::RunUndirected(EdgeStream& stream,
                                                const NodeSet& alive,
-                                               std::vector<double>& degrees) {
-  return RunUndirectedImpl(stream, alive, degrees, nullptr);
+                                               std::vector<double>& degrees,
+                                               const CancelToken* cancel) {
+  return RunUndirectedImpl(stream, alive, degrees, nullptr, cancel);
 }
 
 UndirectedPassResult PassEngine::RunUndirectedCollect(
     EdgeStream& stream, const NodeSet& alive, std::vector<double>& degrees,
-    std::vector<Edge>* survivors) {
-  return RunUndirectedImpl(stream, alive, degrees, survivors);
+    std::vector<Edge>* survivors, const CancelToken* cancel) {
+  return RunUndirectedImpl(stream, alive, degrees, survivors, cancel);
 }
 
 UndirectedPassResult PassEngine::RunUndirectedImpl(
     EdgeStream& stream, const NodeSet& alive, std::vector<double>& degrees,
-    std::vector<Edge>* survivors) {
+    std::vector<Edge>* survivors, const CancelToken* cancel) {
   if (survivors == nullptr) {
     if (const UndirectedGraph* g = stream.UndirectedCsrView()) {
       stream.Reset();  // keeps pass accounting uniform with the batch path
-      return RunUndirectedCsr(*g, alive, degrees);
+      return RunUndirectedCsr(*g, alive, degrees, cancel);
     }
   }
   EnsureBatchBuffer();
@@ -130,6 +131,7 @@ UndirectedPassResult PassEngine::RunUndirectedImpl(
     UndirectedPassResult out;
     double weight = 0.0;
     for (;;) {
+      if (ShouldStop(cancel)) break;
       std::span<const Edge> view =
           stream.NextView(batch_.data(), batch_.size());
       if (view.empty()) break;
@@ -161,6 +163,7 @@ UndirectedPassResult PassEngine::RunUndirectedImpl(
   EnsureAccumulators(degrees.size(), /*planes=*/1);
   std::array<std::span<const Edge>, kShardSlots> shards;
   for (;;) {
+    if (ShouldStop(cancel)) break;
     const size_t count = FillShards(stream, shards);
     if (count == 0) break;
     DispatchRound(count, [&](size_t s) {
@@ -203,9 +206,13 @@ UndirectedPassResult PassEngine::RunUndirectedImpl(
 
 UndirectedPassResult PassEngine::RunUndirectedCsr(
     const UndirectedGraph& g, const NodeSet& alive,
-    std::vector<double>& degrees) {
+    std::vector<double>& degrees, const CancelToken* cancel) {
   const NodeId n = g.num_nodes();
   const bool weighted = g.is_weighted();
+  // The sequential kernels below have no round structure, so they poll the
+  // token every ~kShardEdges adjacency entries — the same bounded unit of
+  // work as one shard. poll_countdown counts entries down to the next poll.
+  size_t poll_countdown = kShardEdges;
   // Every undirected edge {u, v} occupies the adjacency slot (u, v) AND
   // (v, u) — a self-loop only (u, u). Walking ALL slots therefore adds each
   // edge's weight to both endpoint degrees with purely sequential reads;
@@ -222,6 +229,12 @@ UndirectedPassResult PassEngine::RunUndirectedCsr(
       for (NodeId u = 0; u < n; ++u) {
         if (!alive.Contains(u)) continue;  // whole dead rows cost nothing
         auto nbrs = g.Neighbors(u);
+        if (nbrs.size() >= poll_countdown) {
+          if (ShouldStop(cancel)) break;
+          poll_countdown = kShardEdges;
+        } else {
+          poll_countdown -= nbrs.size();
+        }
         double row0 = 0.0, row1 = 0.0;
         size_t i = 0;
         for (; i + 2 <= nbrs.size(); i += 2) {
@@ -246,6 +259,12 @@ UndirectedPassResult PassEngine::RunUndirectedCsr(
       for (NodeId u = 0; u < n; ++u) {
         if (!alive.Contains(u)) continue;
         auto nbrs = g.Neighbors(u);
+        if (nbrs.size() >= poll_countdown) {
+          if (ShouldStop(cancel)) break;
+          poll_countdown = kShardEdges;
+        } else {
+          poll_countdown -= nbrs.size();
+        }
         double row = 0.0;
         for (NodeId v : nbrs) {
           const double keep = alive.Contains(v) ? 1.0 : 0.0;
@@ -271,6 +290,7 @@ UndirectedPassResult PassEngine::RunUndirectedCsr(
   std::array<double, kShardSlots> slot_self_weight{};
   std::array<EdgeId, kShardSlots> slot_self_edges{};
   for (size_t base = 0; base < shards.size(); base += kShardSlots) {
+    if (ShouldStop(cancel)) break;
     const size_t count = std::min(kShardSlots, shards.size() - base);
     DispatchRound(count, [&](size_t s) {
       const RowShard shard = shards[base + s];
@@ -322,13 +342,24 @@ UndirectedPassResult PassEngine::RunUndirectedCsr(
 
 UndirectedPassResult PassEngine::RunUndirectedBuffer(
     std::vector<Edge>& edges, const NodeSet& alive,
-    std::vector<double>& degrees, bool compact) {
+    std::vector<double>& degrees, bool compact, const CancelToken* cancel) {
   EnsureAccumulators(degrees.size(), /*planes=*/1);
   const size_t total = edges.size();
   const size_t round_cap = kShardSlots * kShardEdges;
   size_t write = 0;
   std::array<size_t, kShardSlots> kept{};
   for (size_t start = 0; start < total; start += round_cap) {
+    if (ShouldStop(cancel)) {
+      // A compacting pass abandoned mid-buffer must not drop the rounds it
+      // never scanned: keep the unscanned tail verbatim so the buffer stays
+      // a superset of the surviving edges (the caller discards the pass).
+      if (compact && write < start) {
+        std::memmove(edges.data() + write, edges.data() + start,
+                     (total - start) * sizeof(Edge));
+      }
+      if (compact) write += total - start;
+      break;
+    }
     const size_t round_edges = std::min(round_cap, total - start);
     const size_t shards = (round_edges + kShardEdges - 1) / kShardEdges;
     DispatchRound(shards, [&](size_t s) {
@@ -379,10 +410,11 @@ DirectedPassResult PassEngine::RunDirected(EdgeStream& stream,
                                            const NodeSet& s_set,
                                            const NodeSet& t_set,
                                            std::vector<double>& out_to_t,
-                                           std::vector<double>& in_from_s) {
+                                           std::vector<double>& in_from_s,
+                                           const CancelToken* cancel) {
   if (const DirectedGraph* g = stream.DirectedCsrView()) {
     stream.Reset();
-    return RunDirectedCsr(*g, s_set, t_set, out_to_t, in_from_s);
+    return RunDirectedCsr(*g, s_set, t_set, out_to_t, in_from_s, cancel);
   }
   EnsureBatchBuffer();
   stream.Reset();
@@ -392,6 +424,7 @@ DirectedPassResult PassEngine::RunDirected(EdgeStream& stream,
     std::fill(in_from_s.begin(), in_from_s.end(), 0.0);
     DirectedPassResult out;
     for (;;) {
+      if (ShouldStop(cancel)) break;
       std::span<const Edge> view =
           stream.NextView(batch_.data(), batch_.size());
       if (view.empty()) break;
@@ -410,6 +443,7 @@ DirectedPassResult PassEngine::RunDirected(EdgeStream& stream,
   EnsureAccumulators(out_to_t.size(), /*planes=*/2);
   std::array<std::span<const Edge>, kShardSlots> shards;
   for (;;) {
+    if (ShouldStop(cancel)) break;
     const size_t count = FillShards(stream, shards);
     if (count == 0) break;
     DispatchRound(count, [&](size_t s) {
@@ -445,9 +479,11 @@ DirectedPassResult PassEngine::RunDirectedCsr(const DirectedGraph& g,
                                               const NodeSet& s_set,
                                               const NodeSet& t_set,
                                               std::vector<double>& out_to_t,
-                                              std::vector<double>& in_from_s) {
+                                              std::vector<double>& in_from_s,
+                                              const CancelToken* cancel) {
   const NodeId n = g.num_nodes();
   const bool weighted = g.is_weighted();
+  size_t poll_countdown = kShardEdges;  // see RunUndirectedCsr
   // Arcs occupy exactly one adjacency slot, so no halving is needed; the
   // out-degree of a row accumulates in a register and stores once.
   if (pool_ == nullptr && !weighted) {
@@ -457,6 +493,12 @@ DirectedPassResult PassEngine::RunDirectedCsr(const DirectedGraph& g,
     for (NodeId u = 0; u < n; ++u) {
       if (!s_set.Contains(u)) continue;
       auto nbrs = g.OutNeighbors(u);
+      if (nbrs.size() >= poll_countdown) {
+        if (ShouldStop(cancel)) break;
+        poll_countdown = kShardEdges;
+      } else {
+        poll_countdown -= nbrs.size();
+      }
       double row = 0.0;
       for (NodeId v : nbrs) {
         const double keep = t_set.Contains(v) ? 1.0 : 0.0;
@@ -474,6 +516,7 @@ DirectedPassResult PassEngine::RunDirectedCsr(const DirectedGraph& g,
   const std::vector<RowShard> shards = ShardRows(
       n, [&g](NodeId u) { return g.OutDegree(u); }, 2 * kShardEdges);
   for (size_t base = 0; base < shards.size(); base += kShardSlots) {
+    if (ShouldStop(cancel)) break;
     const size_t count = std::min(kShardSlots, shards.size() - base);
     DispatchRound(count, [&](size_t s) {
       const RowShard shard = shards[base + s];

@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/thread_pool.h"
 #include "graph/subgraph.h"
 #include "graph/types.h"
@@ -108,8 +109,16 @@ class PassEngine {
 
   /// Streams all edges once and accumulates deg_S for alive nodes.
   /// `degrees` must have size num_nodes and is overwritten.
+  ///
+  /// Cancellation (all Run* methods): a non-null `cancel` is polled once
+  /// per shard round (≤ kShardSlots * kShardEdges edges of work between
+  /// polls). On cancellation the pass stops early and returns partial
+  /// stats; the caller must poll the token itself (CheckCancel) exactly
+  /// like it checks stream.status(), and must not peel on the truncated
+  /// stats. A null token costs one pointer test per round.
   UndirectedPassResult RunUndirected(EdgeStream& stream, const NodeSet& alive,
-                                     std::vector<double>& degrees);
+                                     std::vector<double>& degrees,
+                                     const CancelToken* cancel = nullptr);
 
   /// Same pass, but additionally appends every surviving edge (both
   /// endpoints alive) to *survivors in stream order — the ingestion step of
@@ -117,7 +126,8 @@ class PassEngine {
   UndirectedPassResult RunUndirectedCollect(EdgeStream& stream,
                                             const NodeSet& alive,
                                             std::vector<double>& degrees,
-                                            std::vector<Edge>* survivors);
+                                            std::vector<Edge>* survivors,
+                                            const CancelToken* cancel = nullptr);
 
   /// In-memory pass over an edge buffer (the post-compaction §6.3 path).
   /// When `compact` is true, dead edges are filtered out of `edges` in
@@ -125,7 +135,8 @@ class PassEngine {
   UndirectedPassResult RunUndirectedBuffer(std::vector<Edge>& edges,
                                            const NodeSet& alive,
                                            std::vector<double>& degrees,
-                                           bool compact);
+                                           bool compact,
+                                           const CancelToken* cancel = nullptr);
 
   /// Streams all arcs once; accumulates out_to_t[u] over u in S and
   /// in_from_s[v] over v in T. Both vectors must have size num_nodes and
@@ -133,7 +144,8 @@ class PassEngine {
   DirectedPassResult RunDirected(EdgeStream& stream, const NodeSet& s,
                                  const NodeSet& t,
                                  std::vector<double>& out_to_t,
-                                 std::vector<double>& in_from_s);
+                                 std::vector<double>& in_from_s,
+                                 const CancelToken* cancel = nullptr);
 
   /// Batched drain: invokes fn(edge) sequentially, in stream order, for
   /// every edge of one full pass. Replaces scalar ForEachEdge on hot paths
@@ -162,7 +174,8 @@ class PassEngine {
   UndirectedPassResult RunUndirectedImpl(EdgeStream& stream,
                                          const NodeSet& alive,
                                          std::vector<double>& degrees,
-                                         std::vector<Edge>* survivors);
+                                         std::vector<Edge>* survivors,
+                                         const CancelToken* cancel);
 
   /// CSR kernels: walk the adjacency arrays directly (no Edge records).
   /// In the undirected graph every edge occupies two adjacency slots (a
@@ -170,11 +183,13 @@ class PassEngine {
   /// halved at the end.
   UndirectedPassResult RunUndirectedCsr(const UndirectedGraph& g,
                                         const NodeSet& alive,
-                                        std::vector<double>& degrees);
+                                        std::vector<double>& degrees,
+                                        const CancelToken* cancel);
   DirectedPassResult RunDirectedCsr(const DirectedGraph& g, const NodeSet& s,
                                     const NodeSet& t,
                                     std::vector<double>& out_to_t,
-                                    std::vector<double>& in_from_s);
+                                    std::vector<double>& in_from_s,
+                                    const CancelToken* cancel);
 
   /// FillShardRound over the stream and this engine's batch buffer.
   size_t FillShards(EdgeStream& stream,

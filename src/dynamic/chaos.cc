@@ -1,0 +1,354 @@
+#include "dynamic/chaos.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "common/retry.h"
+#include "dynamic/replay.h"
+#include "dynamic/snapshot.h"
+#include "gen/erdos_renyi.h"
+#include "stream/memory_stream.h"
+#include "stream/update_stream.h"
+
+namespace densest {
+
+namespace {
+
+/// Clears the registry on every exit path: a failed schedule must not leave
+/// armed failpoints behind for the caller's next IO operation to trip over.
+struct FailpointGuard {
+  ~FailpointGuard() { Failpoints::Instance().ClearAll(); }
+};
+
+/// The same deterministic insert+delete workload shape the crash-recovery
+/// tests use: a sliding window over a random edge sequence, materialized so
+/// the reference and chaos runs see identical updates.
+std::vector<EdgeUpdate> MakeWorkload(NodeId n, EdgeId m, uint64_t window,
+                                     uint64_t seed) {
+  EdgeList edges = ErdosRenyiGnm(n, m, seed);
+  EdgeListStream base(edges);
+  SlidingWindowUpdateStream stream(base, window);
+  stream.Reset();
+  std::vector<EdgeUpdate> out;
+  EdgeUpdate u;
+  while (stream.Next(&u)) out.push_back(u);
+  return out;
+}
+
+Status ScheduleError(uint32_t index, uint64_t seed, const std::string& what) {
+  return Status::Internal(
+      "chaos schedule #" + std::to_string(index) + ": " + what +
+      " (replay deterministically with --schedules=1 --seed=" +
+      std::to_string(seed) + ")");
+}
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Bit-exact equality of everything two engines can disagree on — the same
+/// criteria the snapshot round-trip tests enforce. Stats match too: a
+/// restored snapshot carries the writer's counters and the re-applied
+/// suffix regenerates the rest deterministically.
+Status CompareEngines(const DynamicDensest& ref, const DynamicDensest& got) {
+  const DynamicDensest::Answer qa = ref.Query();
+  const DynamicDensest::Answer qb = got.Query();
+  if (!SameBits(qa.density, qb.density)) {
+    return Status::Internal("final density diverged: " +
+                            std::to_string(qa.density) + " vs " +
+                            std::to_string(qb.density));
+  }
+  if (!SameBits(qa.upper_bound, qb.upper_bound)) {
+    return Status::Internal("final upper bound diverged: " +
+                            std::to_string(qa.upper_bound) + " vs " +
+                            std::to_string(qb.upper_bound));
+  }
+  if (qa.size != qb.size || qa.certified != qb.certified ||
+      qa.stale != qb.stale) {
+    return Status::Internal("final answer shape diverged");
+  }
+  if (ref.DensestNodes() != got.DensestNodes()) {
+    return Status::Internal("densest node sets diverged");
+  }
+  if (ref.num_edges() != got.num_edges()) {
+    return Status::Internal("live edge counts diverged: " +
+                            std::to_string(ref.num_edges()) + " vs " +
+                            std::to_string(got.num_edges()));
+  }
+  if (ref.window_lo() != got.window_lo() ||
+      ref.window_hi() != got.window_hi() ||
+      ref.trim_streak() != got.trim_streak()) {
+    return Status::Internal("threshold window placement diverged");
+  }
+  const DynamicDensestStats& sa = ref.stats();
+  const DynamicDensestStats& sb = got.stats();
+  if (sa.inserts != sb.inserts || sa.deletes != sb.deletes ||
+      sa.ignored != sb.ignored || sa.level_moves != sb.level_moves ||
+      sa.recomputes != sb.recomputes || sa.window_moves != sb.window_moves ||
+      sa.structures_rebuilt != sb.structures_rebuilt ||
+      sa.trims_deferred != sb.trims_deferred ||
+      sa.recomputes_avoided != sb.recomputes_avoided ||
+      !SameBits(sa.last_recompute_density, sb.last_recompute_density)) {
+    return Status::Internal("maintenance stats diverged");
+  }
+  return Status::OK();
+}
+
+Status Arm(const std::string& name, const std::string& spec) {
+  return Failpoints::Instance().Set(name, spec);
+}
+
+}  // namespace
+
+StatusOr<ChaosReport> RunChaos(const ChaosOptions& options) {
+  if (options.schedules == 0) {
+    return Status::InvalidArgument("chaos: schedules must be >= 1");
+  }
+  if (options.nodes < 2 || options.edges == 0 || options.window == 0) {
+    return Status::InvalidArgument(
+        "chaos: need nodes >= 2, edges >= 1, window >= 1");
+  }
+  if (options.checkpoint_every == 0 || options.snapshot_every == 0 ||
+      options.batch_size == 0) {
+    return Status::InvalidArgument(
+        "chaos: checkpoint_every, snapshot_every and batch_size must be >= 1");
+  }
+  const std::string scratch =
+      options.scratch_dir.empty()
+          ? std::filesystem::temp_directory_path().string()
+          : options.scratch_dir;
+
+  ChaosReport report;
+  report.failpoints_compiled_in = Failpoints::compiled_in();
+
+  FailpointGuard guard;
+  for (uint32_t index = 0; index < options.schedules; ++index) {
+    // seed + index, so schedule i reruns alone as schedule #0 of a
+    // 1-schedule invocation seeded with this value.
+    const uint64_t seed = options.seed + index;
+    Rng rng(Mix64(seed));
+
+    ChaosScheduleOutcome outcome;
+    outcome.index = index;
+    outcome.seed = seed;
+
+    const std::vector<EdgeUpdate> workload =
+        MakeWorkload(options.nodes, options.edges, options.window,
+                     rng.NextU64());
+    outcome.updates = workload.size();
+
+    const std::string prefix =
+        (std::filesystem::path(scratch) /
+         ("densest_chaos_" + std::to_string(seed)))
+            .string();
+    const std::string update_path = prefix + ".updates";
+    const std::string snapshot_path = prefix + ".snap";
+    std::remove(snapshot_path.c_str());
+
+    Failpoints::Instance().ClearAll();
+    if (Status s = WriteBinaryUpdateFile(update_path, options.nodes, workload);
+        !s.ok()) {
+      return s;
+    }
+
+    DynamicDensestOptions opt;
+    opt.epsilon = options.epsilon;
+
+    ReplayOptions base;
+    base.query_every = 0;
+    base.batch_size = options.batch_size;
+    base.checkpoint_every = options.checkpoint_every;
+    base.checkpoint_mode = CheckpointMode::kExactFlow;
+    base.check_invariants = true;
+
+    // Reference: one uninterrupted fault-free run over the whole workload.
+    std::unique_ptr<DynamicDensest> reference;
+    {
+      StatusOr<std::unique_ptr<DynamicDensest>> created =
+          DynamicDensest::Create(options.nodes, opt);
+      if (!created.ok()) return created.status();
+      reference = std::move(*created);
+      MemoryUpdateStream mem(workload, options.nodes);
+      StatusOr<ReplayReport> r = ReplayUpdates(mem, *reference, base);
+      if (!r.ok()) {
+        return ScheduleError(index, seed,
+                             "reference run failed: " + r.status().ToString());
+      }
+      if (!r->band_ok) {
+        return ScheduleError(index, seed,
+                             "reference run left the certified band");
+      }
+      outcome.band_checks += r->checkpoints.size();
+      report.total_invariant_audits += r->checkpoints.size();
+    }
+
+    // Chaos run: the identical updates from disk, random faults armed per
+    // segment, every kill recovered the way a restarted process would.
+    std::unique_ptr<DynamicDensest> engine;
+    {
+      StatusOr<std::unique_ptr<DynamicDensest>> created =
+          DynamicDensest::Create(options.nodes, opt);
+      if (!created.ok()) return created.status();
+      engine = std::move(*created);
+    }
+    uint64_t cursor = 0;
+    uint32_t faults_left =
+        Failpoints::compiled_in() ? options.max_faults : 0;
+    bool finished = false;
+    while (!finished) {
+      // A fresh stream per segment: a dead-disk fault poisons the previous
+      // one with a sticky status, exactly like a real restart would see.
+      StatusOr<std::unique_ptr<BinaryFileUpdateStream>> stream =
+          BinaryFileUpdateStream::Open(update_path);
+      if (!stream.ok()) return stream.status();
+      RetryPolicy retry;
+      retry.max_attempts = 4;
+      retry.base_delay_ms = 0.01;  // real sleeps; keep the soak fast
+      retry.max_delay_ms = 0.05;
+      retry.jitter_seed = rng.NextU64() | 1;  // decorrelated jitter path
+      (*stream)->set_retry_policy(retry);
+
+      const uint64_t remaining = workload.size() - cursor;
+      // Evaluation-count estimates for after=N draws: the read failpoint
+      // fires once per NextBatch, the crash failpoint once per apply run
+      // (>= batches, since runs split at checkpoint/snapshot boundaries).
+      const uint64_t est_batches = remaining / options.batch_size + 1;
+      const uint64_t est_snaps = remaining / options.snapshot_every + 1;
+      // Only an armed kill may abort this segment; any other failure is a
+      // genuine bug, never something to silently "recover" from.
+      bool kill_armed = false;
+      if (faults_left > 0 && rng.Bernoulli(0.85)) {
+        Status armed = Status::OK();
+        switch (rng.UniformInt(0, 3)) {
+          case 0:  // process death between apply runs
+            armed = Arm("replay.crash",
+                        "after=" + std::to_string(rng.UniformU64(est_batches)) +
+                            ",times=1");
+            kill_armed = true;
+            break;
+          case 1:  // dead disk under the update stream: sticky IOError
+            armed = Arm("update_stream.read",
+                        "after=" + std::to_string(rng.UniformU64(est_batches)) +
+                            ",times=1,kind=io");
+            kill_armed = true;
+            break;
+          case 2:  // torn update file: short read -> sticky IOError
+            armed = Arm("update_stream.read",
+                        "after=" + std::to_string(rng.UniformU64(est_batches)) +
+                            ",times=1,kind=short");
+            kill_armed = true;
+            break;
+          default:  // transient stream fault; retry-with-backoff heals it
+                    // in-line (times < max_attempts), no kill
+            armed = Arm("update_stream.read",
+                        "after=" + std::to_string(rng.UniformU64(est_batches)) +
+                            ",times=" + std::to_string(rng.UniformInt(1, 3)) +
+                            ",kind=unavailable");
+            break;
+        }
+        if (!armed.ok()) return armed;
+        ++outcome.faults_injected;
+        --faults_left;
+      }
+      if (faults_left > 0 && rng.Bernoulli(0.4)) {
+        // A lost checkpoint write: replay must degrade gracefully and only
+        // a later restart gets more expensive.
+        if (Status s =
+                Arm("snapshot.write",
+                    "after=" + std::to_string(rng.UniformU64(est_snaps)) +
+                        ",times=1");
+            !s.ok()) {
+          return s;
+        }
+        ++outcome.faults_injected;
+        --faults_left;
+      }
+
+      ReplayOptions ropt = base;
+      ropt.snapshot_every = options.snapshot_every;
+      ropt.snapshot_path = snapshot_path;
+      ropt.skip_updates = cursor;
+      StatusOr<ReplayReport> r = ReplayUpdates(**stream, *engine, ropt);
+      Failpoints::Instance().ClearAll();
+      if (r.ok()) {
+        if (!r->band_ok) {
+          return ScheduleError(index, seed,
+                               "chaos run left the certified band");
+        }
+        if (cursor + r->updates != workload.size()) {
+          return ScheduleError(index, seed, "chaos run ended short");
+        }
+        outcome.band_checks += r->checkpoints.size();
+        report.total_invariant_audits += r->checkpoints.size();
+        finished = true;
+      } else if (kill_armed &&
+                 (r.status().code() == Status::Code::kIOError ||
+                  r.status().code() == Status::Code::kUnavailable)) {
+        ++outcome.kills;
+        // Sometimes the snapshot itself is unreadable at the worst moment.
+        if (faults_left > 0 && rng.Bernoulli(0.3)) {
+          if (Status s = Arm("snapshot.read", "times=1"); !s.ok()) return s;
+          ++outcome.faults_injected;
+          ++outcome.snapshot_read_faults;
+          --faults_left;
+        }
+        StatusOr<RestoredEngine> restored = ReadSnapshot(snapshot_path, opt);
+        Failpoints::Instance().ClearAll();
+        if (restored.ok()) {
+          engine = std::move(restored->engine);
+          cursor = restored->cursor;
+        } else {
+          // No usable snapshot: degrade to a full replay from scratch.
+          StatusOr<std::unique_ptr<DynamicDensest>> fresh =
+              DynamicDensest::Create(options.nodes, opt);
+          if (!fresh.ok()) return fresh.status();
+          engine = std::move(*fresh);
+          cursor = 0;
+          ++outcome.full_rebuilds;
+        }
+      } else {
+        return ScheduleError(index, seed,
+                             "chaos run failed: " + r.status().ToString());
+      }
+    }
+
+    // The oracle: the survivor must be indistinguishable from the engine
+    // that never saw a fault, and structurally sound on top of it.
+    if (Status s = engine->CheckInvariants(); !s.ok()) {
+      return ScheduleError(index, seed,
+                           "post-run invariant violation: " + s.message());
+    }
+    ++report.total_invariant_audits;
+    if (Status s = CompareEngines(*reference, *engine); !s.ok()) {
+      return ScheduleError(index, seed, s.message());
+    }
+
+    std::remove(update_path.c_str());
+    std::remove(snapshot_path.c_str());
+
+    if (options.log != nullptr) {
+      *options.log << "schedule #" << index << " seed=" << seed << ": "
+                   << outcome.updates << " updates, "
+                   << outcome.faults_injected << " faults, " << outcome.kills
+                   << " kills (" << outcome.full_rebuilds
+                   << " full rebuilds), " << outcome.band_checks
+                   << " band checks — identical to reference\n";
+    }
+    ++report.schedules;
+    report.total_faults += outcome.faults_injected;
+    report.total_kills += outcome.kills;
+    report.total_full_rebuilds += outcome.full_rebuilds;
+    report.total_band_checks += outcome.band_checks;
+    report.outcomes.push_back(outcome);
+  }
+  return report;
+}
+
+}  // namespace densest

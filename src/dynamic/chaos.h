@@ -1,0 +1,112 @@
+// Copyright 2026 The densest Authors.
+// Randomized chaos/soak harness over the failpoint registry: each schedule
+// replays a deterministic sliding-window workload twice — once fault-free
+// (the reference) and once under seeded random fault injection with
+// kill/snapshot-resume cycles — and demands that the surviving engine is
+// bit-identical to the reference and passes every structural invariant
+// audit. A schedule that diverges fails loudly with the seed that replays
+// it deterministically.
+//
+// What a schedule injects (all drawn from one seeded Rng):
+//   replay.crash          process death between apply runs; recovery reads
+//                         the latest snapshot and resumes from its cursor
+//                         (or rebuilds from scratch when none is usable)
+//   update_stream.read    kind=unavailable: transient faults the stream's
+//                         retry-with-backoff heals in-line;
+//                         kind=io / kind=short: a dead disk or torn file —
+//                         the sticky status kills the replay and recovery
+//                         reopens the file and resumes from the snapshot
+//   snapshot.write        a failed checkpoint write; replay must degrade
+//                         gracefully (correctness never depends on it)
+//   snapshot.read         an unreadable snapshot at recovery time; the
+//                         restart must degrade to a full replay, never
+//                         serve a wrong density
+//
+// Wall-clock deadlines (DynamicDensestOptions::recompute_deadline_ms) are
+// deliberately NOT part of chaos schedules: their firing depends on machine
+// speed, which would break the bit-identity oracle. The deadline/overload
+// path has its own deterministic unit tests.
+//
+// The harness owns the process-wide failpoint registry while it runs: it
+// clears all armed failpoints between segments and on exit.
+
+#ifndef DENSEST_DYNAMIC_CHAOS_H_
+#define DENSEST_DYNAMIC_CHAOS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dynamic/dynamic_densest.h"
+
+namespace densest {
+
+/// \brief Knobs for one chaos/soak run.
+struct ChaosOptions {
+  /// Independent randomized schedules to run. Schedule i is seeded with
+  /// `seed + i`, so any failing schedule replays alone via
+  /// `--schedules=1 --seed=<seed+i>`.
+  uint32_t schedules = 20;
+  uint64_t seed = 1;
+  /// Workload shape: a sliding window of `window` edges over `edges`
+  /// random insertions among `nodes` nodes (inserts + interleaved deletes).
+  NodeId nodes = 70;
+  EdgeId edges = 1200;
+  uint64_t window = 150;
+  double epsilon = 0.6;
+  /// Band-verification (exact max-flow) + invariant-audit cadence, in
+  /// applied updates. Must be >= 1.
+  uint64_t checkpoint_every = 300;
+  /// Crash-recovery snapshot cadence, in applied updates. Must be >= 1.
+  uint64_t snapshot_every = 100;
+  /// Upper bound on injected faults per schedule (kills, transient stream
+  /// faults, snapshot write/read failures combined). 0 disables injection
+  /// — the soak still exercises snapshots, band checks and audits.
+  uint32_t max_faults = 6;
+  /// Updates pulled per NextBatch in both runs (small values give the
+  /// stream-read failpoint more evaluation points).
+  size_t batch_size = 64;
+  /// Where the update file and snapshots live ("" = system temp dir).
+  std::string scratch_dir;
+  /// Per-schedule progress lines go here when non-null.
+  std::ostream* log = nullptr;
+};
+
+/// \brief What one schedule did and survived.
+struct ChaosScheduleOutcome {
+  uint32_t index = 0;
+  /// The seed that replays exactly this schedule as schedule #0.
+  uint64_t seed = 0;
+  uint64_t updates = 0;           ///< workload length (inserts + deletes)
+  uint32_t faults_injected = 0;   ///< failpoint arms drawn for this schedule
+  uint32_t kills = 0;             ///< replay deaths recovered via restart
+  uint32_t full_rebuilds = 0;     ///< recoveries with no usable snapshot
+  uint32_t snapshot_read_faults = 0;
+  uint64_t band_checks = 0;       ///< exact-flow checkpoints (both runs)
+};
+
+/// \brief Aggregate over all schedules.
+struct ChaosReport {
+  /// False when the library was built with -DDENSEST_FAILPOINTS=OFF: the
+  /// run degrades to a fault-free soak (snapshots + band + audits only).
+  bool failpoints_compiled_in = false;
+  uint32_t schedules = 0;
+  uint32_t total_faults = 0;
+  uint32_t total_kills = 0;
+  uint32_t total_full_rebuilds = 0;
+  uint64_t total_band_checks = 0;
+  uint64_t total_invariant_audits = 0;
+  std::vector<ChaosScheduleOutcome> outcomes;
+};
+
+/// Runs the harness. Fails (Internal) on the FIRST schedule whose chaos run
+/// leaves the certified band, trips a structural invariant, or ends in a
+/// state not bit-identical to the uninterrupted reference — the message
+/// names the schedule and the seed that replays it.
+StatusOr<ChaosReport> RunChaos(const ChaosOptions& options);
+
+}  // namespace densest
+
+#endif  // DENSEST_DYNAMIC_CHAOS_H_

@@ -390,6 +390,63 @@ Status DegreeLevels::RestoreLevels(const DynamicAdjacency& adj,
   return Status::OK();
 }
 
+Status DegreeLevels::CheckInvariants(const DynamicAdjacency& adj) const {
+  const NodeId n = adj.num_nodes();
+  if (static_cast<NodeId>(state_.size()) != n) {
+    return Status::Internal("levels: node count mismatch");
+  }
+  std::vector<NodeId> level_count(levels_ + 1, 0);
+  std::vector<EdgeId> edges_min(levels_ + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeState& s = state_[v];
+    if (s.level > levels_) {
+      return Status::Internal("node " + std::to_string(v) +
+                              " above the level ladder");
+    }
+    ++level_count[s.level];
+    uint32_t up = 0;
+    uint32_t near = 0;
+    for (NodeId x : adj.neighbors(v)) {
+      const uint32_t lx = state_[x].level;
+      if (lx >= s.level) ++up;
+      if (lx + 1 >= s.level) ++near;
+      if (x > v) ++edges_min[std::min<uint32_t>(s.level, lx)];
+    }
+    if (up != s.up) {
+      return Status::Internal("node " + std::to_string(v) + ": up_deg " +
+                              std::to_string(s.up) + " != recount " +
+                              std::to_string(up));
+    }
+    if (near != s.near) {
+      return Status::Internal("node " + std::to_string(v) + ": near_deg " +
+                              std::to_string(s.near) + " != recount " +
+                              std::to_string(near));
+    }
+    if (PromoteTriggered(s)) {
+      return Status::Internal("node " + std::to_string(v) +
+                              " holds an unsettled promote trigger");
+    }
+    if (DemoteTriggered(s)) {
+      return Status::Internal("node " + std::to_string(v) +
+                              " holds an unsettled demote trigger");
+    }
+  }
+  for (uint32_t i = 0; i <= levels_; ++i) {
+    if (level_count[i] != level_count_[i]) {
+      return Status::Internal("level " + std::to_string(i) + ": node count " +
+                              std::to_string(level_count_[i]) +
+                              " != recount " + std::to_string(level_count[i]));
+    }
+    if (edges_min[i] != edges_min_level_[i]) {
+      return Status::Internal(
+          "level " + std::to_string(i) + ": edge minimum count " +
+          std::to_string(edges_min_level_[i]) + " != recount " +
+          std::to_string(edges_min[i]));
+    }
+  }
+  return Status::OK();
+}
+
 DegreeLevels::BestLevel DegreeLevels::FindBestLevel() const {
   BestLevel best;
   NodeId nodes = 0;

@@ -164,6 +164,14 @@ class DegreeLevels {
   Status RestoreLevels(const DynamicAdjacency& adj,
                        std::span<const uint16_t> levels);
 
+  /// Brute-force audit of the settled state against `adj`: recounts every
+  /// node's up/near counters, the per-level node counts, and the per-level
+  /// edge minima from scratch, and verifies no node holds a pending
+  /// promote/demote trigger (a settled structure has none). O(n + m) —
+  /// for tests and the chaos harness, never the update path. Returns
+  /// Internal naming the first violation found.
+  Status CheckInvariants(const DynamicAdjacency& adj) const;
+
   /// Densest level set: max over i of rho(Z_i), with the attaining i.
   /// O(levels); reads only maintained aggregates.
   struct BestLevel {

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <string>
 
+#include "common/cancel.h"
 #include "core/algorithm1.h"
 #include "stream/memory_stream.h"
 
@@ -29,6 +32,12 @@ StatusOr<std::unique_ptr<DynamicDensest>> DynamicDensest::Create(
   if (options.trim_hysteresis == 0) {
     return Status::InvalidArgument("trim_hysteresis must be >= 1");
   }
+  if (options.recompute_deadline_ms < 0) {
+    return Status::InvalidArgument("recompute_deadline_ms must be >= 0");
+  }
+  if (options.recompute_rearm_updates == 0) {
+    return Status::InvalidArgument("recompute_rearm_updates must be >= 1");
+  }
   return std::unique_ptr<DynamicDensest>(new DynamicDensest(n, options));
 }
 
@@ -36,7 +45,7 @@ StatusOr<std::unique_ptr<DynamicDensest>> DynamicDensest::FromSnapshotState(
     NodeId n, const DynamicDensestOptions& options,
     std::vector<std::vector<NodeId>> adjacency, uint32_t lo,
     std::vector<std::vector<uint16_t>> slot_levels, uint32_t trim_streak,
-    const DynamicDensestStats& stats) {
+    const DynamicDensestStats& stats, const OverloadState& overload) {
   StatusOr<std::unique_ptr<DynamicDensest>> created = Create(n, options);
   if (!created.ok()) return created.status();
   DynamicDensest& e = **created;
@@ -60,6 +69,11 @@ StatusOr<std::unique_ptr<DynamicDensest>> DynamicDensest::FromSnapshotState(
   }
   e.trim_streak_ = trim_streak;
   e.stats_ = stats;
+  e.recompute_pending_ = overload.pending;
+  e.cancel_streak_ = overload.cancel_streak;
+  e.rearm_at_updates_ = overload.rearm_at_updates;
+  e.last_cert_upper_ = overload.last_cert_upper;
+  e.last_cert_inserts_ = overload.last_cert_inserts;
   return created;
 }
 
@@ -164,11 +178,31 @@ void DynamicDensest::ApplyBatch(std::span<const EdgeUpdate> batch) {
 
 void DynamicDensest::MaybeFallback() {
   if (options_.fallback == DynamicFallback::kNever) return;
+  // Overload protection: while a deadline-cancelled recompute is pending,
+  // absorb updates (serving the widened stale band from Query) instead of
+  // re-attempting the slow path on every one. Deletions can heal the
+  // degradation on their own, so a restored certificate falls through to
+  // the normal path below, which clears the pending state.
+  if (recompute_pending_ &&
+      stats_.inserts + stats_.deletes < rearm_at_updates_ &&
+      Degraded(FindCertifyingSlot())) {
+    return;
+  }
   // Each pass either clears the degradation or moves the window strictly
   // toward it; the guard only bounds pathological numerics.
   for (uint32_t guard = 0; guard <= max_slot_ + 2; ++guard) {
     const int k_star = FindCertifyingSlot();
     if (!Degraded(k_star)) {
+      // A live certificate: remember its upper bound so a future
+      // deadline-cancelled recompute has a base to widen from, and clear
+      // any pending slow path — the window serves again.
+      if (k_star >= 0) {
+        last_cert_upper_ = 2.0 * (1.0 + options_.epsilon) *
+                           ThresholdOf(static_cast<uint32_t>(k_star) + 1);
+        last_cert_inserts_ = stats_.inserts;
+      }
+      recompute_pending_ = false;
+      cancel_streak_ = 0;
       // Valid certificate — but when it has drifted far above the
       // window's low end, the window is dragging low slots it no longer
       // serves from, and low slots are the expensive ones to maintain
@@ -212,11 +246,39 @@ void DynamicDensest::MaybeFallback() {
       Algorithm1Options ropt;
       ropt.epsilon = options_.recompute_epsilon;
       ropt.record_trace = false;
-      StatusOr<UndirectedDensestResult> r =
-          engine_->RecomputeUndirected(stream, ropt);
+      StatusOr<UndirectedDensestResult> r = [&]() {
+        if (options_.recompute_deadline_ms > 0) {
+          // The overload budget, doubled per consecutive cancellation so a
+          // graph that has genuinely outgrown the configured budget still
+          // converges instead of re-shedding the same work forever. The
+          // token lives on this frame only — RecomputeUndirected returns
+          // before it dies.
+          CancelToken deadline = CancelToken::WithDeadlineAfterMs(
+              options_.recompute_deadline_ms *
+              static_cast<double>(uint64_t{1} << cancel_streak_));
+          ropt.cancel = &deadline;
+          return engine_->RecomputeUndirected(stream, ropt);
+        }
+        return engine_->RecomputeUndirected(stream, ropt);
+      }();
+      if (!r.ok() && r.status().IsCancellation()) {
+        // The recompute blew its deadline. Keep serving the last
+        // certificate widened to the pending band (see Query), absorb
+        // recompute_rearm_updates more updates before retrying, and do
+        // NOT fall through to the kRebuildOnly slide — its rebuilds scan
+        // the same oversized edge set the deadline just shed.
+        ++stats_.recomputes_cancelled;
+        recompute_pending_ = true;
+        if (cancel_streak_ < 20) ++cancel_streak_;
+        rearm_at_updates_ = stats_.inserts + stats_.deletes +
+                            options_.recompute_rearm_updates;
+        return;
+      }
       // In-memory streams cannot fail; a defensive slide keeps the engine
       // live if they somehow do.
       if (r.ok()) {
+        recompute_pending_ = false;
+        cancel_streak_ = 0;
         const double rho = r->density;
         ++stats_.recomputes;
         stats_.last_recompute_density = rho;
@@ -300,6 +362,28 @@ DynamicDensest::Answer DynamicDensest::Query() const {
     answer.certified = true;
     return answer;
   }
+  if (recompute_pending_) {
+    // Overload path: a deadline-cancelled recompute is pending. Serve the
+    // densest maintained level set under the last certificate widened by
+    // the growth bound — rho* rises by at most 1/2 per insertion (the new
+    // optimum gains at most the inserted edge over a set of size >= 2)
+    // and never rises on a deletion — so the band stays sound, just
+    // loosening by 1/2 per insert until the recompute re-arms and lands.
+    answer.certified = true;
+    answer.stale = true;
+    answer.upper_bound =
+        last_cert_upper_ +
+        0.5 * static_cast<double>(stats_.inserts - last_cert_inserts_);
+    for (const DegreeLevels& slot : slots_) {
+      const DegreeLevels::BestLevel best = slot.FindBestLevel();
+      if (best.density > answer.density) {
+        answer.density = best.density;
+        answer.size = best.nodes;
+      }
+    }
+    ++stats_.stale_answers_served;
+    return answer;
+  }
   // Degraded window (DynamicFallback::kNever): best effort over whatever
   // is maintained, flagged uncertified; upper_bound is meaningless.
   answer.certified = false;
@@ -333,6 +417,16 @@ std::vector<NodeId> DynamicDensest::DensestNodes() const {
 double DynamicDensest::ApproxBand() const {
   const double r = 1.0 + options_.epsilon;
   return 2.0 * r * r * r;
+}
+
+Status DynamicDensest::CheckInvariants() const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (Status s = slots_[i].CheckInvariants(adj_); !s.ok()) {
+      return Status::Internal("slot " + std::to_string(lo_ + i) + ": " +
+                              s.message());
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace densest

@@ -91,6 +91,18 @@ struct DynamicDensestOptions {
   /// them costs a full recompute + rebuild. 1 restores the immediate-trim
   /// behavior. Must be >= 1.
   uint32_t trim_hysteresis = 64;
+  /// Wall-clock budget for one batch recompute, in milliseconds (0 =
+  /// unbounded; kRecompute only). Overload protection: when a recompute
+  /// blows this budget it is cancelled cooperatively (common/cancel.h),
+  /// the engine keeps serving the last certified answer widened to cover
+  /// every update applied since (Answer::stale), and the recompute
+  /// re-arms after recompute_rearm_updates further updates — with the
+  /// budget doubled per consecutive cancellation, so a graph that has
+  /// genuinely outgrown the budget still converges instead of thrashing.
+  double recompute_deadline_ms = 0;
+  /// Updates to absorb before re-attempting a deadline-cancelled
+  /// recompute (kRecompute with a deadline only). Must be >= 1.
+  uint32_t recompute_rearm_updates = 4096;
   /// Thread fan-out of the recompute engine (see MultiRunOptions); any
   /// value yields identical recompute results.
   MultiRunOptions engine_options;
@@ -112,6 +124,12 @@ struct DynamicDensestStats {
   /// each is a transient excursion whose trim (and the recompute the next
   /// density dip would have forced) was suppressed.
   uint64_t recomputes_avoided = 0;
+  /// Batch recomputes stopped by the recompute deadline (overload
+  /// protection; see DynamicDensestOptions::recompute_deadline_ms).
+  uint64_t recomputes_cancelled = 0;
+  /// Queries answered from the widened stale band while a cancelled
+  /// recompute was pending.
+  uint64_t stale_answers_served = 0;
   double last_recompute_density = 0;
 };
 
@@ -125,6 +143,17 @@ class DynamicDensest {
   static StatusOr<std::unique_ptr<DynamicDensest>> Create(
       NodeId n, const DynamicDensestOptions& options = {});
 
+  /// \brief Overload-protection state (recompute_deadline_ms), captured
+  /// in snapshots so a restored engine keeps serving the same widened
+  /// stale band a pending one did. All-default when nothing is pending.
+  struct OverloadState {
+    bool pending = false;           ///< a cancelled recompute awaits re-arm
+    uint32_t cancel_streak = 0;     ///< consecutive cancelled recomputes
+    uint64_t rearm_at_updates = 0;  ///< inserts+deletes count to retry at
+    double last_cert_upper = 0;     ///< last certified upper bound
+    uint64_t last_cert_inserts = 0; ///< inserts when it was captured
+  };
+
   /// Reconstructs an engine from snapshotted state (dynamic/snapshot.h
   /// handles the byte format; this takes the decoded pieces): the
   /// adjacency VERBATIM (see DynamicAdjacency::RestoreAdjacency on why
@@ -137,7 +166,7 @@ class DynamicDensest {
       NodeId n, const DynamicDensestOptions& options,
       std::vector<std::vector<NodeId>> adjacency, uint32_t lo,
       std::vector<std::vector<uint16_t>> slot_levels, uint32_t trim_streak,
-      const DynamicDensestStats& stats);
+      const DynamicDensestStats& stats, const OverloadState& overload);
 
   /// Applies one update. Self-loops, out-of-range endpoints, duplicate
   /// inserts and deletes of absent edges are counted in stats().ignored
@@ -157,6 +186,12 @@ class DynamicDensest {
     NodeId size = 0;
     /// False only under DynamicFallback::kNever with a degraded window.
     bool certified = true;
+    /// True while a deadline-cancelled recompute is pending: the answer is
+    /// still certified, but upper_bound is the last certificate widened by
+    /// the sound growth bound (rho* rises by at most 1/2 per insertion and
+    /// never by a deletion), so the band loosens with every insert until
+    /// the recompute re-arms and completes.
+    bool stale = false;
   };
   /// O(window + levels): reads maintained aggregates only.
   Answer Query() const;
@@ -185,6 +220,18 @@ class DynamicDensest {
   const DegreeLevels& slot(size_t i) const { return slots_[i]; }
   const DynamicAdjacency& adjacency() const { return adj_; }
   uint32_t trim_streak() const { return trim_streak_; }
+  /// True while a deadline-cancelled recompute is pending (queries serve
+  /// the widened stale band until it re-arms and completes).
+  bool recompute_pending() const { return recompute_pending_; }
+  OverloadState overload_state() const {
+    return OverloadState{recompute_pending_, cancel_streak_, rearm_at_updates_,
+                         last_cert_upper_, last_cert_inserts_};
+  }
+
+  /// Brute-force audit of every maintained slot against the live
+  /// adjacency (see DegreeLevels::CheckInvariants). O(slots * (n + m));
+  /// for tests and the chaos harness.
+  Status CheckInvariants() const;
 
  private:
   DynamicDensest(NodeId n, const DynamicDensestOptions& options);
@@ -210,7 +257,16 @@ class DynamicDensest {
   uint32_t trim_streak_ = 0;  // consecutive updates the trim condition held
   std::vector<DegreeLevels> slots_;
   std::unique_ptr<MultiRunEngine> engine_;  // lazily created on recompute
-  DynamicDensestStats stats_;
+  // Overload-protection state (recompute_deadline_ms); snapshotted as
+  // OverloadState so a restored engine serves the same widened band a
+  // pending one did instead of reporting an answer it cannot certify.
+  bool recompute_pending_ = false;
+  uint64_t rearm_at_updates_ = 0;   // inserts+deletes count to retry at
+  uint32_t cancel_streak_ = 0;      // consecutive cancelled recomputes
+  double last_cert_upper_ = 0;      // last certified upper bound on rho*
+  uint64_t last_cert_inserts_ = 0;  // stats_.inserts when it was captured
+  // Query() is logically const but counts stale answers served.
+  mutable DynamicDensestStats stats_;
 };
 
 }  // namespace densest

@@ -128,11 +128,17 @@ StatusOr<ReplayReport> ReplayUpdates(UpdateStream& updates,
       apply_seconds += apply_timer.ElapsedSeconds();
       i += run;
       count += run;
+      // One poll per apply run (the engine settles every update before
+      // returning, so the abort leaves it consistent and queryable).
+      if (Status c = CheckCancel(options.cancel); !c.ok()) return c;
       if (options.query_every != 0 && count % options.query_every == 0) {
         TimedQuery(engine, report);
       }
       if (options.checkpoint_every != 0 &&
           count % options.checkpoint_every == 0) {
+        if (options.check_invariants) {
+          if (Status s = engine.CheckInvariants(); !s.ok()) return s;
+        }
         if (Status s = TakeCheckpoint(engine, options, count, report);
             !s.ok()) {
           return s;

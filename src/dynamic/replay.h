@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/histogram.h"
 #include "common/status.h"
 #include "dynamic/dynamic_densest.h"
@@ -54,6 +55,16 @@ struct ReplayOptions {
   /// resume cursor of a restored snapshot. Snapshot cursors are absolute:
   /// they include this offset.
   uint64_t skip_updates = 0;
+  /// Optional cooperative cancellation (see common/cancel.h): polled once
+  /// per apply run (at most ~1k updates between polls). A tripped token
+  /// aborts the replay with kCancelled/kDeadlineExceeded; the engine is
+  /// left settled at the last applied update. Null = never cancelled.
+  const CancelToken* cancel = nullptr;
+  /// Debug audit: run DynamicDensest::CheckInvariants() at every
+  /// checkpoint boundary (requires checkpoint_every != 0) and fail the
+  /// replay on the first violation. O(slots * (n + m)) per checkpoint —
+  /// for tests and the chaos harness.
+  bool check_invariants = false;
 };
 
 /// \brief One band-verification point.

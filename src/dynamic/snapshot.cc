@@ -14,7 +14,9 @@ namespace densest {
 namespace {
 
 constexpr char kMagic[8] = {'D', 'E', 'N', 'S', 'S', 'N', 'A', 'P'};
-constexpr uint32_t kVersion = 1;
+// v2: overload-protection counters in the stats block plus the pending
+// recompute state (DynamicDensest::OverloadState) after it.
+constexpr uint32_t kVersion = 2;
 
 // Fixed 32-byte header in front of the checksummed body.
 struct SnapshotHeader {
@@ -82,6 +84,8 @@ void PutStats(std::string* body, const DynamicDensestStats& s) {
   Put(body, s.structures_rebuilt);
   Put(body, s.trims_deferred);
   Put(body, s.recomputes_avoided);
+  Put(body, s.recomputes_cancelled);
+  Put(body, s.stale_answers_served);
   Put(body, s.last_recompute_density);
 }
 
@@ -90,7 +94,27 @@ bool GetStats(BodyReader* r, DynamicDensestStats* s) {
          r->Get(&s->level_moves) && r->Get(&s->recomputes) &&
          r->Get(&s->window_moves) && r->Get(&s->structures_rebuilt) &&
          r->Get(&s->trims_deferred) && r->Get(&s->recomputes_avoided) &&
+         r->Get(&s->recomputes_cancelled) && r->Get(&s->stale_answers_served) &&
          r->Get(&s->last_recompute_density);
+}
+
+void PutOverload(std::string* body, const DynamicDensest::OverloadState& o) {
+  Put(body, static_cast<uint8_t>(o.pending ? 1 : 0));
+  Put(body, o.cancel_streak);
+  Put(body, o.rearm_at_updates);
+  Put(body, o.last_cert_upper);
+  Put(body, o.last_cert_inserts);
+}
+
+bool GetOverload(BodyReader* r, DynamicDensest::OverloadState* o) {
+  uint8_t pending = 0;
+  if (!r->Get(&pending) || !r->Get(&o->cancel_streak) ||
+      !r->Get(&o->rearm_at_updates) || !r->Get(&o->last_cert_upper) ||
+      !r->Get(&o->last_cert_inserts)) {
+    return false;
+  }
+  o->pending = pending != 0;
+  return true;
 }
 
 }  // namespace
@@ -114,6 +138,7 @@ Status WriteSnapshot(const std::string& path, const DynamicDensest& engine,
   Put(&body, cursor);
   Put(&body, engine.num_edges());
   PutStats(&body, engine.stats());
+  PutOverload(&body, engine.overload_state());
   // The answer the engine would serve right now — the restore cross-checks
   // its own Query() against these before trusting the state.
   const DynamicDensest::Answer answer = engine.Query();
@@ -215,11 +240,13 @@ StatusOr<RestoredEngine> ReadSnapshot(const std::string& path,
   uint64_t cursor = 0;
   EdgeId m = 0;
   DynamicDensestStats stats;
+  DynamicDensest::OverloadState overload;
   double density = 0;
   double upper_bound = 0;
   if (!r.Get(&n) || !r.Get(&lo) || !r.Get(&num_slots) ||
       !r.Get(&trim_streak) || !r.Get(&cursor) || !r.Get(&m) ||
-      !GetStats(&r, &stats) || !r.Get(&density) || !r.Get(&upper_bound)) {
+      !GetStats(&r, &stats) || !GetOverload(&r, &overload) ||
+      !r.Get(&density) || !r.Get(&upper_bound)) {
     return Status::IOError("snapshot body too short: " + path);
   }
   std::vector<std::vector<NodeId>> adjacency(n);
@@ -245,7 +272,7 @@ StatusOr<RestoredEngine> ReadSnapshot(const std::string& path,
   StatusOr<std::unique_ptr<DynamicDensest>> engine =
       DynamicDensest::FromSnapshotState(n, options, std::move(adjacency), lo,
                                         std::move(slot_levels), trim_streak,
-                                        stats);
+                                        stats, overload);
   if (!engine.ok()) return engine.status();
   // Cross-check the restored engine against the answer the writer was
   // serving: any mismatch means the state and the options disagree (e.g.

@@ -77,7 +77,9 @@ double Dinic::Dfs(int u, int t, double pushed) {
 
 double Dinic::MaxFlow(int s, int t) {
   double flow = 0.0;
-  while (Bfs(s, t)) {
+  // One poll per BFS phase: each phase is one level-graph build plus its
+  // blocking flow, the natural bounded unit of a Dinic solve.
+  while (!ShouldStop(cancel_) && Bfs(s, t)) {
     std::fill(iter_.begin(), iter_.end(), 0);
     while (true) {
       double pushed = Dfs(s, t, std::numeric_limits<double>::infinity());

@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
+
 namespace densest {
 
 /// \brief Max-flow solver on a directed network with double capacities.
@@ -34,6 +36,12 @@ class Dinic {
   /// Restores residual capacities to the configured capacities.
   void ResetFlow();
 
+  /// Optional cooperative cancellation: MaxFlow polls the token at the top
+  /// of each BFS phase (O(V) phases total) and returns the partial flow
+  /// when it trips. The caller must re-check the token to distinguish a
+  /// converged solve from an abandoned one. Null (default) = never stops.
+  void set_cancel(const CancelToken* cancel) { cancel_ = cancel; }
+
   /// Computes the max flow from s to t over the current residual network
   /// (call ResetFlow() first to solve from scratch).
   double MaxFlow(int s, int t);
@@ -56,6 +64,7 @@ class Dinic {
   double Dfs(int u, int t, double pushed);
 
   int num_nodes_;
+  const CancelToken* cancel_ = nullptr;
   std::vector<std::vector<Arc>> arcs_;
   std::vector<std::pair<int, int>> arc_index_;  // arc id -> (node, slot)
   std::vector<int> level_;

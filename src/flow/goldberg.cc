@@ -26,6 +26,7 @@ StatusOr<ExactDensestResult> ExactDensestSubgraph(
   const int source = static_cast<int>(n);
   const int sink = static_cast<int>(n) + 1;
   Dinic dinic(static_cast<int>(n) + 2);
+  dinic.set_cancel(options.cancel);
 
   std::vector<int> sink_arcs(n);
   std::vector<double> wdeg(n);
@@ -58,6 +59,11 @@ StatusOr<ExactDensestResult> ExactDensestSubgraph(
   double best_density = total_weight / static_cast<double>(n);
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Per-iteration poll; MaxFlow additionally polls per BFS phase (via
+    // set_cancel above) and returns a partial flow when tripped, so the
+    // re-check after the solve is what keeps a truncated flow value from
+    // being mistaken for a converged one.
+    if (Status c = CheckCancel(options.cancel); !c.ok()) return c;
     const double guess = best_density;
     for (NodeId u = 0; u < n; ++u) {
       dinic.SetArcCapacity(sink_arcs[u],
@@ -66,6 +72,9 @@ StatusOr<ExactDensestResult> ExactDensestSubgraph(
     dinic.ResetFlow();
     double flow = dinic.MaxFlow(source, sink);
     ++result.flow_iterations;
+    // A token tripped mid-solve yields a partial flow whose residual
+    // network certifies nothing; fail before reading a cut from it.
+    if (Status c = CheckCancel(options.cancel); !c.ok()) return c;
 
     const double cut_bound = total_weight * static_cast<double>(n);
     if (flow >= cut_bound - gap_tolerance) break;  // no denser set exists

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "graph/undirected_graph.h"
 
@@ -29,6 +30,11 @@ struct ExactDensestOptions {
   /// Hard cap on Dinkelbach iterations (each is one max-flow). The
   /// iteration provably terminates; the cap guards degenerate numerics.
   int max_iterations = 128;
+  /// Optional cooperative cancellation (see common/cancel.h): polled per
+  /// Dinkelbach iteration and per BFS phase inside each max-flow solve. A
+  /// tripped token fails the call with kCancelled/kDeadlineExceeded —
+  /// partial exact results are never returned. Null = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Computes the exact densest subgraph of an undirected (possibly

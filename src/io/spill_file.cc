@@ -59,6 +59,7 @@ SpillFile::~SpillFile() {
 
 FailpointAction SpillFile::EvalFailpointWithRetry(const char* name) const {
   int attempt = 0;
+  RetryBackoff backoff(retry_policy_);
   for (;;) {
     const FailpointAction fp = DENSEST_FAILPOINT(name);
     if (fp != FailpointAction::kUnavailable) {
@@ -70,7 +71,8 @@ FailpointAction SpillFile::EvalFailpointWithRetry(const char* name) const {
       return FailpointAction::kUnavailable;
     }
     retries_.fetch_add(1, std::memory_order_relaxed);
-    BackoffSleep(retry_policy_, attempt++);
+    ++attempt;
+    backoff.Sleep();
   }
 }
 

@@ -26,6 +26,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/random.h"
 #include "common/retry.h"
 #include "common/status.h"
@@ -261,6 +262,10 @@ StatusOr<std::vector<KV<K3, V3>>> RunJobOnSource(
   source.Reset();
   bool source_dry = false;
   while (!source_dry) {
+    // Once per round (≤ chunks_per_round × chunk_cap records between
+    // polls). The early return unwinds the ShuffleWriter, whose SpillFile
+    // destructors remove any spill files already written.
+    if (Status c = CheckCancel(options.cancel); !c.ok()) return c;
     size_t filled = 0;
     while (filled < chunks_per_round) {
       std::vector<KV<K1, V1>>& in = inputs[filled];
@@ -289,6 +294,7 @@ StatusOr<std::vector<KV<K3, V3>>> RunJobOnSource(
   // A disk-backed source signals mid-scan failure by ending early; mapping
   // a truncated input would produce a plausible-looking wrong answer.
   if (Status s = source.status(); !s.ok()) return s;
+  if (Status c = CheckCancel(options.cancel); !c.ok()) return c;
   stats.map_input_bytes = source.bytes_scanned() - input_bytes_before;
 
   constexpr bool kHasCombiner =
@@ -306,6 +312,13 @@ StatusOr<std::vector<KV<K3, V3>>> RunJobOnSource(
   std::vector<Status> partition_status(num_partitions);
   const uint64_t out_hint = options.reduce_output_hint / num_partitions;
   env.pool().ParallelFor(num_partitions, [&](size_t p) {
+    // One poll per partition: a tripped token skips the remaining merge
+    // work. ParallelFor still joins every worker, so no thread outlives
+    // the early return below.
+    if (Status c = CheckCancel(options.cancel); !c.ok()) {
+      partition_status[p] = c;
+      return;
+    }
     Emitter<K3, V3> emitter(&reduce_out[p]);
     if (out_hint > 0) emitter.Reserve(out_hint);
     std::vector<V2> values;

@@ -21,6 +21,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "io/spill_file.h"
@@ -75,6 +76,11 @@ struct JobOptions {
   /// Expected total reduce output records (0 = unknown); pre-sizes reduce
   /// output buffers.
   uint64_t reduce_output_hint = 0;
+  /// Optional cooperative cancellation (see common/cancel.h). Polled once
+  /// per map round and once per reduce partition; a tripped token fails
+  /// the job with kCancelled/kDeadlineExceeded and spill files are removed
+  /// by their destructors on the early return. Null = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Hash-partitioned shuffle store with budgeted spilling.

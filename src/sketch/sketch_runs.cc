@@ -189,7 +189,16 @@ StatusOr<std::vector<SketchedResult>> RunSketchedSweep(
   std::vector<MultiRunEngine::FusedRun*> fused;
   fused.reserve(states.size());
   for (auto& state : states) fused.push_back(state.get());
-  if (Status s = engine->Drive(stream, fused); !s.ok()) return s;
+  // One token governs the shared scan (see RunDirectedRuns): the first
+  // non-null per-run token.
+  const CancelToken* cancel = nullptr;
+  for (const SketchedSweepRun& run : runs) {
+    if (run.options.cancel != nullptr) {
+      cancel = run.options.cancel;
+      break;
+    }
+  }
+  if (Status s = engine->Drive(stream, fused, cancel); !s.ok()) return s;
 
   std::vector<SketchedResult> results;
   results.reserve(states.size());

@@ -34,8 +34,11 @@ StatusOr<SketchedResult> RunAlgorithm1WithOracle(
       ++stats.edges;
     });
     // A failing stream ends its pass early and silently; abort instead of
-    // peeling on statistics of a truncated edge set.
+    // peeling on statistics of a truncated edge set. Cancellation is
+    // polled per pass here — the oracle drain is order-dependent, so the
+    // pass itself is the bounded unit of work.
     if (Status io = stream.status(); !io.ok()) return io;
+    if (Status c = CheckCancel(options.cancel); !c.ok()) return c;
     run.ApplyPass(stats);
   }
   return run.TakeResult();

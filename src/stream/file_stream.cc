@@ -97,6 +97,7 @@ void BinaryFileEdgeStream::IssuePrefetch() {
   prefetch_ = reader_->Submit([this] {
     back_unavailable_ = false;
     int attempt = 0;
+    RetryBackoff backoff(retry_policy_);
     for (;;) {
       // The failpoint models the device: evaluated before the real fread,
       // a transient (kUnavailable) fault is retried with backoff until the
@@ -112,7 +113,8 @@ void BinaryFileEdgeStream::IssuePrefetch() {
           return;
         }
         ++retry_stats_.retries;
-        BackoffSleep(retry_policy_, attempt++);
+        ++attempt;
+        backoff.Sleep();
         continue;
       }
       if (attempt > 0) ++retry_stats_.healed;

@@ -127,6 +127,7 @@ size_t BinaryFileUpdateStream::NextBatch(EdgeUpdate* buf, size_t cap) {
   }
   FailpointAction fp;
   int attempt = 0;
+  RetryBackoff backoff(retry_policy_);
   for (;;) {
     fp = DENSEST_FAILPOINT("update_stream.read");
     if (fp != FailpointAction::kUnavailable) break;
@@ -139,7 +140,8 @@ size_t BinaryFileUpdateStream::NextBatch(EdgeUpdate* buf, size_t cap) {
       return 0;
     }
     ++retry_stats_.retries;
-    BackoffSleep(retry_policy_, attempt++);
+    ++attempt;
+    backoff.Sleep();
   }
   if (attempt > 0) ++retry_stats_.healed;
   if (fp == FailpointAction::kIOError) {

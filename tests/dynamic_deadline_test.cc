@@ -1,0 +1,163 @@
+// Overload-protection tests for the dynamic service: a recompute deadline
+// that trips must never block or break serving — queries get the last
+// certified answer under a soundly widened, stale-flagged upper bound —
+// and the engine must heal on its own: the budget doubles per consecutive
+// cancellation until a recompute fits, at which point certified serving
+// resumes. The pending state also survives a snapshot round trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "dynamic/dynamic_densest.h"
+#include "dynamic/snapshot.h"
+#include "flow/goldberg.h"
+#include "graph/undirected_graph.h"
+#include "stream/update_stream.h"
+
+namespace densest {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("deadline_test_" + name + "_" +
+           std::to_string(::testing::UnitTest::GetInstance()->random_seed())))
+      .string();
+}
+
+/// Grows a clique until the window degrades and the (deadline-bounded)
+/// recompute path has fired at least once.
+void GrowClique(DynamicDensest& engine, NodeId k, uint64_t* ts) {
+  for (NodeId u = 0; u < k; ++u) {
+    for (NodeId v = u + 1; v < k; ++v) {
+      engine.Apply(InsertUpdate(u, v, ++*ts));
+    }
+  }
+}
+
+DynamicDensestOptions TinyDeadlineOptions() {
+  DynamicDensestOptions opt;
+  opt.fallback = DynamicFallback::kRecompute;
+  opt.window_radius = 0;  // window [lo, lo+1]: a clique degrades it fast
+  // Pre-expired on arrival: the first poll inside the recompute trips it,
+  // so cancellation is deterministic regardless of machine speed.
+  opt.recompute_deadline_ms = 1e-5;
+  // Never re-arm within the test workload: the first cancellation leaves
+  // the engine observably pending, which is the state these tests pin.
+  // (BackoffDoublesBudgetUntilRecomputeCompletes overrides this.)
+  opt.recompute_rearm_updates = 1u << 30;
+  return opt;
+}
+
+TEST(DeadlineTest, CancelledRecomputeServesCertifiedWidenedStaleAnswer) {
+  auto engine = DynamicDensest::Create(32, TinyDeadlineOptions());
+  ASSERT_TRUE(engine.ok());
+  uint64_t ts = 0;
+  GrowClique(**engine, 24, &ts);
+
+  const DynamicDensestStats& stats = (*engine)->stats();
+  ASSERT_GT(stats.recomputes_cancelled, 0u)
+      << "workload never tripped the deadline";
+  ASSERT_TRUE((*engine)->recompute_pending());
+
+  // The query MUST NOT block or degrade to uncertified: it serves the best
+  // maintained density under the last certificate widened by the insert
+  // drift bound (rho* rises at most 1/2 per insertion).
+  const DynamicDensest::Answer a = (*engine)->Query();
+  EXPECT_TRUE(a.certified);
+  EXPECT_TRUE(a.stale);
+  EXPECT_GT(a.density, 0);
+  EXPECT_GT((*engine)->stats().stale_answers_served, 0u);
+
+  // Soundness of the widened bound: it really is above rho*.
+  UndirectedGraph g = UndirectedGraph::FromEdgeList((*engine)->CurrentEdges());
+  StatusOr<ExactDensestResult> exact = ExactDensestSubgraph(g);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_GE(a.upper_bound, exact->density);
+  // And the served density is a real induced density, so it lower-bounds.
+  EXPECT_LE(a.density, exact->density + 1e-9);
+}
+
+TEST(DeadlineTest, BackoffDoublesBudgetUntilRecomputeCompletes) {
+  DynamicDensestOptions opt = TinyDeadlineOptions();
+  opt.recompute_rearm_updates = 8;  // retry (with doubled budget) often
+  auto engine = DynamicDensest::Create(32, opt);
+  ASSERT_TRUE(engine.ok());
+  uint64_t ts = 0;
+  GrowClique(**engine, 24, &ts);
+  ASSERT_GT((*engine)->stats().recomputes_cancelled, 0u)
+      << "workload never tripped the deadline";
+
+  // Each re-arm boundary retries with a doubled budget; the cap
+  // (2^20 x deadline ~ 10ms) dwarfs this graph's recompute cost, so the
+  // pending state must clear in bounded time. Keep the update stream
+  // alive with churn on an edge far from the clique in case the growth
+  // alone didn't carry the engine across enough re-arm boundaries.
+  for (int i = 0; i < 4000 && (*engine)->recompute_pending(); ++i) {
+    (*engine)->Apply(i % 2 == 0 ? InsertUpdate(28, 29, ++ts)
+                                : DeleteUpdate(28, 29, ++ts));
+  }
+  EXPECT_FALSE((*engine)->recompute_pending());
+  EXPECT_GT((*engine)->stats().recomputes, 0u);
+  EXPECT_EQ((*engine)->overload_state().cancel_streak, 0u);
+  const DynamicDensest::Answer a = (*engine)->Query();
+  EXPECT_TRUE(a.certified);
+  EXPECT_FALSE(a.stale);
+  // Certified serving resumed: the band holds against the exact density.
+  UndirectedGraph g = UndirectedGraph::FromEdgeList((*engine)->CurrentEdges());
+  StatusOr<ExactDensestResult> exact = ExactDensestSubgraph(g);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LE(a.density, exact->density + 1e-9);
+  EXPECT_GE(a.upper_bound, exact->density);
+}
+
+TEST(DeadlineTest, UnboundedDeadlineNeverCancels) {
+  DynamicDensestOptions opt = TinyDeadlineOptions();
+  opt.recompute_deadline_ms = 0;  // 0 = unbounded (the default)
+  auto engine = DynamicDensest::Create(32, opt);
+  ASSERT_TRUE(engine.ok());
+  uint64_t ts = 0;
+  GrowClique(**engine, 24, &ts);
+  EXPECT_EQ((*engine)->stats().recomputes_cancelled, 0u);
+  EXPECT_FALSE((*engine)->recompute_pending());
+  EXPECT_GT((*engine)->stats().recomputes, 0u);
+}
+
+TEST(DeadlineTest, PendingOverloadStateSurvivesSnapshotRoundTrip) {
+  const DynamicDensestOptions opt = TinyDeadlineOptions();
+  auto engine = DynamicDensest::Create(32, opt);
+  ASSERT_TRUE(engine.ok());
+  uint64_t ts = 0;
+  GrowClique(**engine, 24, &ts);
+  ASSERT_TRUE((*engine)->recompute_pending());
+  const DynamicDensest::OverloadState before = (*engine)->overload_state();
+  const DynamicDensest::Answer served = (*engine)->Query();
+
+  // The snapshot's internal cross-check re-runs Query() on the restored
+  // engine; without the overload state it would serve an unwidened bound
+  // and refuse the restore.
+  const std::string path = TempPath("pending");
+  ASSERT_TRUE(WriteSnapshot(path, **engine, ts).ok());
+  auto restored = ReadSnapshot(path, opt);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored->engine->recompute_pending());
+  const DynamicDensest::OverloadState after =
+      restored->engine->overload_state();
+  EXPECT_EQ(after.pending, before.pending);
+  EXPECT_EQ(after.cancel_streak, before.cancel_streak);
+  EXPECT_EQ(after.rearm_at_updates, before.rearm_at_updates);
+  EXPECT_EQ(after.last_cert_upper, before.last_cert_upper);
+  EXPECT_EQ(after.last_cert_inserts, before.last_cert_inserts);
+
+  const DynamicDensest::Answer again = restored->engine->Query();
+  EXPECT_EQ(again.density, served.density);
+  EXPECT_EQ(again.upper_bound, served.upper_bound);
+  EXPECT_TRUE(again.stale);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace densest

@@ -1,0 +1,75 @@
+// RetryBackoff schedule tests: a zero jitter seed must reproduce the
+// legacy pure-exponential DelayMs schedule bit for bit (the contract the
+// fault-injection suites lean on), and nonzero seeds must give bounded,
+// deterministic, seed-dependent decorrelated jitter.
+
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace densest {
+namespace {
+
+std::vector<double> Draw(const RetryPolicy& policy, int n) {
+  RetryBackoff backoff(policy);
+  std::vector<double> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(backoff.NextDelayMs());
+  return out;
+}
+
+TEST(RetryBackoffTest, ZeroSeedReproducesLegacyExponentialScheduleExactly) {
+  RetryPolicy policy;  // defaults: base 0.1, max 50, jitter_seed 0
+  RetryBackoff backoff(policy);
+  for (int retry = 0; retry < 16; ++retry) {
+    EXPECT_EQ(backoff.NextDelayMs(), policy.DelayMs(retry)) << retry;
+  }
+}
+
+TEST(RetryBackoffTest, LegacyScheduleDoublesAndSaturates) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 1.0;
+  policy.max_delay_ms = 8.0;
+  EXPECT_DOUBLE_EQ(policy.DelayMs(0), 1.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(1), 2.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(2), 4.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(3), 8.0);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(10), 8.0);  // capped forever after
+}
+
+TEST(RetryBackoffTest, JitteredDelaysStayWithinTheDecorrelatedEnvelope) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 1.0;
+  policy.max_delay_ms = 40.0;
+  policy.jitter_seed = 0xfeedULL;
+  RetryBackoff backoff(policy);
+  double prev = policy.base_delay_ms;
+  for (int i = 0; i < 64; ++i) {
+    const double d = backoff.NextDelayMs();
+    EXPECT_GE(d, policy.base_delay_ms) << i;
+    EXPECT_LE(d, policy.max_delay_ms) << i;
+    // Decorrelated jitter: each draw is uniform in [base, 3 * prev].
+    EXPECT_LE(d, std::min(policy.max_delay_ms, prev * 3.0) + 1e-12) << i;
+    prev = d;
+  }
+}
+
+TEST(RetryBackoffTest, JitterIsDeterministicPerSeedAndDiffersAcrossSeeds) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 0.5;
+  policy.max_delay_ms = 30.0;
+
+  policy.jitter_seed = 41;
+  const std::vector<double> a1 = Draw(policy, 12);
+  const std::vector<double> a2 = Draw(policy, 12);
+  EXPECT_EQ(a1, a2) << "same seed must give the same schedule";
+
+  policy.jitter_seed = 42;
+  const std::vector<double> b = Draw(policy, 12);
+  EXPECT_NE(a1, b) << "distinct seeds should decorrelate the schedules";
+}
+
+}  // namespace
+}  // namespace densest

@@ -273,20 +273,22 @@ TEST(SnapshotTest, RestoreValidatesDecodedStateInternally) {
   // missing the mirror entry 1 -> 0
   EXPECT_FALSE(DynamicDensest::FromSnapshotState(
                    3, opt, std::move(asym), 0,
-                   {std::vector<uint16_t>(3, 0)}, 0, DynamicDensestStats{})
+                   {std::vector<uint16_t>(3, 0)}, 0, DynamicDensestStats{},
+                   DynamicDensest::OverloadState{})
                    .ok());
   std::vector<std::vector<NodeId>> self(2);
   self[1] = {1};  // self-loop
   EXPECT_FALSE(DynamicDensest::FromSnapshotState(
                    2, opt, std::move(self), 0,
-                   {std::vector<uint16_t>(2, 0)}, 0, DynamicDensestStats{})
+                   {std::vector<uint16_t>(2, 0)}, 0, DynamicDensestStats{},
+                   DynamicDensest::OverloadState{})
                    .ok());
   std::vector<std::vector<NodeId>> empty_adj(2);
   // levels above the ladder
   EXPECT_FALSE(DynamicDensest::FromSnapshotState(
                    2, opt, std::move(empty_adj), 0,
                    {std::vector<uint16_t>(2, 60000)}, 0,
-                   DynamicDensestStats{})
+                   DynamicDensestStats{}, DynamicDensest::OverloadState{})
                    .ok());
 }
 

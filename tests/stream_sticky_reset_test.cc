@@ -1,0 +1,231 @@
+// The sticky-status matrix: every stream type in the library, driven
+// through Reset(), must either (a) be infallible and redeliver the exact
+// same sequence on every replay (the in-memory and generated streams), or
+// (b) carry a sticky error across Reset() once its backing file went bad
+// (the disk-backed streams) — including the generator wrappers, which must
+// forward the inner stream's sticky health rather than mask a truncated
+// replay as a short-but-healthy one.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "gen/erdos_renyi.h"
+#include "graph/directed_graph.h"
+#include "graph/graph_builder.h"
+#include "graph/undirected_graph.h"
+#include "stream/file_stream.h"
+#include "stream/generated_stream.h"
+#include "stream/memory_stream.h"
+#include "stream/update_stream.h"
+
+namespace densest {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("sticky_reset_test_" + name + "_" +
+           std::to_string(::testing::UnitTest::GetInstance()->random_seed())))
+      .string();
+}
+
+/// Drains an EdgeStream and returns its edge count.
+uint64_t DrainEdges(EdgeStream& s) {
+  uint64_t n = 0;
+  Edge e;
+  while (s.Next(&e)) ++n;
+  return n;
+}
+
+uint64_t DrainUpdates(UpdateStream& s) {
+  uint64_t n = 0;
+  EdgeUpdate u;
+  while (s.Next(&u)) ++n;
+  return n;
+}
+
+/// The infallible half of the matrix: status() is OK before, during and
+/// after two full replays, and both replays deliver the same count.
+void ExpectInfallibleReplays(EdgeStream& s, uint64_t expect) {
+  s.Reset();
+  EXPECT_EQ(DrainEdges(s), expect);
+  EXPECT_TRUE(s.status().ok());
+  s.Reset();
+  EXPECT_EQ(DrainEdges(s), expect);
+  EXPECT_TRUE(s.status().ok());
+}
+
+TEST(StickyResetMatrixTest, InMemoryAndGeneratedEdgeStreamsAreInfallible) {
+  EdgeList edges = ErdosRenyiGnm(40, 300, 11);
+  {
+    EdgeListStream s(edges);
+    ExpectInfallibleReplays(s, edges.num_edges());
+  }
+  {
+    GraphBuilder b;
+    b.ReserveNodes(edges.num_nodes());
+    for (const Edge& e : edges.edges()) b.Add(e.u, e.v, e.w);
+    StatusOr<UndirectedGraph> g = b.BuildUndirected();
+    ASSERT_TRUE(g.ok());
+    UndirectedGraphStream s(*g);
+    ExpectInfallibleReplays(s, g->num_edges());
+  }
+  {
+    GraphBuilder b;
+    b.ReserveNodes(edges.num_nodes());
+    for (const Edge& e : edges.edges()) b.Add(e.u, e.v, e.w);
+    StatusOr<DirectedGraph> g = b.BuildDirected();
+    ASSERT_TRUE(g.ok());
+    DirectedGraphStream s(*g);
+    ExpectInfallibleReplays(s, g->num_edges());
+  }
+  {
+    GnpEdgeStream s(50, 0.2, 7);
+    s.Reset();
+    const uint64_t first = DrainEdges(s);
+    EXPECT_TRUE(s.status().ok());
+    s.Reset();
+    EXPECT_EQ(DrainEdges(s), first);  // same seed, same sequence
+    EXPECT_TRUE(s.status().ok());
+  }
+  {
+    CirculantEdgeStream s(32, 4);
+    s.Reset();
+    const uint64_t first = DrainEdges(s);
+    s.Reset();
+    EXPECT_EQ(DrainEdges(s), first);
+    EXPECT_TRUE(s.status().ok());
+  }
+}
+
+TEST(StickyResetMatrixTest, InMemoryUpdateStreamsAreInfallible) {
+  std::vector<EdgeUpdate> updates;
+  for (uint32_t i = 0; i < 50; ++i) updates.push_back(InsertUpdate(i, i + 1));
+  MemoryUpdateStream s(updates, 51);
+  s.Reset();
+  EXPECT_EQ(DrainUpdates(s), updates.size());
+  EXPECT_TRUE(s.status().ok());
+  s.Reset();
+  EXPECT_EQ(DrainUpdates(s), updates.size());
+  EXPECT_TRUE(s.status().ok());
+}
+
+// ---------------------------------------------- fault-injected file seams --
+
+class StickyResetFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!Failpoints::compiled_in()) {
+      GTEST_SKIP() << "built with -DDENSEST_FAILPOINTS=OFF";
+    }
+    Failpoints::Instance().ClearAll();
+  }
+  void TearDown() override {
+    if (Failpoints::compiled_in()) Failpoints::Instance().ClearAll();
+  }
+};
+
+/// Once bad, always bad: status() must carry `code` through a Reset() and
+/// another full drain, even after the failpoint itself is cleared.
+template <typename Stream>
+void ExpectStickyAcrossReset(Stream& s, Status::Code code) {
+  EXPECT_EQ(s.status().code(), code) << s.status().ToString();
+  Failpoints::Instance().ClearAll();
+  s.Reset();
+  EXPECT_EQ(s.status().code(), code)
+      << "Reset() washed away the sticky error";
+}
+
+TEST_F(StickyResetFaultTest, BinaryEdgeStreamEveryFaultKindIsSticky) {
+  EdgeList edges = ErdosRenyiGnm(30, 200, 13);
+  const std::string path = TempPath("edges");
+  ASSERT_TRUE(WriteBinaryEdgeFile(path, edges, /*weighted=*/false).ok());
+
+  struct Case {
+    const char* spec;
+    Status::Code expect;
+  };
+  const Case cases[] = {
+      {"kind=io", Status::Code::kIOError},
+      {"kind=short", Status::Code::kIOError},       // torn file -> truncated
+      {"kind=unavailable", Status::Code::kUnavailable},  // retries exhausted
+  };
+  for (const Case& c : cases) {
+    auto stream = BinaryFileEdgeStream::Open(path);
+    ASSERT_TRUE(stream.ok());
+    RetryPolicy retry;
+    retry.max_attempts = 2;
+    retry.base_delay_ms = 0.01;
+    (*stream)->set_retry_policy(retry);
+    ASSERT_TRUE(Failpoints::Instance().Set("edge_stream.read", c.spec).ok());
+    (*stream)->Reset();
+    DrainEdges(**stream);
+    ExpectStickyAcrossReset(**stream, c.expect);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(StickyResetFaultTest, BinaryUpdateStreamEveryFaultKindIsSticky) {
+  std::vector<EdgeUpdate> updates;
+  for (uint32_t i = 0; i < 200; ++i) updates.push_back(InsertUpdate(i, i + 1));
+  const std::string path = TempPath("updates");
+  ASSERT_TRUE(WriteBinaryUpdateFile(path, 201, updates).ok());
+
+  struct Case {
+    const char* spec;
+    Status::Code expect;
+  };
+  const Case cases[] = {
+      {"kind=io", Status::Code::kIOError},
+      {"kind=short", Status::Code::kIOError},
+      {"kind=unavailable", Status::Code::kUnavailable},
+  };
+  for (const Case& c : cases) {
+    auto stream = BinaryFileUpdateStream::Open(path);
+    ASSERT_TRUE(stream.ok());
+    RetryPolicy retry;
+    retry.max_attempts = 2;
+    retry.base_delay_ms = 0.01;
+    (*stream)->set_retry_policy(retry);
+    ASSERT_TRUE(Failpoints::Instance().Set("update_stream.read", c.spec).ok());
+    (*stream)->Reset();
+    DrainUpdates(**stream);
+    ExpectStickyAcrossReset(**stream, c.expect);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(StickyResetFaultTest, GeneratorWrappersForwardStickyInnerStatus) {
+  EdgeList edges = ErdosRenyiGnm(30, 200, 17);
+  const std::string path = TempPath("wrapped");
+  ASSERT_TRUE(WriteBinaryEdgeFile(path, edges, /*weighted=*/false).ok());
+
+  {
+    auto inner = BinaryFileEdgeStream::Open(path);
+    ASSERT_TRUE(inner.ok());
+    InsertReplayUpdateStream wrapper(**inner);
+    ASSERT_TRUE(
+        Failpoints::Instance().Set("edge_stream.read", "kind=io").ok());
+    wrapper.Reset();
+    DrainUpdates(wrapper);
+    ExpectStickyAcrossReset(wrapper, Status::Code::kIOError);
+  }
+  {
+    auto inner = BinaryFileEdgeStream::Open(path);
+    ASSERT_TRUE(inner.ok());
+    SlidingWindowUpdateStream wrapper(**inner, 50);
+    ASSERT_TRUE(
+        Failpoints::Instance().Set("edge_stream.read", "kind=io").ok());
+    wrapper.Reset();
+    DrainUpdates(wrapper);
+    ExpectStickyAcrossReset(wrapper, Status::Code::kIOError);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace densest
