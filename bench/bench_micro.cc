@@ -26,6 +26,7 @@ const UndirectedGraph& TestGraph() {
     ChungLuOptions cl;
     cl.num_nodes = 50000;
     cl.num_edges = 250000;
+    // lint:allow(naked-new) — leaked benchmark fixture
     return new UndirectedGraph(UndirectedGraph::FromEdgeList(ChungLu(cl, 7)));
   }();
   return *g;
@@ -118,6 +119,7 @@ void BM_ExactFlowSolve(benchmark::State& state) {
     ChungLuOptions cl;
     cl.num_nodes = 5000;
     cl.num_edges = 25000;
+    // lint:allow(naked-new) — leaked benchmark fixture
     return new UndirectedGraph(UndirectedGraph::FromEdgeList(ChungLu(cl, 9)));
   }();
   for (auto _ : state) {

@@ -1,12 +1,14 @@
 #include "common/failpoint.h"
 
 #include <cstdlib>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/failpoint_names.h"
+#include "common/mutex.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 
 namespace densest {
 
@@ -41,15 +43,15 @@ std::vector<std::string> SplitList(const std::string& s, char sep) {
 }  // namespace
 
 struct Failpoints::Impl {
-  mutable std::mutex mu;
-  std::unordered_map<std::string, Point> points;
+  mutable Mutex mu;
+  std::unordered_map<std::string, Point> points DENSEST_GUARDED_BY(mu);
 };
 
 Failpoints::Impl* Failpoints::impl() {
   // Leaked on purpose: seams may evaluate failpoints from background
   // threads during static destruction (stream destructors join their
   // prefetch pool), so the registry must outlive everything.
-  static Impl* instance = new Impl();
+  static Impl* instance = new Impl();  // lint:allow(naked-new) — leaked singleton
   return instance;
 }
 
@@ -64,6 +66,14 @@ Status Failpoints::Set(const std::string& name, const std::string& spec) {
         "failpoints compiled out (build with -DDENSEST_FAILPOINTS=ON)");
   }
   if (name.empty()) return Status::InvalidArgument("empty failpoint name");
+  // Only names from the single registry (common/failpoint_names.h) may be
+  // armed: a typo would otherwise arm a point no seam ever evaluates and
+  // the injected fault would silently never fire.
+  if (!IsRegisteredFailpoint(name)) {
+    return Status::InvalidArgument(
+        "unregistered failpoint '" + name +
+        "' (see common/failpoint_names.h; names follow subsystem.operation)");
+  }
   if (spec == "off") {
     Clear(name);
     return Status::OK();
@@ -120,7 +130,7 @@ Status Failpoints::Set(const std::string& name, const std::string& spec) {
   }
   (void)saw_prob;
   Impl* im = impl();
-  std::lock_guard<std::mutex> lock(im->mu);
+  MutexLock lock(im->mu);
   im->points[name] = p;
   return Status::OK();
 }
@@ -143,33 +153,33 @@ Status Failpoints::SetFromFlag(const std::string& flag) {
 
 void Failpoints::Clear(const std::string& name) {
   Impl* im = impl();
-  std::lock_guard<std::mutex> lock(im->mu);
+  MutexLock lock(im->mu);
   im->points.erase(name);
 }
 
 void Failpoints::ClearAll() {
   Impl* im = impl();
-  std::lock_guard<std::mutex> lock(im->mu);
+  MutexLock lock(im->mu);
   im->points.clear();
 }
 
 uint64_t Failpoints::evaluations(const std::string& name) const {
   Impl* im = Instance().impl();
-  std::lock_guard<std::mutex> lock(im->mu);
+  MutexLock lock(im->mu);
   auto it = im->points.find(name);
   return it == im->points.end() ? 0 : it->second.evaluations;
 }
 
 uint64_t Failpoints::fires(const std::string& name) const {
   Impl* im = Instance().impl();
-  std::lock_guard<std::mutex> lock(im->mu);
+  MutexLock lock(im->mu);
   auto it = im->points.find(name);
   return it == im->points.end() ? 0 : it->second.fires;
 }
 
 FailpointAction Failpoints::Eval(const char* name) {
   Impl* im = impl();
-  std::lock_guard<std::mutex> lock(im->mu);
+  MutexLock lock(im->mu);
   auto it = im->points.find(name);
   if (it == im->points.end()) return FailpointAction::kNone;
   Point& p = it->second;

@@ -57,8 +57,10 @@ class Failpoints {
   static constexpr bool compiled_in() { return DENSEST_FAILPOINTS_ENABLED != 0; }
 
   /// Arms `name` with `spec` (grammar above). Fails with InvalidArgument
-  /// on a malformed spec and FailedPrecondition when failpoints are
-  /// compiled out — arming a fault that can never fire must be loud.
+  /// on a malformed spec or a name not in the registry
+  /// (common/failpoint_names.h — a typo would arm a point no seam ever
+  /// evaluates), and FailedPrecondition when failpoints are compiled
+  /// out — arming a fault that can never fire must be loud.
   Status Set(const std::string& name, const std::string& spec);
 
   /// Arms from a CLI flag value: one or more ';'-separated "name:spec"

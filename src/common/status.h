@@ -17,7 +17,13 @@ namespace densest {
 /// A Status is either OK or carries an error code plus a human-readable
 /// message. Statuses are cheap to copy and move. Use the factory functions
 /// (Status::OK(), Status::InvalidArgument(...), ...) to construct one.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed failure — every
+/// Status-returning call must be consumed (checked, returned, or
+/// explicitly voided with a comment saying why ignoring is sound). The
+/// build enforces this with -Werror=unused-result; tools/lint.py checks
+/// the attribute stays present.
+class [[nodiscard]] Status {
  public:
   /// Error categories, mirroring the subset of RocksDB codes this library
   /// needs.
@@ -109,7 +115,7 @@ class Status {
 ///   Use(g.value());
 /// \endcode
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value (OK).
   StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}

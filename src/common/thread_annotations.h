@@ -1,0 +1,72 @@
+// Copyright 2026 The densest Authors.
+// Portable Clang Thread Safety Analysis annotations (no-ops elsewhere).
+//
+// These macros attach the repo's locking discipline to the types that
+// carry it — which mutex guards which member, which functions require or
+// acquire which capability — so `clang -Wthread-safety` verifies the
+// discipline at compile time instead of trusting comments. GCC and MSVC
+// compile them away entirely: the annotations are a contract checked on
+// the Clang CI legs, never a runtime dependency.
+//
+// libstdc++'s std::mutex carries no capability attributes, so raw
+// std::mutex members are invisible to the analysis. Mutex-protected
+// structures must use the annotated wrappers in common/mutex.h
+// (Mutex / MutexLock / CondVar) for the analysis to see their locking.
+//
+// Naming follows the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed
+// DENSEST_ to keep the global namespace clean.
+
+#ifndef DENSEST_COMMON_THREAD_ANNOTATIONS_H_
+#define DENSEST_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define DENSEST_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define DENSEST_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+/// Declares a type as a capability (a lock): its Lock/Unlock methods carry
+/// DENSEST_ACQUIRE/DENSEST_RELEASE and holding it satisfies
+/// DENSEST_REQUIRES of the same capability.
+#define DENSEST_CAPABILITY(x) DENSEST_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability (MutexLock).
+#define DENSEST_SCOPED_CAPABILITY DENSEST_THREAD_ANNOTATION__(scoped_lockable)
+
+/// The member may only be read or written while holding `x`.
+#define DENSEST_GUARDED_BY(x) DENSEST_THREAD_ANNOTATION__(guarded_by(x))
+
+/// The pointed-to data (not the pointer itself) is guarded by `x`.
+#define DENSEST_PT_GUARDED_BY(x) DENSEST_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// The function may only be called while holding the listed capabilities
+/// (and does not release them).
+#define DENSEST_REQUIRES(...) \
+  DENSEST_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the listed capabilities
+/// (it acquires them itself; calling with them held would deadlock).
+#define DENSEST_EXCLUDES(...) \
+  DENSEST_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on return.
+#define DENSEST_ACQUIRE(...) \
+  DENSEST_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities.
+#define DENSEST_RELEASE(...) \
+  DENSEST_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define DENSEST_RETURN_CAPABILITY(x) \
+  DENSEST_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: the function's locking is deliberately invisible to the
+/// analysis (e.g. adopt/release tricks around std::condition_variable).
+/// Every use must carry a comment saying why the analysis cannot follow.
+#define DENSEST_NO_THREAD_SAFETY_ANALYSIS \
+  DENSEST_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // DENSEST_COMMON_THREAD_ANNOTATIONS_H_

@@ -16,10 +16,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -27,20 +27,20 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
+      // Drain outstanding work before honoring shutdown: tasks Submitted
+      // before the destructor ran must still execute (their futures are
+      // how callers learn the work happened).
+      if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --outstanding_;
-      if (outstanding_ == 0) done_cv_.notify_all();
+      if (outstanding_ == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -50,13 +50,13 @@ std::future<void> ThreadPool::Submit(std::function<void()> fn) {
       std::make_shared<std::packaged_task<void()>>(std::move(fn));
   std::future<void> future = task->get_future();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Counted in outstanding_ so the worker-side decrement stays balanced;
     // a concurrent ParallelFor simply waits for submitted tasks too.
     ++outstanding_;
     queue_.push([task] { (*task)(); });
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return future;
 }
 
@@ -68,15 +68,15 @@ void ThreadPool::ParallelFor(size_t count,
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     outstanding_ += count;
     for (size_t i = 0; i < count; ++i) {
       queue_.push([&fn, i] { fn(i); });
     }
   }
-  work_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  work_cv_.NotifyAll();
+  MutexLock lock(mu_);
+  while (outstanding_ != 0) done_cv_.Wait(mu_);
 }
 
 }  // namespace densest

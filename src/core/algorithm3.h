@@ -93,7 +93,7 @@ struct CSearchOptions {
 
 /// \brief Result of the c-search: the best run plus the whole sweep
 /// (density and passes per c — the series of Figures 6.4 and 6.6).
-struct CSearchResult {
+struct [[nodiscard]] CSearchResult {
   DirectedDensestResult best;
   std::vector<DirectedDensestResult> sweep;
   /// Physical scans of the stream the whole search cost: the number of

@@ -16,7 +16,7 @@ namespace densest {
 
 /// \brief Output of the greedy peel, including the full removal order
 /// (a degeneracy ordering) for callers that want it.
-struct CharikarResult {
+struct [[nodiscard]] CharikarResult {
   /// The best intermediate subgraph (a 2-approximation of rho*).
   UndirectedDensestResult best;
   /// Nodes in removal order (first removed first). Isolated nodes included.

@@ -27,7 +27,7 @@ struct PassSnapshot {
 
 /// \brief Output of the undirected algorithms (Algorithms 1 and 2,
 /// Charikar's greedy, the sketched variant).
-struct UndirectedDensestResult {
+struct [[nodiscard]] UndirectedDensestResult {
   /// Node ids of the returned subgraph S~ (ascending).
   std::vector<NodeId> nodes;
   /// rho(S~).
@@ -54,7 +54,7 @@ struct DirectedPassSnapshot {
 };
 
 /// \brief Output of the directed algorithm (Algorithm 3) for one ratio c.
-struct DirectedDensestResult {
+struct [[nodiscard]] DirectedDensestResult {
   std::vector<NodeId> s_nodes;
   std::vector<NodeId> t_nodes;
   /// rho(S~, T~) = |E(S~,T~)| / sqrt(|S~| |T~|).

@@ -245,6 +245,12 @@ class MultiRunEngine {
 
   size_t num_threads_ = 1;
   MultiRunFanOut fan_out_ = MultiRunFanOut::kAuto;
+  // Concurrency contract (no mutex by design, same as PassEngine): every
+  // task of a round writes one (run, slot) accumulator plane no other task
+  // of that round touches, and the round's ParallelFor completion barrier
+  // is the only publication point — caller writes happen-before the
+  // tasks, task writes happen-before the slot-order reduction that reads
+  // them. No engine state may be touched while a round is in flight.
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads_ == 1
   std::vector<Edge> batch_;           // kShardSlots * kShardEdges capacity
   /// (run, shard) task list scratch for work-major rounds.

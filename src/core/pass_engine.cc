@@ -557,6 +557,7 @@ DirectedPassResult PassEngine::RunDirectedCsr(const DirectedGraph& g,
 PassEngine& DefaultPassEngine() {
   // Leaked singleton: worker threads must not be joined during static
   // destruction, where other statics they might touch are already gone.
+  // lint:allow(naked-new) — leaked singleton
   static PassEngine* engine = new PassEngine(PassEngineOptions{});
   return *engine;
 }

@@ -37,14 +37,14 @@ namespace densest {
 
 /// \brief One streaming pass worth of undirected statistics over the alive
 /// set S: induced edge count and induced total weight.
-struct UndirectedPassResult {
+struct [[nodiscard]] UndirectedPassResult {
   EdgeId edges = 0;
   double weight = 0;
 };
 
 /// \brief One streaming pass of directed statistics: |E(S,T)| count and
 /// weight.
-struct DirectedPassResult {
+struct [[nodiscard]] DirectedPassResult {
   EdgeId arcs = 0;
   double weight = 0;
 };
@@ -221,6 +221,15 @@ class PassEngine {
   std::vector<Edge> batch_;  // kShardSlots * kShardEdges capacity
   // acc_[plane * kShardSlots + slot]: per-slot accumulation vectors.
   // Undirected passes use one plane; directed passes use two (out/in).
+  //
+  // Concurrency contract (no mutex by design): slot i of a round is
+  // written by exactly one DispatchRound task, and no two tasks share a
+  // slot, so the slot vectors need no locking. The hand-off in each
+  // direction rides ThreadPool::ParallelFor's completion barrier: the
+  // caller's writes before DispatchRound (EnsureAccumulators' zeroing,
+  // batch_ fill) happen-before the tasks, and every task's slot writes
+  // happen-before ReduceAndClear reads them. Nothing here may be touched
+  // while a round is in flight.
   std::vector<std::vector<double>> acc_;
   std::array<double, kShardSlots> slot_weight_;
   std::array<EdgeId, kShardSlots> slot_edges_;

@@ -77,7 +77,7 @@ struct ReplayCheckpoint {
 };
 
 /// \brief What one replay measured.
-struct ReplayReport {
+struct [[nodiscard]] ReplayReport {
   uint64_t updates = 0;  ///< updates read from the stream (incl. ignored)
   double wall_seconds = 0;
   double updates_per_sec = 0;

@@ -36,7 +36,7 @@ Status WriteSnapshot(const std::string& path, const DynamicDensest& engine,
                      uint64_t cursor);
 
 /// \brief A restored engine plus the stream position to resume from.
-struct RestoredEngine {
+struct [[nodiscard]] RestoredEngine {
   std::unique_ptr<DynamicDensest> engine;
   uint64_t cursor = 0;
 };

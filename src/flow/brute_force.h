@@ -14,7 +14,7 @@
 namespace densest {
 
 /// \brief Output of the undirected brute-force search.
-struct BruteForceResult {
+struct [[nodiscard]] BruteForceResult {
   std::vector<NodeId> nodes;
   double density = 0;
 };
@@ -24,7 +24,7 @@ struct BruteForceResult {
 StatusOr<BruteForceResult> BruteForceDensest(const UndirectedGraph& g);
 
 /// \brief Output of the directed brute-force search.
-struct BruteForceDirectedResult {
+struct [[nodiscard]] BruteForceDirectedResult {
   std::vector<NodeId> s_nodes;
   std::vector<NodeId> t_nodes;
   double density = 0;

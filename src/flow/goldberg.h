@@ -16,7 +16,7 @@
 namespace densest {
 
 /// \brief Output of the exact solver.
-struct ExactDensestResult {
+struct [[nodiscard]] ExactDensestResult {
   /// An optimal set S with rho(S) = rho*(G) (ascending node ids).
   std::vector<NodeId> nodes;
   /// rho*(G).

@@ -39,7 +39,7 @@ struct MrDensestOptions {
 };
 
 /// \brief Result plus cluster accounting.
-struct MrDensestResult {
+struct [[nodiscard]] MrDensestResult {
   UndirectedDensestResult result;
   /// Simulated cluster seconds per pass (sums the pass's jobs) —
   /// the series of Figure 6.7.
@@ -80,7 +80,7 @@ struct MrDirectedOptions {
 };
 
 /// \brief Directed result plus cluster accounting.
-struct MrDirectedResult {
+struct [[nodiscard]] MrDirectedResult {
   DirectedDensestResult result;
   std::vector<double> pass_seconds;
   std::vector<JobStats> pass_stats;

@@ -15,7 +15,7 @@
 namespace densest {
 
 /// \brief Result of a sketched run plus its memory accounting.
-struct SketchedResult {
+struct [[nodiscard]] SketchedResult {
   UndirectedDensestResult result;
   /// Counter words the oracle used (t*b for a sketch, n for exact).
   uint64_t oracle_state_words = 0;

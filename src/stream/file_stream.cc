@@ -106,18 +106,18 @@ void BinaryFileEdgeStream::IssuePrefetch() {
       const FailpointAction fp = DENSEST_FAILPOINT("edge_stream.read");
       if (fp == FailpointAction::kUnavailable) {
         if (attempt + 1 >= retry_policy_.max_attempts) {
-          ++retry_stats_.exhausted;
+          retry_exhausted_.fetch_add(1, std::memory_order_relaxed);
           back_len_ = 0;
           back_error_ = false;
           back_unavailable_ = true;
           return;
         }
-        ++retry_stats_.retries;
+        retries_.fetch_add(1, std::memory_order_relaxed);
         ++attempt;
         backoff.Sleep();
         continue;
       }
-      if (attempt > 0) ++retry_stats_.healed;
+      if (attempt > 0) healed_.fetch_add(1, std::memory_order_relaxed);
       if (fp == FailpointAction::kIOError) {
         back_len_ = 0;
         back_error_ = true;
