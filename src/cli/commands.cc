@@ -1,10 +1,16 @@
 #include "cli/commands.h"
 
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "common/failpoint.h"
+#include "common/random.h"
+#include "common/timer.h"
 #include "core/algorithm1.h"
 #include "core/algorithm2.h"
 #include "core/algorithm3.h"
@@ -22,6 +28,8 @@
 #include "dynamic/replay.h"
 #include "dynamic/snapshot.h"
 #include "mapreduce/mr_densest.h"
+#include "serve/answer_plane.h"
+#include "serve/query_service.h"
 #include "stream/file_stream.h"
 #include "stream/memory_stream.h"
 #include "stream/update_stream.h"
@@ -519,6 +527,214 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
   return Status::OK();
 }
 
+namespace {
+
+/// Parses "--query-mix=D,M,S": three non-negative weights (density,
+/// membership, snapshot) summing to something positive.
+StatusOr<std::array<uint64_t, 3>> ParseQueryMix(const std::string& mix) {
+  std::array<uint64_t, 3> w{};
+  std::istringstream in(mix);
+  std::string field;
+  size_t i = 0;
+  while (std::getline(in, field, ',')) {
+    if (i >= 3 || field.empty() ||
+        field.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("bad --query-mix field: '" + field + "'");
+    }
+    w[i++] = std::stoull(field);
+  }
+  if (i != 3 || w[0] + w[1] + w[2] == 0) {
+    return Status::InvalidArgument(
+        "--query-mix needs three weights with a positive sum, e.g. 80,15,5");
+  }
+  return w;
+}
+
+}  // namespace
+
+Status CmdServe(const Args& args, std::ostream& out) {
+  StatusOr<double> eps = args.GetDouble("eps", 0.75);
+  StatusOr<int64_t> window = args.GetInt("window", 0);
+  StatusOr<double> rate = args.GetDouble("rate", 0.0);
+  StatusOr<int64_t> publish_every = args.GetInt("publish-every", 1024);
+  StatusOr<int64_t> readers = args.GetInt("readers", 4);
+  StatusOr<double> qps = args.GetDouble("qps", 2000.0);
+  std::string mix_flag = args.GetString("query-mix", "80,15,5");
+  StatusOr<int64_t> batch = args.GetInt("batch", 8);
+  StatusOr<int64_t> queue_capacity = args.GetInt("queue-capacity", 64);
+  StatusOr<double> deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  StatusOr<int64_t> seed = args.GetInt("seed", 1);
+  StatusOr<int64_t> evict_batch = args.GetInt("evict-batch", 1);
+  for (const Status& s :
+       {eps.ok() ? Status::OK() : eps.status(),
+        window.ok() ? Status::OK() : window.status(),
+        rate.ok() ? Status::OK() : rate.status(),
+        publish_every.ok() ? Status::OK() : publish_every.status(),
+        readers.ok() ? Status::OK() : readers.status(),
+        qps.ok() ? Status::OK() : qps.status(),
+        batch.ok() ? Status::OK() : batch.status(),
+        queue_capacity.ok() ? Status::OK() : queue_capacity.status(),
+        deadline_ms.ok() ? Status::OK() : deadline_ms.status(),
+        seed.ok() ? Status::OK() : seed.status(),
+        evict_batch.ok() ? Status::OK() : evict_batch.status()}) {
+    if (!s.ok()) return s;
+  }
+  if (*readers < 1 || *batch < 1 || *queue_capacity < 1) {
+    return Status::InvalidArgument(
+        "--readers/--batch/--queue-capacity must be >= 1");
+  }
+  if (*window < 0 || *publish_every < 0 || *qps < 0 || *deadline_ms < 0 ||
+      *evict_batch < 1) {
+    return Status::InvalidArgument("flag values out of range");
+  }
+  StatusOr<std::array<uint64_t, 3>> mix = ParseQueryMix(mix_flag);
+  if (!mix.ok()) return mix.status();
+  StatusOr<std::string> path = RequireGraphArg(args);
+  if (!path.ok()) return path.status();
+
+  // Same input handling as `dynamic`: a .bin input replays straight from
+  // disk, text inputs from memory.
+  std::unique_ptr<BinaryFileEdgeStream> file_stream;
+  EdgeList edges;
+  std::unique_ptr<EdgeListStream> memory_stream;
+  EdgeStream* stream = nullptr;
+  if (EndsWith(*path, ".bin")) {
+    auto opened = BinaryFileEdgeStream::Open(*path);
+    if (!opened.ok()) return opened.status();
+    file_stream = std::move(*opened);
+    stream = file_stream.get();
+  } else {
+    StatusOr<EdgeList> loaded = ReadEdgeListText(*path);
+    if (!loaded.ok()) return loaded.status();
+    edges = std::move(*loaded);
+    memory_stream = std::make_unique<EdgeListStream>(edges);
+    stream = memory_stream.get();
+  }
+  const NodeId num_nodes = stream->num_nodes();
+
+  DynamicDensestOptions opt;
+  opt.epsilon = *eps;
+  StatusOr<std::unique_ptr<DynamicDensest>> engine =
+      DynamicDensest::Create(num_nodes, opt);
+  if (!engine.ok()) return engine.status();
+
+  InsertReplayUpdateStream inserts(*stream);
+  std::unique_ptr<SlidingWindowUpdateStream> windowed;
+  UpdateStream* updates = &inserts;
+  if (*window > 0) {
+    windowed = std::make_unique<SlidingWindowUpdateStream>(
+        *stream, static_cast<uint64_t>(*window),
+        static_cast<uint64_t>(*evict_batch));
+    updates = windowed.get();
+  }
+
+  // The serving tier: the replay thread is the plane's single writer; the
+  // reader pool answers the closed-loop client workload below without
+  // ever touching the writer.
+  AnswerPlane plane(num_nodes);
+  QueryServiceOptions qopt;
+  qopt.num_readers = static_cast<size_t>(*readers);
+  qopt.queue_capacity = static_cast<size_t>(*queue_capacity);
+  QueryService service(plane, qopt);
+
+  CancelToken writer_cancel;
+  ReplayOptions replay_opt;
+  replay_opt.target_updates_per_sec = *rate;
+  replay_opt.query_every = 0;  // queries come through the service instead
+  replay_opt.publish = &plane;
+  replay_opt.publish_every = static_cast<uint64_t>(*publish_every);
+  replay_opt.cancel = &writer_cancel;
+
+  std::atomic<bool> writer_done{false};
+  StatusOr<ReplayReport> report = Status::Internal("writer did not run");
+  std::thread writer([&] {
+    report = ReplayUpdates(*updates, **engine, replay_opt);
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  // Closed-loop client: submit seeded query batches at --qps until the
+  // writer drains the stream. Sheds and expiries are normal serving
+  // outcomes and are tallied, not fatal.
+  Rng rng(Mix64(static_cast<uint64_t>(*seed)));
+  const std::array<uint64_t, 3>& w = *mix;
+  const uint64_t mix_total = w[0] + w[1] + w[2];
+  std::vector<ServeQuery> queries(static_cast<size_t>(*batch));
+  std::vector<ServeResult> results;
+  uint64_t batches_ok = 0, batches_shed = 0, batches_expired = 0;
+  uint64_t queries_submitted = 0;
+  Status client_status = Status::OK();
+  WallTimer client_wall;
+  while (!writer_done.load(std::memory_order_acquire)) {
+    for (ServeQuery& q : queries) {
+      const uint64_t draw = rng.UniformU64(mix_total);
+      if (draw < w[0]) {
+        q = ServeQuery{ServeQuery::Kind::kDensity, 0};
+      } else if (draw < w[0] + w[1]) {
+        q = ServeQuery{ServeQuery::Kind::kMembership,
+                       static_cast<NodeId>(rng.UniformU64(
+                           num_nodes > 0 ? num_nodes : 1))};
+      } else {
+        q = ServeQuery{ServeQuery::Kind::kSnapshot, 0};
+      }
+    }
+    Status s;
+    if (*deadline_ms > 0) {
+      CancelToken deadline = CancelToken::WithDeadlineAfterMs(*deadline_ms);
+      s = service.QueryBatch(queries, &results, &deadline);
+    } else {
+      s = service.QueryBatch(queries, &results);
+    }
+    queries_submitted += queries.size();
+    if (s.ok()) {
+      ++batches_ok;
+    } else if (s.code() == Status::Code::kUnavailable) {
+      ++batches_shed;
+    } else if (s.code() == Status::Code::kDeadlineExceeded ||
+               s.code() == Status::Code::kCancelled) {
+      ++batches_expired;
+    } else {
+      client_status = s;  // a real serving bug: stop the writer and fail
+      writer_cancel.Cancel();
+      break;
+    }
+    if (*qps > 0) {
+      const double ahead =
+          static_cast<double>(queries_submitted) / *qps -
+          client_wall.ElapsedSeconds();
+      if (ahead > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(ahead));
+      }
+    }
+  }
+  writer.join();
+  service.Stop();
+  if (!client_status.ok()) return client_status;
+  if (!report.ok()) return report.status();
+
+  const Answer final_answer = plane.ReadAnswer();
+  out << "serve (eps=" << *eps
+      << (*window > 0 ? ", sliding window " + std::to_string(*window)
+                      : std::string(", insert-only"))
+      << ", readers=" << *readers << "): rho=" << final_answer.density;
+  if (final_answer.certified) {
+    out << " certified rho* < " << final_answer.upper_bound;
+  } else {
+    out << " UNCERTIFIED";
+  }
+  out << " at epoch " << final_answer.epoch << "\n";
+  out << "writer: " << report->updates << " updates at "
+      << static_cast<uint64_t>(report->updates_per_sec) << "/s, "
+      << plane.epoch() << " publications\n";
+  out << "client: " << batches_ok << " batches ok, " << batches_shed
+      << " shed, " << batches_expired << " expired ("
+      << queries_submitted << " queries submitted)\n";
+  const QueryServiceStats sstats = service.stats();
+  out << "service: " << sstats.queries_served << " queries served  p50="
+      << sstats.latency_p50_us << "us  p99=" << sstats.latency_p99_us
+      << "us  mean=" << sstats.latency_mean_us << "us\n";
+  return Status::OK();
+}
+
 Status CmdChaos(const Args& args, std::ostream& out) {
   StatusOr<bool> smoke = args.GetBool("smoke", false);
   StatusOr<bool> verbose = args.GetBool("verbose", false);
@@ -532,6 +748,7 @@ Status CmdChaos(const Args& args, std::ostream& out) {
   StatusOr<int64_t> snapshot_every = args.GetInt("snapshot-every", 100);
   StatusOr<int64_t> max_faults = args.GetInt("max-faults", 6);
   StatusOr<int64_t> batch_size = args.GetInt("batch-size", 64);
+  StatusOr<int64_t> readers = args.GetInt("readers", 2);
   std::string scratch = args.GetString("scratch", "");
   for (const Status& s :
        {smoke.ok() ? Status::OK() : smoke.status(),
@@ -545,12 +762,13 @@ Status CmdChaos(const Args& args, std::ostream& out) {
         checkpoint_every.ok() ? Status::OK() : checkpoint_every.status(),
         snapshot_every.ok() ? Status::OK() : snapshot_every.status(),
         max_faults.ok() ? Status::OK() : max_faults.status(),
-        batch_size.ok() ? Status::OK() : batch_size.status()}) {
+        batch_size.ok() ? Status::OK() : batch_size.status(),
+        readers.ok() ? Status::OK() : readers.status()}) {
     if (!s.ok()) return s;
   }
   if (*schedules < 1 || *nodes < 2 || *edges < 1 || *window < 1 ||
       *checkpoint_every < 1 || *snapshot_every < 1 || *max_faults < 0 ||
-      *batch_size < 1) {
+      *batch_size < 1 || *readers < 0) {
     return Status::InvalidArgument("chaos: flag value out of range");
   }
 
@@ -565,6 +783,7 @@ Status CmdChaos(const Args& args, std::ostream& out) {
   opt.snapshot_every = static_cast<uint64_t>(*snapshot_every);
   opt.max_faults = static_cast<uint32_t>(*max_faults);
   opt.batch_size = static_cast<size_t>(*batch_size);
+  opt.reader_threads = static_cast<uint32_t>(*readers);
   opt.scratch_dir = scratch;
   if (*verbose) opt.log = &out;
   if (*smoke) {
@@ -586,6 +805,11 @@ Status CmdChaos(const Args& args, std::ostream& out) {
       << " full rebuilds), " << report->total_band_checks << " band checks, "
       << report->total_invariant_audits << " invariant audits; every final "
       << "state bit-identical to its fault-free reference\n";
+  if (report->total_reader_snapshots > 0) {
+    out << "serving: " << report->total_reader_snapshots
+        << " concurrent reader snapshots verified untorn against the "
+        << "writer log and re-derived from their workload prefixes\n";
+  }
   return Status::OK();
 }
 
@@ -738,15 +962,30 @@ std::string CliUsage() {
       "      recompute (doubled budget, after --rearm-updates more\n"
       "      updates) completes. --check-invariants audits the level\n"
       "      structures at every checkpoint\n"
+      "  serve <graph> [--eps=0.75] [--window=W] [--rate=R]\n"
+      "      [--publish-every=1024] [--readers=4] [--qps=2000]\n"
+      "      [--query-mix=80,15,5] [--batch=8] [--queue-capacity=64]\n"
+      "      [--deadline-ms=0] [--seed=1] [--evict-batch=1]\n"
+      "      multi-tenant serving: one writer thread replays the graph's\n"
+      "      update stream and publishes each settled answer into an\n"
+      "      epoch-based snapshot-isolated plane, while --readers reader\n"
+      "      threads answer a closed-loop client workload of batched\n"
+      "      density/membership/snapshot queries (--query-mix weights) at\n"
+      "      --qps. Reports writer throughput, publication count, and\n"
+      "      serving latency percentiles; a full queue sheds batches with\n"
+      "      a retryable kUnavailable, --deadline-ms bounds each batch\n"
       "  chaos [--smoke] [--schedules=20] [--seed=1] [--verbose]\n"
       "      [--nodes=70 --edges=1200 --window=150 --eps=0.6]\n"
       "      [--checkpoint-every=300 --snapshot-every=100]\n"
-      "      [--max-faults=6] [--batch-size=64] [--scratch=DIR]\n"
+      "      [--max-faults=6] [--batch-size=64] [--readers=2]\n"
+      "      [--scratch=DIR]\n"
       "      randomized chaos/soak harness: replays seeded workloads under\n"
       "      random fault injection (crashes, dead disks, torn files,\n"
       "      failed snapshots) with kill/snapshot-resume cycles, and fails\n"
       "      unless every surviving engine is bit-identical to a\n"
-      "      fault-free reference run. --smoke is the fixed-seed CI gate\n"
+      "      fault-free reference run, and every snapshot observed by\n"
+      "      --readers concurrent serving readers matches the writer's\n"
+      "      publication log bit-for-bit. --smoke is the fixed-seed CI gate\n"
       "  exact <graph>\n"
       "      exact rho* via Goldberg's max-flow reduction\n"
       "  enumerate <graph> [--eps=0.5] [--count=10] [--min-density=1]\n"
@@ -786,6 +1025,8 @@ Status RunCliCommand(const std::string& command, const Args& args,
     status = CmdMapReduce(args, out);
   } else if (command == "dynamic") {
     status = CmdDynamic(args, out);
+  } else if (command == "serve") {
+    status = CmdServe(args, out);
   } else if (command == "chaos") {
     status = CmdChaos(args, out);
   } else if (command == "exact") {

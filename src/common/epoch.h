@@ -1,0 +1,109 @@
+// Copyright 2026 The densest Authors.
+// The writer->reader epoch handoff primitive behind the serving planes: a
+// seqlock whose sequence word doubles as a publication epoch.
+//
+// One writer publishes a payload of relaxed atomics; any number of readers
+// snapshot it wait-free-with-retry and never block the writer. The
+// protocol (Boehm, "Can seqlocks get along with programming language
+// memory models?", MSPC 2012 — the formulation that is race-free under
+// the C++ memory model AND under ThreadSanitizer):
+//
+//   writer                                reader
+//   ------                                ------
+//   seq.store(s+1, relaxed)   [odd]       s1 = seq.load(acquire)  [retry odd]
+//   atomic_thread_fence(release)          payload loads, relaxed
+//   payload stores, relaxed               atomic_thread_fence(acquire)
+//   seq.store(s+2, release)   [even]      s2 = seq.load(relaxed)
+//                                         retry unless s2 == s1
+//
+// Why this shape: the release fence orders the odd store before every
+// payload store, so a reader that acquires an even s1 and then re-reads
+// the same value at s2 knows no writer entered the critical section while
+// it copied — the payload words it read all belong to publication s1/2.
+// The payload MUST be relaxed atomics, not plain memory: a plain-memory
+// seqlock's speculative reads race with the writer by definition (the
+// retry loop only discards the values after the fact), which is exactly
+// what TSan flags. Relaxed atomic payload words make every access a
+// non-racing atomic op while compiling to the same plain loads and stores
+// on x86-64 and ARM64.
+//
+// Epochs: publication k leaves the sequence word at 2k, so epoch() ==
+// seq/2 names the current publication and readers can tag the snapshots
+// they took with the epoch they were taken from.
+//
+// Single-writer by contract: BeginWrite/EndWrite are not re-entrant and
+// must only ever be called from one thread at a time (the repo's dynamic
+// service is single-writer by design; nothing here enforces mutual
+// exclusion between writers).
+
+#ifndef DENSEST_COMMON_EPOCH_H_
+#define DENSEST_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace densest {
+
+/// \brief Seqlock sequence word with epoch accounting. Holds no payload —
+/// the owner declares its payload fields as relaxed std::atomic members
+/// and brackets writes with BeginWrite()/EndWrite(), reads with
+/// ReadBegin()/ReadRetry().
+class EpochSeqLock {
+ public:
+  EpochSeqLock() = default;
+  EpochSeqLock(const EpochSeqLock&) = delete;
+  EpochSeqLock& operator=(const EpochSeqLock&) = delete;
+
+  /// Writer: enters the critical section (sequence goes odd) and orders
+  /// the transition before the caller's subsequent relaxed payload stores.
+  void BeginWrite() {
+    seq_.store(seq_.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+
+  /// Writer: publishes (sequence goes even) with release semantics, making
+  /// every payload store since BeginWrite() visible to any reader whose
+  /// ReadBegin() observes the new sequence.
+  void EndWrite() {
+    seq_.store(seq_.load(std::memory_order_relaxed) + 1,
+               std::memory_order_release);
+  }
+
+  /// Reader: spins past any in-flight write and returns an even sequence
+  /// to validate against. The acquire load synchronizes with the
+  /// EndWrite() that published it.
+  uint64_t ReadBegin() const {
+    uint64_t s = seq_.load(std::memory_order_acquire);
+    while (s & 1) s = seq_.load(std::memory_order_acquire);
+    return s;
+  }
+
+  /// Reader: true when the snapshot copied since ReadBegin() may be torn
+  /// (a writer entered the critical section meanwhile) and must be
+  /// retried. The acquire fence orders the caller's relaxed payload loads
+  /// before the re-read of the sequence word.
+  bool ReadRetry(uint64_t begin) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return seq_.load(std::memory_order_relaxed) != begin;
+  }
+
+  /// Publication count: EndWrite() has run `epoch()` times. Readers
+  /// normally derive the epoch from the validated ReadBegin() value
+  /// (begin / 2) so it names the publication their snapshot came from.
+  uint64_t epoch() const {
+    return seq_.load(std::memory_order_acquire) / 2;
+  }
+
+  /// The epoch a validated ReadBegin() value belongs to.
+  static uint64_t EpochOf(uint64_t begin_sequence) {
+    return begin_sequence / 2;
+  }
+
+ private:
+  std::atomic<uint64_t> seq_{0};
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_COMMON_EPOCH_H_

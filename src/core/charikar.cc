@@ -25,6 +25,7 @@ CharikarResult BuildResult(const UndirectedGraph& g,
   CharikarResult out;
   out.best.density = density_after_step[best_t];
   out.best.passes = removal_order.size();
+  out.best.certified_band = 2.0;  // Charikar's classic factor
   out.best.nodes.assign(removal_order.begin() + best_t, removal_order.end());
   std::sort(out.best.nodes.begin(), out.best.nodes.end());
   // Per-step trace mirrors the streaming algorithms' PassSnapshot.

@@ -4,6 +4,24 @@
 
 namespace densest {
 
+Answer UndirectedDensestResult::ToAnswer() const {
+  Answer a;
+  a.density = density;
+  a.size = static_cast<NodeId>(nodes.size());
+  a.certified = certified_band > 0;
+  a.upper_bound = a.certified ? certified_band * density : 0;
+  return a;
+}
+
+Answer DirectedDensestResult::ToAnswer() const {
+  Answer a;
+  a.density = density;
+  a.size = static_cast<NodeId>(s_nodes.size() + t_nodes.size());
+  a.certified = certified_band > 0;
+  a.upper_bound = a.certified ? certified_band * density : 0;
+  return a;
+}
+
 std::string Summarize(const UndirectedDensestResult& r) {
   std::ostringstream os;
   os << "rho=" << r.density << " |S|=" << r.nodes.size()

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/answer.h"
 #include "graph/types.h"
 
 namespace densest {
@@ -38,8 +39,21 @@ struct [[nodiscard]] UndirectedDensestResult {
   /// in-memory compaction (Algorithm1Options::compact_below_edges) kicked
   /// in, in which case the remaining passes ran over the internal buffer.
   uint64_t io_passes = 0;
+  /// The driver's approximation guarantee: rho* <= certified_band *
+  /// density. Set at result construction from the algorithm's proven
+  /// factor — 2(1+eps) for Algorithm 1, 3(1+eps) for Algorithm 2, 2 for
+  /// Charikar / max-core. 0 = no recorded band (e.g. the sketched variant,
+  /// whose oracle estimates void the deterministic proof); ToAnswer() then
+  /// reports the answer uncertified.
+  double certified_band = 0;
   /// Per-pass trace (empty if tracing was disabled).
   std::vector<PassSnapshot> trace;
+
+  /// The unified serving view (core/answer.h): density + the band-implied
+  /// certified upper bound, comparable field-for-field with answers from
+  /// the dynamic engine and the serving plane. Batch answers are never
+  /// stale and carry epoch 0.
+  Answer ToAnswer() const;
 };
 
 /// \brief State of the directed peeling process at one pass.
@@ -62,7 +76,13 @@ struct [[nodiscard]] DirectedDensestResult {
   uint64_t passes = 0;
   /// The size ratio c this run assumed.
   double c = 1.0;
+  /// rho*(c) <= certified_band * density for this c (2(1+eps) for
+  /// Algorithm 3); 0 = no recorded band. See UndirectedDensestResult.
+  double certified_band = 0;
   std::vector<DirectedPassSnapshot> trace;
+
+  /// The unified serving view; size counts |S~| + |T~|.
+  Answer ToAnswer() const;
 };
 
 /// Renders "rho=… |S|=… passes=…" for logs and examples.

@@ -77,6 +77,7 @@ UndirectedDensestResult MaxCoreBaseline(const UndirectedGraph& g) {
   out.nodes = s.ToVector();
   out.density = InducedDensity(g, s);
   out.passes = 1;  // one in-memory decomposition
+  out.certified_band = 2.0;  // density >= degeneracy/2 >= rho*/2
   return out;
 }
 

@@ -283,6 +283,7 @@ const CancelToken* SweepCancel(const std::vector<OptionsT>& runs) {
 MultiRunEngine::MultiRunEngine(const MultiRunOptions& options) {
   num_threads_ = options.num_threads;
   fan_out_ = options.fan_out;
+  default_cancel_ = options.cancel;
   if (num_threads_ == 0) {
     num_threads_ = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
@@ -303,8 +304,14 @@ void MultiRunEngine::Dispatch(size_t count,
 }
 
 Status MultiRunEngine::Drive(EdgeStream& stream,
+                             std::span<FusedRun* const> runs) {
+  return Drive(stream, runs, default_cancel_);
+}
+
+Status MultiRunEngine::Drive(EdgeStream& stream,
                              std::span<FusedRun* const> runs,
                              const CancelToken* cancel) {
+  if (cancel == nullptr) cancel = default_cancel_;
   last_physical_passes_ = last_logical_passes_ = last_edges_scanned_ = 0;
   batch_.resize(kShardSlots * kShardEdges);
   PassCursor cursor(stream);

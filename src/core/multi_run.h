@@ -90,6 +90,12 @@ struct MultiRunOptions {
   /// Fan-out shape (see MultiRunFanOut). Any value yields bit-identical
   /// results.
   MultiRunFanOut fan_out = MultiRunFanOut::kAuto;
+  /// Optional cooperative cancellation for Drive() (the repo-wide options
+  /// convention, common/cancel.h): polled once per chunk round of the
+  /// shared scan. The sweep entry points (Run*Runs) ignore this and take
+  /// their token from the per-run option structs instead — the scan is
+  /// physically shared, so one token governs the whole sweep.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Drives K independent peeling runs from shared physical scans.
@@ -166,11 +172,17 @@ class MultiRunEngine {
   /// Fails (abandoning the partial results) when the stream reports an IO
   /// error — a failing stream ends passes early and silently, and peeling
   /// on truncated statistics would yield plausible-looking wrong answers.
-  /// A non-null `cancel` is polled once per chunk round of the shared scan;
-  /// on cancellation Drive abandons the sweep the same way and returns
-  /// kCancelled / kDeadlineExceeded.
+  /// MultiRunOptions::cancel is polled once per chunk round of the shared
+  /// scan; on cancellation Drive abandons the sweep the same way and
+  /// returns kCancelled / kDeadlineExceeded.
+  Status Drive(EdgeStream& stream, std::span<FusedRun* const> runs);
+
+  /// Deprecated spelling: pass the token through MultiRunOptions::cancel
+  /// (or, for the sweep entry points, through the per-run option structs).
+  /// Kept as a thin forwarding shim so existing callers compile; a
+  /// non-null `cancel` here overrides the options token for this call.
   Status Drive(EdgeStream& stream, std::span<FusedRun* const> runs,
-               const CancelToken* cancel = nullptr);
+               const CancelToken* cancel);
 
   /// Fused Algorithm 3: one directed peeling run per entry of `runs`, all
   /// fed from shared scans of `stream`. Results are positionally matched
@@ -245,6 +257,7 @@ class MultiRunEngine {
 
   size_t num_threads_ = 1;
   MultiRunFanOut fan_out_ = MultiRunFanOut::kAuto;
+  const CancelToken* default_cancel_ = nullptr;  // MultiRunOptions::cancel
   // Concurrency contract (no mutex by design, same as PassEngine): every
   // task of a round writes one (run, slot) accumulator plane no other task
   // of that round touches, and the round's ParallelFor completion barrier

@@ -96,6 +96,8 @@ UndirectedDensestResult Algorithm1Run::TakeResult() {
   result_.density = best_density_ < 0 ? 0.0 : best_density_;
   result_.passes = pass_;
   result_.io_passes = io_passes_;
+  // Lemma 1: rho* <= 2(1+eps) rho(S~).
+  result_.certified_band = 2.0 * (1.0 + options_.epsilon);
   return std::move(result_);
 }
 
@@ -167,6 +169,8 @@ UndirectedDensestResult Algorithm2Run::TakeResult() {
   result_.density = best_density_ < 0 ? 0.0 : best_density_;
   result_.passes = pass_;
   result_.io_passes = pass_;
+  // Theorem 4: rho*_{>=k} <= 3(1+eps) rho(S~) for the at-least-k problem.
+  result_.certified_band = 3.0 * (1.0 + options_.epsilon);
   return std::move(result_);
 }
 
@@ -252,6 +256,8 @@ DirectedDensestResult Algorithm3Run::TakeResult() {
   result_.t_nodes = best_t_.ToVector();
   result_.density = best_density_ < 0 ? 0.0 : best_density_;
   result_.passes = pass_;
+  // Theorem 6: rho*(c) <= 2(1+eps) rho(S~, T~) at this ratio c.
+  result_.certified_band = 2.0 * (1.0 + options_.epsilon);
   return std::move(result_);
 }
 

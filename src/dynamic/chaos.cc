@@ -1,10 +1,15 @@
 #include "dynamic/chaos.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -14,6 +19,7 @@
 #include "dynamic/replay.h"
 #include "dynamic/snapshot.h"
 #include "gen/erdos_renyi.h"
+#include "serve/answer_plane.h"
 #include "stream/memory_stream.h"
 #include "stream/update_stream.h"
 
@@ -103,6 +109,87 @@ Status CompareEngines(const DynamicDensest& ref, const DynamicDensest& got) {
 
 Status Arm(const std::string& name, const std::string& spec) {
   return Failpoints::Instance().Set(name, spec);
+}
+
+/// An observed reader snapshot must be one writer publication verbatim:
+/// the epoch it carries names exactly one entry of the writer log, and
+/// every field — scalars bit-for-bit, membership list element-for-element
+/// — must match it. Any difference is a torn read the seqlock failed to
+/// catch.
+Status VerifyObservedSnapshot(const PlaneSnapshot& got,
+                              const std::vector<PlaneSnapshot>& log) {
+  const uint64_t e = got.answer.epoch;
+  if (e == 0 || e > log.size()) {
+    return Status::Internal("reader observed epoch " + std::to_string(e) +
+                            " but the writer published " +
+                            std::to_string(log.size()));
+  }
+  const PlaneSnapshot& want = log[e - 1];
+  if (!SameBits(want.answer.density, got.answer.density) ||
+      !SameBits(want.answer.upper_bound, got.answer.upper_bound) ||
+      want.answer.size != got.answer.size ||
+      want.answer.certified != got.answer.certified ||
+      want.answer.stale != got.answer.stale ||
+      want.prefix_updates != got.prefix_updates ||
+      want.members != got.members) {
+    return Status::Internal("torn read: snapshot at epoch " +
+                            std::to_string(e) +
+                            " differs from the writer's publication");
+  }
+  return Status::OK();
+}
+
+/// The end-to-end serving guarantee: re-derive the live edge set after the
+/// first `prefix_updates` workload updates (mirroring DynamicAdjacency's
+/// ignore rules: no self-loops, duplicate inserts and absent deletes are
+/// no-ops) and check the observed answer against it — the witnessing
+/// set's exact induced density equals the served density bit-for-bit and
+/// sits under the certified upper bound.
+Status VerifyObservedPrefix(const PlaneSnapshot& snap,
+                            const std::vector<EdgeUpdate>& workload) {
+  if (snap.prefix_updates > workload.size()) {
+    return Status::Internal(
+        "observed snapshot names prefix " +
+        std::to_string(snap.prefix_updates) + " beyond the " +
+        std::to_string(workload.size()) + "-update workload");
+  }
+  std::set<std::pair<NodeId, NodeId>> live;
+  for (uint64_t i = 0; i < snap.prefix_updates; ++i) {
+    const EdgeUpdate& u = workload[i];
+    if (u.u == u.v) continue;
+    const std::pair<NodeId, NodeId> key{std::min(u.u, u.v),
+                                        std::max(u.u, u.v)};
+    if (u.is_insert()) {
+      live.insert(key);
+    } else {
+      live.erase(key);
+    }
+  }
+  const std::vector<NodeId>& s = snap.members;
+  EdgeId induced = 0;
+  for (const auto& [a, b] : live) {
+    if (std::binary_search(s.begin(), s.end(), a) &&
+        std::binary_search(s.begin(), s.end(), b)) {
+      ++induced;
+    }
+  }
+  const double density =
+      s.empty() ? 0.0
+                : static_cast<double>(induced) / static_cast<double>(s.size());
+  if (!SameBits(density, snap.answer.density)) {
+    return Status::Internal(
+        "served density at epoch " + std::to_string(snap.answer.epoch) +
+        " (" + std::to_string(snap.answer.density) +
+        ") is not the witnessing set's induced density at prefix " +
+        std::to_string(snap.prefix_updates) + " (" + std::to_string(density) +
+        ")");
+  }
+  if (snap.answer.certified && density > snap.answer.upper_bound &&
+      induced > 0) {
+    return Status::Internal("served density exceeds its certified bound at epoch " +
+                            std::to_string(snap.answer.epoch));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -198,6 +285,46 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& options) {
       if (!created.ok()) return created.status();
       engine = std::move(*created);
     }
+
+    // The serving plane lives across every chaos segment (one process
+    // restart does not reset the serving tier), so epochs stay monotone
+    // through kills and resumes. Readers snapshot it the whole time and
+    // record each new epoch they see; the oracle below replays their
+    // observations against the writer log and the workload.
+    std::unique_ptr<AnswerPlane> plane;
+    std::vector<std::thread> readers;
+    std::vector<std::vector<PlaneSnapshot>> observed(options.reader_threads);
+    std::atomic<bool> readers_stop{false};
+    if (options.reader_threads > 0) {
+      plane = std::make_unique<AnswerPlane>(options.nodes);
+      plane->EnableWriterLog();
+      for (uint32_t t = 0; t < options.reader_threads; ++t) {
+        readers.emplace_back([&, t] {
+          std::vector<PlaneSnapshot>& mine = observed[t];
+          while (!readers_stop.load(std::memory_order_acquire)) {
+            PlaneSnapshot snap = plane->ReadSnapshot();
+            if (snap.answer.epoch != 0 &&
+                (mine.empty() ||
+                 mine.back().answer.epoch != snap.answer.epoch)) {
+              mine.push_back(std::move(snap));
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        });
+      }
+    }
+    // Joins on every exit path: the threads capture locals by reference.
+    struct ReaderJoin {
+      std::atomic<bool>& stop;
+      std::vector<std::thread>& threads;
+      ~ReaderJoin() {
+        stop.store(true, std::memory_order_release);
+        for (std::thread& t : threads) {
+          if (t.joinable()) t.join();
+        }
+      }
+    } reader_join{readers_stop, readers};
+
     uint64_t cursor = 0;
     uint32_t faults_left =
         Failpoints::compiled_in() ? options.max_faults : 0;
@@ -275,6 +402,7 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& options) {
       ropt.snapshot_every = options.snapshot_every;
       ropt.snapshot_path = snapshot_path;
       ropt.skip_updates = cursor;
+      ropt.publish = plane.get();
       StatusOr<ReplayReport> r = ReplayUpdates(**stream, *engine, ropt);
       Failpoints::Instance().ClearAll();
       if (r.ok()) {
@@ -319,6 +447,33 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& options) {
       }
     }
 
+    // Serving oracle: stop the readers, then hold every snapshot they
+    // observed against (a) the writer's publication log — bit-for-bit, so
+    // any torn read fails loudly — and (b) an independent re-derivation
+    // from the workload prefix the snapshot names. Each distinct epoch is
+    // re-derived once; the log match runs on every observation.
+    if (plane != nullptr) {
+      readers_stop.store(true, std::memory_order_release);
+      for (std::thread& t : readers) {
+        if (t.joinable()) t.join();
+      }
+      const std::vector<PlaneSnapshot>& log = plane->writer_log();
+      std::set<uint64_t> derived_epochs;
+      for (const std::vector<PlaneSnapshot>& mine : observed) {
+        for (const PlaneSnapshot& snap : mine) {
+          if (Status s = VerifyObservedSnapshot(snap, log); !s.ok()) {
+            return ScheduleError(index, seed, s.message());
+          }
+          ++outcome.reader_snapshots;
+          if (derived_epochs.insert(snap.answer.epoch).second) {
+            if (Status s = VerifyObservedPrefix(snap, workload); !s.ok()) {
+              return ScheduleError(index, seed, s.message());
+            }
+          }
+        }
+      }
+    }
+
     // The oracle: the survivor must be indistinguishable from the engine
     // that never saw a fault, and structurally sound on top of it.
     if (Status s = engine->CheckInvariants(); !s.ok()) {
@@ -339,13 +494,15 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& options) {
                    << outcome.faults_injected << " faults, " << outcome.kills
                    << " kills (" << outcome.full_rebuilds
                    << " full rebuilds), " << outcome.band_checks
-                   << " band checks — identical to reference\n";
+                   << " band checks, " << outcome.reader_snapshots
+                   << " reader snapshots — identical to reference\n";
     }
     ++report.schedules;
     report.total_faults += outcome.faults_injected;
     report.total_kills += outcome.kills;
     report.total_full_rebuilds += outcome.full_rebuilds;
     report.total_band_checks += outcome.band_checks;
+    report.total_reader_snapshots += outcome.reader_snapshots;
     report.outcomes.push_back(outcome);
   }
   return report;

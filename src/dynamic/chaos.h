@@ -68,6 +68,17 @@ struct ChaosOptions {
   /// Updates pulled per NextBatch in both runs (small values give the
   /// stream-read failpoint more evaluation points).
   size_t batch_size = 64;
+  /// Concurrent serving readers per schedule: the chaos run publishes
+  /// every settled answer into an epoch-published AnswerPlane
+  /// (serve/answer_plane.h) — kills and resumes included, so epochs stay
+  /// monotone across recoveries — while this many reader threads
+  /// continuously snapshot it. After the schedule every observed snapshot
+  /// must (a) match the writer's publication log bit-for-bit (zero torn
+  /// reads) and (b) re-derive exactly from the workload prefix it names:
+  /// the witnessing set's induced density in that prefix graph equals the
+  /// served density and sits under the certified upper bound. 0 turns
+  /// concurrent serving off.
+  uint32_t reader_threads = 2;
   /// Where the update file and snapshots live ("" = system temp dir).
   std::string scratch_dir;
   /// Per-schedule progress lines go here when non-null.
@@ -85,6 +96,9 @@ struct ChaosScheduleOutcome {
   uint32_t full_rebuilds = 0;     ///< recoveries with no usable snapshot
   uint32_t snapshot_read_faults = 0;
   uint64_t band_checks = 0;       ///< exact-flow checkpoints (both runs)
+  /// Untorn plane snapshots the reader threads observed and the oracle
+  /// verified (log-exact + prefix-derived).
+  uint64_t reader_snapshots = 0;
 };
 
 /// \brief Aggregate over all schedules.
@@ -98,6 +112,7 @@ struct ChaosReport {
   uint32_t total_full_rebuilds = 0;
   uint64_t total_band_checks = 0;
   uint64_t total_invariant_audits = 0;
+  uint64_t total_reader_snapshots = 0;
   std::vector<ChaosScheduleOutcome> outcomes;
 };
 

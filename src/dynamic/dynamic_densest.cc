@@ -69,6 +69,11 @@ StatusOr<std::unique_ptr<DynamicDensest>> DynamicDensest::FromSnapshotState(
   }
   e.trim_streak_ = trim_streak;
   e.stats_ = stats;
+  // The stale tally lives in its own relaxed atomic (see stats()); the
+  // plain field in stats_ stays zero so the merge never double-counts.
+  e.stale_answers_served_.store(stats.stale_answers_served,
+                                std::memory_order_relaxed);
+  e.stats_.stale_answers_served = 0;
   e.recompute_pending_ = overload.pending;
   e.cancel_streak_ = overload.cancel_streak;
   e.rearm_at_updates_ = overload.rearm_at_updates;
@@ -381,7 +386,7 @@ DynamicDensest::Answer DynamicDensest::Query() const {
         answer.size = best.nodes;
       }
     }
-    ++stats_.stale_answers_served;
+    stale_answers_served_.fetch_add(1, std::memory_order_relaxed);
     return answer;
   }
   // Degraded window (DynamicFallback::kNever): best effort over whatever

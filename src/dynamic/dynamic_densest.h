@@ -29,6 +29,7 @@
 #ifndef DENSEST_DYNAMIC_DYNAMIC_DENSEST_H_
 #define DENSEST_DYNAMIC_DYNAMIC_DENSEST_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -36,6 +37,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/answer.h"
 #include "core/multi_run.h"
 #include "dynamic/degree_levels.h"
 #include "graph/types.h"
@@ -174,25 +176,13 @@ class DynamicDensest {
   void Apply(const EdgeUpdate& update);
   void ApplyBatch(std::span<const EdgeUpdate> batch);
 
-  /// \brief A point-in-time answer.
-  struct Answer {
-    /// Density of the returned node set (a real induced density — always a
-    /// lower bound on rho*).
-    double density = 0;
-    /// Certified upper bound: rho* < upper_bound (meaningful only while
-    /// certified; equals 0 for an empty graph).
-    double upper_bound = 0;
-    /// |S| of the answering level set.
-    NodeId size = 0;
-    /// False only under DynamicFallback::kNever with a degraded window.
-    bool certified = true;
-    /// True while a deadline-cancelled recompute is pending: the answer is
-    /// still certified, but upper_bound is the last certificate widened by
-    /// the sound growth bound (rho* rises by at most 1/2 per insertion and
-    /// never by a deletion), so the band loosens with every insert until
-    /// the recompute re-arms and completes.
-    bool stale = false;
-  };
+  /// \brief A point-in-time answer — the engine serves the repo-wide
+  /// unified type (core/answer.h). For this engine: certified is false
+  /// only under DynamicFallback::kNever with a degraded window; stale is
+  /// true while a deadline-cancelled recompute is pending (the certificate
+  /// is the last one, widened by the sound growth bound); epoch stays 0
+  /// (publication epochs are assigned by the serving plane, not here).
+  using Answer = ::densest::Answer;
   /// O(window + levels): reads maintained aggregates only.
   Answer Query() const;
   /// The node set behind Query() (ascending ids); O(n).
@@ -206,7 +196,21 @@ class DynamicDensest {
   /// checkpoints and external consumers recompute over.
   EdgeList CurrentEdges() const { return adj_.ToEdgeList(); }
 
-  const DynamicDensestStats& stats() const { return stats_; }
+  /// Accumulated counters, merged into one value struct. Safe to call
+  /// concurrently with reader-thread Query() calls: the one counter a
+  /// logically-const query bumps (stale_answers_served) is a relaxed
+  /// atomic — an independent monotone tally with no ordering relationship
+  /// to any other engine state, so a read that misses an in-flight
+  /// increment just attributes it to the next call (the same contract as
+  /// BinaryFileEdgeStream::io_retry_stats()). Every other field is
+  /// writer-owned plain state: reading it concurrently with Apply* keeps
+  /// the engine's single-writer rules.
+  DynamicDensestStats stats() const {
+    DynamicDensestStats merged = stats_;
+    merged.stale_answers_served =
+        stale_answers_served_.load(std::memory_order_relaxed);
+    return merged;
+  }
   const DynamicDensestOptions& options() const { return options_; }
   /// Maintained threshold window [lo, hi] as slot indices (d_k = d0
   /// (1+eps)^k); exposed for tests and the replay report.
@@ -265,8 +269,11 @@ class DynamicDensest {
   uint32_t cancel_streak_ = 0;      // consecutive cancelled recomputes
   double last_cert_upper_ = 0;      // last certified upper bound on rho*
   uint64_t last_cert_inserts_ = 0;  // stats_.inserts when it was captured
-  // Query() is logically const but counts stale answers served.
-  mutable DynamicDensestStats stats_;
+  DynamicDensestStats stats_;  // writer-owned; stale tally lives below
+  // Query() is logically const but counts the stale answers it serves.
+  // Kept out of stats_ as a relaxed atomic so concurrent reader-thread
+  // queries don't race on a plain field; stats() merges it back in.
+  mutable std::atomic<uint64_t> stale_answers_served_{0};
 };
 
 }  // namespace densest

@@ -109,6 +109,17 @@ StatusOr<ReplayReport> ReplayUpdates(UpdateStream& updates,
     if (every == 0) return UINT64_MAX;
     return every - (count % every);
   };
+  // Serving-plane publication, always from this (writer) thread. The
+  // position is absolute (resume cursor + applied count), so answers
+  // published across a crash/resume name prefixes of the same stream.
+  auto publish_answer = [&]() {
+    if (options.publish == nullptr) return;
+    options.publish->Publish(engine.Query(), engine.DensestNodes(),
+                             options.skip_updates + count);
+  };
+  // Publish the pre-replay state too: a restored engine starts serving
+  // its snapshot answer before the first new update lands.
+  publish_answer();
 
   while (true) {
     const size_t got = updates.NextBatch(batch.data(), batch_cap);
@@ -122,12 +133,23 @@ StatusOr<ReplayReport> ReplayUpdates(UpdateStream& updates,
       run = std::min(run, until_boundary(options.query_every));
       run = std::min(run, until_boundary(options.checkpoint_every));
       run = std::min(run, until_boundary(options.snapshot_every));
+      if (options.publish != nullptr) {
+        run = std::min(run, until_boundary(options.publish_every));
+      }
       WallTimer apply_timer;
       engine.ApplyBatch(
           std::span<const EdgeUpdate>(batch.data() + i, run));
       apply_seconds += apply_timer.ElapsedSeconds();
       i += run;
       count += run;
+      // Publish the settled state for concurrent readers before anything
+      // else observes it (queries and checkpoints below then agree with
+      // what the plane serves).
+      if (options.publish != nullptr &&
+          (options.publish_every == 0 ||
+           count % options.publish_every == 0)) {
+        publish_answer();
+      }
       // One poll per apply run (the engine settles every update before
       // returning, so the abort leaves it consistent and queryable).
       if (Status c = CheckCancel(options.cancel); !c.ok()) return c;
@@ -184,6 +206,10 @@ StatusOr<ReplayReport> ReplayUpdates(UpdateStream& updates,
   report.wall_seconds = wall.ElapsedSeconds();
   report.updates_per_sec =
       apply_seconds > 0 ? static_cast<double>(count) / apply_seconds : 0;
+
+  // Final publication: the plane's last epoch always carries the fully
+  // settled end-of-replay answer, whatever cadence the loop used.
+  publish_answer();
 
   TimedQuery(engine, report);
   const DynamicDensest::Answer final_answer = engine.Query();

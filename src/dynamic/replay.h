@@ -15,6 +15,7 @@
 #include "common/cancel.h"
 #include "common/histogram.h"
 #include "common/status.h"
+#include "core/answer.h"
 #include "dynamic/dynamic_densest.h"
 #include "stream/update_stream.h"
 
@@ -65,6 +66,19 @@ struct ReplayOptions {
   /// replay on the first violation. O(slots * (n + m)) per checkpoint —
   /// for tests and the chaos harness.
   bool check_invariants = false;
+  /// Epoch-publication seam for concurrent serving (serve/answer_plane.h
+  /// is the production sink): when non-null, the replay publishes the
+  /// settled answer + witnessing node set + absolute update position
+  /// before the first apply, after qualifying apply runs, and once more
+  /// at the end — always from the writer thread, so the sink's
+  /// single-writer contract holds. Each publication costs one Query()
+  /// plus an O(n) DensestNodes() walk; publish_every bounds how often.
+  AnswerSink* publish = nullptr;
+  /// Publish every N applied updates (0 = after every apply run, i.e. at
+  /// most every ~1k updates). Larger values amortize the O(n) witness
+  /// collection over more updates; readers just see epochs advance less
+  /// often.
+  uint64_t publish_every = 0;
 };
 
 /// \brief One band-verification point.

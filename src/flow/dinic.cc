@@ -11,8 +11,9 @@ namespace {
 constexpr double kFlowEps = 1e-11;
 }  // namespace
 
-Dinic::Dinic(int num_nodes)
+Dinic::Dinic(int num_nodes, const DinicOptions& options)
     : num_nodes_(num_nodes),
+      cancel_(options.cancel),
       arcs_(num_nodes),
       level_(num_nodes),
       iter_(num_nodes) {}

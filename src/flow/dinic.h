@@ -15,6 +15,16 @@
 
 namespace densest {
 
+/// \brief Knobs for a Dinic solver (the repo-wide options convention:
+/// every engine takes `const XOptions&` with a `cancel` member).
+struct DinicOptions {
+  /// Optional cooperative cancellation: MaxFlow polls the token at the top
+  /// of each BFS phase (O(V) phases total) and returns the partial flow
+  /// when it trips. The caller must re-check the token to distinguish a
+  /// converged solve from an abandoned one. Null = never stops.
+  const CancelToken* cancel = nullptr;
+};
+
 /// \brief Max-flow solver on a directed network with double capacities.
 ///
 /// Usage: AddArc all arcs, then MaxFlow(s, t), then MinCutSourceSide().
@@ -23,7 +33,7 @@ namespace densest {
 class Dinic {
  public:
   /// Creates a network with `num_nodes` nodes and no arcs.
-  explicit Dinic(int num_nodes);
+  explicit Dinic(int num_nodes, const DinicOptions& options = {});
 
   /// Adds arc u -> v with capacity `cap` (and a residual reverse arc of
   /// capacity `reverse_cap`, default 0). Returns the arc's id.
@@ -36,10 +46,8 @@ class Dinic {
   /// Restores residual capacities to the configured capacities.
   void ResetFlow();
 
-  /// Optional cooperative cancellation: MaxFlow polls the token at the top
-  /// of each BFS phase (O(V) phases total) and returns the partial flow
-  /// when it trips. The caller must re-check the token to distinguish a
-  /// converged solve from an abandoned one. Null (default) = never stops.
+  /// Deprecated spelling: pass the token through DinicOptions::cancel at
+  /// construction. Kept as a thin shim so existing callers compile.
   void set_cancel(const CancelToken* cancel) { cancel_ = cancel; }
 
   /// Computes the max flow from s to t over the current residual network

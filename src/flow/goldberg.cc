@@ -25,8 +25,7 @@ StatusOr<ExactDensestResult> ExactDensestSubgraph(
   // Network layout: graph nodes 0..n-1, source = n, sink = n+1.
   const int source = static_cast<int>(n);
   const int sink = static_cast<int>(n) + 1;
-  Dinic dinic(static_cast<int>(n) + 2);
-  dinic.set_cancel(options.cancel);
+  Dinic dinic(static_cast<int>(n) + 2, {.cancel = options.cancel});
 
   std::vector<int> sink_arcs(n);
   std::vector<double> wdeg(n);

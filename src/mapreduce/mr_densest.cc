@@ -146,6 +146,8 @@ StatusOr<MrDensestResult> RunMrDensestUndirected(
   out.result.nodes = best.ToVector();
   out.result.density = best_density < 0 ? 0.0 : best_density;
   out.result.passes = pass;
+  // Same peeling decisions as RunAlgorithm1, so the same Lemma 1 band.
+  out.result.certified_band = 2.0 * (1.0 + options.epsilon);
   out.totals = env.totals();
   out.input_scans = cursor.passes();
   return out;
@@ -277,6 +279,8 @@ StatusOr<MrDirectedResult> RunMrDensestDirected(
   out.result.t_nodes = best_t.ToVector();
   out.result.density = best_density < 0 ? 0.0 : best_density;
   out.result.passes = pass;
+  // Same peeling decisions as RunAlgorithm3, so the same Theorem 6 band.
+  out.result.certified_band = 2.0 * (1.0 + options.epsilon);
   out.totals = env.totals();
   out.input_scans = cursor.passes();
   return out;

@@ -1,0 +1,187 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace densest {
+
+QueryService::QueryService(const AnswerPlane& plane,
+                           const QueryServiceOptions& options)
+    : plane_(plane),
+      options_(options),
+      start_(std::chrono::steady_clock::now()) {
+  const size_t readers = std::max<size_t>(1, options_.num_readers);
+  readers_.reserve(readers);
+  for (size_t i = 0; i < readers; ++i) {
+    readers_.emplace_back([this] { ReaderLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Stop(); }
+
+void QueryService::Stop() {
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.NotifyAll();
+  done_cv_.NotifyAll();
+  for (std::thread& t : readers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+double QueryService::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void QueryService::Serve(Ticket& t) const {
+  t.results.resize(t.queries.size());
+  for (size_t i = 0; i < t.queries.size(); ++i) {
+    const ServeQuery& q = t.queries[i];
+    ServeResult& r = t.results[i];
+    switch (q.kind) {
+      case ServeQuery::Kind::kDensity:
+        r.answer = plane_.ReadAnswer();
+        break;
+      case ServeQuery::Kind::kMembership: {
+        const AnswerPlane::Membership m = plane_.ReadMembership(q.node);
+        r.answer = m.answer;
+        r.member = m.member;
+        break;
+      }
+      case ServeQuery::Kind::kSnapshot: {
+        PlaneSnapshot snap = plane_.ReadSnapshot();
+        r.answer = snap.answer;
+        r.prefix_updates = snap.prefix_updates;
+        r.nodes = std::move(snap.members);
+        break;
+      }
+    }
+  }
+}
+
+void QueryService::ReaderLoop() {
+  while (true) {
+    std::shared_ptr<Ticket> ticket;
+    Status status = Status::OK();
+    {
+      MutexLock lock(mu_);
+      while (queue_.empty() && !stopping_) work_cv_.Wait(mu_);
+      if (stopping_) return;
+      ticket = std::move(queue_.front());
+      queue_.pop_front();
+      if (ticket->abandoned) continue;  // submitter already gave up
+      // The deadline check must happen while the mutex still pins the
+      // token: an abandoning submitter nulls `cancel` under mu_ and only
+      // then returns (destroying the token), so outside the lock the
+      // pointer may dangle.
+      if (ShouldStop(ticket->cancel)) {
+        status = ticket->cancel->Check();
+      }
+    }
+    if (status.ok() &&
+        DENSEST_FAILPOINT("serve.dequeue") != FailpointAction::kNone) {
+      status = Status::Unavailable("injected serve.dequeue fault");
+    }
+    if (status.ok()) Serve(*ticket);
+
+    MutexLock lock(mu_);
+    if (ticket->abandoned) continue;
+    ticket->status = status;
+    ticket->done = true;
+    if (status.ok()) {
+      ++batches_served_;
+      queries_served_ += ticket->queries.size();
+      const double waited = NowMicros() - ticket->enqueued_us;
+      for (size_t i = 0; i < ticket->queries.size(); ++i) {
+        latency_us_.Add(waited);
+      }
+    } else if (status.code() == Status::Code::kUnavailable) {
+      ++failed_;
+    } else {
+      ++expired_;
+    }
+    done_cv_.NotifyAll();
+  }
+}
+
+Status QueryService::QueryBatch(std::span<const ServeQuery> queries,
+                                std::vector<ServeResult>* results,
+                                const CancelToken* cancel) {
+  if (results == nullptr) {
+    return Status::InvalidArgument("QueryBatch: results must be non-null");
+  }
+  results->clear();
+  if (queries.empty()) return Status::OK();
+  const CancelToken* token = cancel != nullptr ? cancel : options_.cancel;
+  if (Status c = CheckCancel(token); !c.ok()) return c;
+  // Admission-side fault seam: an armed action sheds exactly like a full
+  // queue would, so clients exercise their retry path.
+  if (DENSEST_FAILPOINT("serve.enqueue") != FailpointAction::kNone) {
+    MutexLock lock(mu_);
+    ++shed_;
+    return Status::Unavailable("injected serve.enqueue shed");
+  }
+
+  std::shared_ptr<Ticket> ticket = std::make_shared<Ticket>();
+  ticket->queries.assign(queries.begin(), queries.end());
+  ticket->cancel = token;
+
+  MutexLock lock(mu_);
+  if (stopping_) return Status::Unavailable("query service stopped");
+  const size_t capacity = std::max<size_t>(1, options_.queue_capacity);
+  if (queue_.size() >= capacity) {
+    ++shed_;
+    return Status::Unavailable("query queue full (backpressure)");
+  }
+  ticket->enqueued_us = NowMicros();
+  queue_.push_back(ticket);
+  work_cv_.NotifyOne();
+
+  while (!ticket->done) {
+    if (stopping_) {
+      ticket->abandoned = true;
+      ticket->cancel = nullptr;
+      return Status::Unavailable("query service stopped");
+    }
+    if (ShouldStop(token)) {
+      // Give up on the batch but leave its storage to the ticket: a
+      // reader that already picked it up writes into ticket-owned
+      // vectors nobody will read.
+      ticket->abandoned = true;
+      ticket->cancel = nullptr;
+      ++expired_;
+      return token->Check();
+    }
+    if (token != nullptr) {
+      // Bounded wait so the deadline is observed within ~1ms even if no
+      // completion notification arrives.
+      done_cv_.WaitFor(mu_, 1.0);
+    } else {
+      done_cv_.Wait(mu_);
+    }
+  }
+  if (ticket->status.ok()) *results = std::move(ticket->results);
+  return ticket->status;
+}
+
+QueryServiceStats QueryService::stats() const {
+  MutexLock lock(mu_);
+  QueryServiceStats s;
+  s.batches_served = batches_served_;
+  s.queries_served = queries_served_;
+  s.shed = shed_;
+  s.failed = failed_;
+  s.expired = expired_;
+  s.latency_p50_us = latency_us_.Quantile(0.5);
+  s.latency_p99_us = latency_us_.Quantile(0.99);
+  s.latency_mean_us = latency_us_.Mean();
+  return s;
+}
+
+}  // namespace densest

@@ -1,0 +1,164 @@
+// Copyright 2026 The densest Authors.
+// The serving front-end of the dynamic service: a pool of reader threads
+// draining a bounded queue of batched queries against an AnswerPlane.
+//
+// Shape: clients call QueryBatch() (synchronous — submit, wait, collect).
+// A batch becomes one ticket on a bounded FIFO; reader threads pop
+// tickets and answer every query in the batch straight off the plane
+// (seqlock reads — the writer is never touched, never blocked). The
+// ticket owns copies of the queries and results, so a submitter that
+// gives up on its deadline just abandons the ticket and the reader's
+// late writes land in ticket-private storage nobody reads.
+//
+// Backpressure: a full queue rejects the batch immediately with
+// kUnavailable — the transient class the repo's retry-with-backoff
+// machinery (common/retry.h) already understands — instead of queueing
+// into unbounded latency. Deadlines: per-batch via the existing
+// CancelToken; an expired token is observed by the submitter's bounded
+// wait and by readers at dequeue. SLO tracking: per-query latency
+// (enqueue to completion) lands in a common/histogram.h reservoir,
+// p50/p99 exposed through stats().
+//
+// Failpoint seams (fault-injection tests and chaos):
+//   serve.enqueue   evaluated on every submit; any armed action sheds the
+//                   batch with kUnavailable before it queues
+//   serve.dequeue   evaluated by the reader that picks the batch up; any
+//                   armed action fails the batch with kUnavailable after
+//                   queueing (the client-visible difference is latency)
+
+#ifndef DENSEST_SERVE_QUERY_SERVICE_H_
+#define DENSEST_SERVE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/histogram.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/answer.h"
+#include "serve/answer_plane.h"
+
+namespace densest {
+
+/// \brief One query against the published serving state.
+struct ServeQuery {
+  enum class Kind : uint8_t {
+    kDensity,     ///< the scalar Answer
+    kMembership,  ///< is `node` in the witnessing set (+ the Answer)
+    kSnapshot,    ///< the full witnessing node set (+ prefix + Answer)
+  };
+  Kind kind = Kind::kDensity;
+  NodeId node = 0;  ///< kMembership only
+};
+
+/// \brief One query's result. `answer` is one untorn publication's state;
+/// queries in the same batch may land on different epochs (each is read
+/// individually — the batch is a transport unit, not a transaction).
+struct ServeResult {
+  Answer answer;
+  bool member = false;          ///< kMembership
+  uint64_t prefix_updates = 0;  ///< kSnapshot: updates applied when published
+  std::vector<NodeId> nodes;    ///< kSnapshot: witnessing set, ascending
+};
+
+/// \brief Knobs for the reader pool.
+struct QueryServiceOptions {
+  /// Reader threads. Must be >= 1.
+  size_t num_readers = 4;
+  /// Max batches queued (not yet picked up); a submit beyond this sheds
+  /// with kUnavailable. Must be >= 1.
+  size_t queue_capacity = 64;
+  /// Per-batch cancellation/deadline observed by QueryBatch when the call
+  /// site passes none. Null = no deadline.
+  const CancelToken* cancel = nullptr;
+};
+
+/// \brief Serving-side counters and latency SLO summary.
+struct QueryServiceStats {
+  uint64_t batches_served = 0;
+  uint64_t queries_served = 0;
+  uint64_t shed = 0;        ///< batches rejected at submit (queue full / failpoint)
+  uint64_t failed = 0;      ///< batches failed at dequeue (failpoint)
+  uint64_t expired = 0;     ///< batches that hit their deadline / cancel
+  double latency_p50_us = 0;
+  double latency_p99_us = 0;
+  double latency_mean_us = 0;
+};
+
+/// \brief N reader threads over a bounded MPMC batch queue. Thread-safe:
+/// any number of threads may call QueryBatch concurrently. Destruction
+/// stops and joins the readers; in-flight batches complete or expire.
+class QueryService {
+ public:
+  QueryService(const AnswerPlane& plane, const QueryServiceOptions& options);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Submits `queries` as one batch and waits for its results.
+  ///   OK                  -> `results` holds one entry per query, in order
+  ///   kUnavailable        -> shed (queue full, or an armed serve.* seam);
+  ///                          retryable — back off and resubmit
+  ///   kCancelled /
+  ///   kDeadlineExceeded   -> the batch's token tripped first
+  /// The token is the per-call `cancel` if non-null, else options.cancel.
+  Status QueryBatch(std::span<const ServeQuery> queries,
+                    std::vector<ServeResult>* results,
+                    const CancelToken* cancel = nullptr);
+
+  /// Point-in-time counters + latency percentiles (reservoir quantiles).
+  QueryServiceStats stats() const;
+
+  /// Stops the readers (idempotent; the destructor calls it). Queued
+  /// batches that no reader picked up before the stop expire with
+  /// kUnavailable.
+  void Stop();
+
+ private:
+  /// One submitted batch. Queries/results are ticket-owned copies so an
+  /// abandoning submitter and a late reader never share storage.
+  struct Ticket {
+    std::vector<ServeQuery> queries;
+    std::vector<ServeResult> results;
+    Status status = Status::OK();
+    bool done = false;
+    bool abandoned = false;  ///< submitter gave up; drop, don't publish
+    const CancelToken* cancel = nullptr;  ///< nulled when abandoned
+    double enqueued_us = 0;  ///< service clock at submit
+  };
+
+  void ReaderLoop();
+  /// Answers every query in `t` off the plane (no locks held).
+  void Serve(Ticket& t) const;
+  double NowMicros() const;
+
+  const AnswerPlane& plane_;
+  const QueryServiceOptions options_;
+
+  mutable Mutex mu_;
+  CondVar work_cv_;   // readers wait: queue non-empty or stopping
+  CondVar done_cv_;   // submitters wait: their ticket done
+  std::deque<std::shared_ptr<Ticket>> queue_ DENSEST_GUARDED_BY(mu_);
+  bool stopping_ DENSEST_GUARDED_BY(mu_) = false;
+  uint64_t batches_served_ DENSEST_GUARDED_BY(mu_) = 0;
+  uint64_t queries_served_ DENSEST_GUARDED_BY(mu_) = 0;
+  uint64_t shed_ DENSEST_GUARDED_BY(mu_) = 0;
+  uint64_t failed_ DENSEST_GUARDED_BY(mu_) = 0;
+  uint64_t expired_ DENSEST_GUARDED_BY(mu_) = 0;
+  Histogram latency_us_ DENSEST_GUARDED_BY(mu_);
+
+  std::vector<std::thread> readers_;  // set in ctor, joined in Stop()
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace densest
+
+#endif  // DENSEST_SERVE_QUERY_SERVICE_H_

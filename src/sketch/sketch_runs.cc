@@ -90,6 +90,9 @@ SketchedResult SketchedAlgorithm1Run::TakeResult() {
   result_.result.density = best_density_ < 0 ? 0.0 : best_density_;
   result_.result.passes = pass_;
   result_.result.io_passes = pass_;  // oracle runs always scan the stream
+  // certified_band stays 0: the oracle's degree estimates carry relative
+  // error, which voids Lemma 1's deterministic proof — the sketched answer
+  // is served uncertified (Answer::certified == false).
   result_.oracle_state_words = oracle_->StateWords();
   result_.memory_ratio = static_cast<double>(result_.oracle_state_words) /
                          static_cast<double>(n_);

@@ -94,6 +94,7 @@ BinaryFileEdgeStream::~BinaryFileEdgeStream() {
 
 void BinaryFileEdgeStream::IssuePrefetch() {
   if (exhausted_) return;
+  back_ready_ = false;
   prefetch_ = reader_->Submit([this] {
     back_unavailable_ = false;
     int attempt = 0;
@@ -144,10 +145,18 @@ void BinaryFileEdgeStream::IssuePrefetch() {
   });
 }
 
+void BinaryFileEdgeStream::JoinPrefetch() {
+  if (prefetch_.valid()) {
+    prefetch_.get();
+    bytes_read_ += back_len_;
+    back_ready_ = true;
+  }
+}
+
 size_t BinaryFileEdgeStream::WaitPrefetch() {
-  if (!prefetch_.valid()) return 0;
-  prefetch_.get();
-  bytes_read_ += back_len_;
+  JoinPrefetch();
+  if (!back_ready_) return 0;
+  back_ready_ = false;  // deliver the chunk exactly once
   return back_len_;
 }
 

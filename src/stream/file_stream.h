@@ -71,7 +71,13 @@ class BinaryFileEdgeStream : public EdgeStream {
   uint64_t bytes_read() const { return bytes_read_; }
 
   /// Retry knobs for transient (kUnavailable) faults in the prefetch task.
-  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  /// The task reads the policy, and one is already in flight the moment
+  /// Open returns — join it before writing (the joined chunk stays
+  /// buffered for the next Refill to consume).
+  void set_retry_policy(const RetryPolicy& policy) {
+    JoinPrefetch();
+    retry_policy_ = policy;
+  }
 
   /// Outcomes of the prefetch retry loop. Unlike back_len_, these may be
   /// read while a prefetch is in flight (Reset() issues one before
@@ -92,8 +98,13 @@ class BinaryFileEdgeStream : public EdgeStream {
   BinaryFileEdgeStream() = default;
   /// Starts the background fread of the next chunk into back_.
   void IssuePrefetch();
-  /// Joins an outstanding prefetch (if any), accounts its bytes, and
-  /// returns how many it read (0 when none was pending or at EOF).
+  /// Joins an outstanding prefetch (if any) and accounts its bytes,
+  /// without consuming the chunk — safe to call at any point the task
+  /// must not be running (writing retry_policy_, destruction).
+  void JoinPrefetch();
+  /// Joins like JoinPrefetch, then delivers the buffered chunk exactly
+  /// once: returns how many bytes it read (0 when none was pending, at
+  /// EOF, or when a previous call already consumed the chunk).
   size_t WaitPrefetch();
   /// Makes at least one whole record available in front_, carrying the
   /// partial-record tail across the buffer swap. False at end of data.
@@ -114,6 +125,9 @@ class BinaryFileEdgeStream : public EdgeStream {
   size_t buf_pos_ = 0;
   size_t buf_len_ = 0;
   size_t back_len_ = 0;  // written by the prefetch task, read after wait
+  // True between a JoinPrefetch and the WaitPrefetch that consumes the
+  // chunk: back_ holds data nobody decoded yet.
+  bool back_ready_ = false;
   // Whether the prefetch task's short fread was a stream *error* rather
   // than EOF (std::ferror, checked inside the task while it still owns the
   // FILE). Read only after WaitPrefetch, like back_len_.
