@@ -20,6 +20,7 @@
 #include "gen/erdos_renyi.h"
 #include "graph/subgraph.h"
 #include "graph/undirected_graph.h"
+#include "obs/metrics.h"
 #include "stream/memory_stream.h"
 
 namespace {
@@ -182,6 +183,40 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  // Observability overhead gate: the instrumented engine with the metrics
+  // registry live (tracing idle, the shipped default) must stay within 2%
+  // of the same binary with the registry disabled. The pass hot loop is
+  // atomic-free — instrumentation fires per round, not per edge — so a
+  // breach means someone moved a metric write into the inner loop.
+  {
+    PassEngine engine(PassEngineOptions{.num_threads = 1});
+    const int orep = std::max(reps * 5, 15);  // passes are cheap; drown noise
+    auto run_pass = [&] {
+      return engine.RunUndirected(list_stream, word_alive, degrees).weight;
+    };
+    obs::MetricsRegistry::Get().set_enabled(false);
+    Measurement off = Measure(num_edges, orep, run_pass);
+    obs::MetricsRegistry::Get().set_enabled(true);
+    Measurement on = Measure(num_edges, orep, run_pass);
+    const double overhead =
+        off.edges_per_sec > 0 ? 1.0 - on.edges_per_sec / off.edges_per_sec
+                              : 0.0;
+    std::printf("obs overhead: metrics-on %.2f Medges/s vs metrics-off "
+                "%.2f Medges/s (%+.2f%%, gate < 2%%)\n",
+                on.edges_per_sec / 1e6, off.edges_per_sec / 1e6,
+                100 * overhead);
+    json.Add("obs.metrics_on_edges_per_sec", on.edges_per_sec);
+    json.Add("obs.metrics_off_edges_per_sec", off.edges_per_sec);
+    json.Add("obs.overhead_frac", overhead);
+    if (overhead > 0.02) {
+      std::fprintf(stderr,
+                   "FAIL: metrics-on pass is %.2f%% slower than metrics-off "
+                   "(gate: 2%%)\n",
+                   100 * overhead);
+      return 1;
+    }
+  }
+
   json.Add("total_wall_s", total_timer.ElapsedSeconds());
   Status js = json.Write();
   if (!js.ok()) {

@@ -30,6 +30,9 @@
 #include "dynamic/dynamic_densest.h"
 #include "dynamic/replay.h"
 #include "gen/erdos_renyi.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/answer_plane.h"
 #include "serve/query_service.h"
 #include "stream/memory_stream.h"
@@ -249,6 +252,36 @@ int RunSmoke() {
               *standalone / 1e6);
   json.Add("standalone_updates_per_sec", *standalone);
 
+  // Observability overhead gate: the writer with the metrics registry live
+  // (tracing idle) must stay within 2% of the same replay with the
+  // registry disabled. The per-update apply path is metric-free —
+  // instrumentation diffs engine stats per batch — so a breach means a
+  // metric write crept into the update loop.
+  obs::MetricsRegistry::Get().set_enabled(false);
+  StatusOr<double> metrics_off = StandaloneUpdatesPerSec(updates, num_nodes);
+  obs::MetricsRegistry::Get().set_enabled(true);
+  if (!metrics_off.ok()) {
+    std::printf("FAIL: %s\n", metrics_off.status().ToString().c_str());
+    return 1;
+  }
+  const double obs_overhead =
+      *metrics_off > 0 ? 1.0 - *standalone / *metrics_off : 0.0;
+  std::printf("obs overhead: metrics-on %.2fM vs metrics-off %.2fM updates/s "
+              "(%+.2f%%, gate < 2%%)\n",
+              *standalone / 1e6, *metrics_off / 1e6, 100 * obs_overhead);
+  json.Add("obs.metrics_off_updates_per_sec", *metrics_off);
+  json.Add("obs.overhead_frac", obs_overhead);
+  if (obs_overhead > 0.02) {
+    std::printf("FAIL: metrics-on writer is %.2f%% slower than metrics-off "
+                "(gate: 2%%)\n",
+                100 * obs_overhead);
+    ok = false;
+  }
+
+  // Record spans for the serving runs below; the timeline rides out as a
+  // CI artifact next to the metrics exposition.
+  obs::TraceRecorder::Get().Start();
+
   // Best-of-2 like the standalone side, so the gate compares like with
   // like on a noisy shared runner. Every attempt's observations get the
   // torn-read audit; only the faster attempt's numbers are reported.
@@ -317,8 +350,25 @@ int RunSmoke() {
   }
 
   json.Add("serve_ok", ok ? 1 : 0);
-  if (Status js = json.Write(); !js.ok()) {
+  if (Status js = json.Write(); !js.ok()) {  // also creates bench_results/
     std::printf("warning: %s\n", js.ToString().c_str());
+  }
+
+  // The smoke run's own observability artifacts: the full exposition and
+  // the chrome://tracing timeline, validated by tools/check_obs.py in CI.
+  obs::TraceRecorder::Get().Stop();
+  if (Status w = obs::WriteMetricsFile("bench_results/BENCH_serve_metrics.prom");
+      w.ok()) {
+    std::printf("metrics written to bench_results/BENCH_serve_metrics.prom\n");
+  } else {
+    std::printf("warning: %s\n", w.ToString().c_str());
+  }
+  if (Status w = obs::TraceRecorder::Get().DrainToJsonFile(
+          "bench_results/BENCH_serve_trace.json");
+      w.ok()) {
+    std::printf("trace written to bench_results/BENCH_serve_trace.json\n");
+  } else {
+    std::printf("warning: %s\n", w.ToString().c_str());
   }
   std::printf("%s\n", ok ? "SMOKE OK" : "SMOKE FAILED");
   return ok ? 0 : 1;

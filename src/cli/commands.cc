@@ -28,6 +28,9 @@
 #include "dynamic/replay.h"
 #include "dynamic/snapshot.h"
 #include "mapreduce/mr_densest.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/answer_plane.h"
 #include "serve/query_service.h"
 #include "stream/file_stream.h"
@@ -41,6 +44,12 @@ namespace {
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// One-line non-zero metrics summary for the --stats-every hooks.
+std::string StatsSummaryLine() {
+  return obs::MetricsExporter::SummaryLine(
+      obs::MetricsRegistry::Get().Collect());
 }
 
 /// Loads edges from a text ("u v [w]") or binary (.bin) edge file.
@@ -335,6 +344,7 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
   StatusOr<double> deadline_ms = args.GetDouble("deadline-ms", 0.0);
   StatusOr<int64_t> rearm_updates = args.GetInt("rearm-updates", 4096);
   StatusOr<bool> check_invariants = args.GetBool("check-invariants", false);
+  StatusOr<int64_t> stats_every = args.GetInt("stats-every", 0);
   for (const Status& s :
        {eps.ok() ? Status::OK() : eps.status(),
         window.ok() ? Status::OK() : window.status(),
@@ -351,7 +361,8 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
         retry_base_ms.ok() ? Status::OK() : retry_base_ms.status(),
         deadline_ms.ok() ? Status::OK() : deadline_ms.status(),
         rearm_updates.ok() ? Status::OK() : rearm_updates.status(),
-        check_invariants.ok() ? Status::OK() : check_invariants.status()}) {
+        check_invariants.ok() ? Status::OK() : check_invariants.status(),
+        stats_every.ok() ? Status::OK() : stats_every.status()}) {
     if (!s.ok()) return s;
   }
   if (*deadline_ms < 0 || *rearm_updates < 1) {
@@ -363,7 +374,7 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
         "--check-invariants needs --checkpoint-every=N");
   }
   if (*window < 0 || *radius < 0 || *threads < 0 || *query_every < 0 ||
-      *checkpoint_every < 0 || *snapshot_every < 0) {
+      *checkpoint_every < 0 || *snapshot_every < 0 || *stats_every < 0) {
     return Status::InvalidArgument("flag values must be >= 0");
   }
   if (*evict_batch < 1 || *trim_hysteresis < 1 || *retry_attempts < 1 ||
@@ -426,6 +437,12 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
   replay_opt.snapshot_every = static_cast<uint64_t>(*snapshot_every);
   replay_opt.snapshot_path = snapshot_path;
   replay_opt.check_invariants = *check_invariants;
+  replay_opt.stats_every = static_cast<uint64_t>(*stats_every);
+  if (*stats_every > 0) {
+    replay_opt.stats_hook = [&out](uint64_t count) {
+      out << "[stats @" << count << "] " << StatsSummaryLine() << "\n";
+    };
+  }
   if (checkpoints == "exact") {
     replay_opt.checkpoint_mode = CheckpointMode::kExactFlow;
   } else if (checkpoints == "batch") {
@@ -529,23 +546,26 @@ Status CmdDynamic(const Args& args, std::ostream& out) {
 
 namespace {
 
-/// Parses "--query-mix=D,M,S": three non-negative weights (density,
-/// membership, snapshot) summing to something positive.
-StatusOr<std::array<uint64_t, 3>> ParseQueryMix(const std::string& mix) {
-  std::array<uint64_t, 3> w{};
+/// Parses "--query-mix=D,M,S[,T]": non-negative weights (density,
+/// membership, snapshot, and optionally stats) summing to something
+/// positive. The stats weight defaults to 0 so existing three-field
+/// invocations keep their exact workload.
+StatusOr<std::array<uint64_t, 4>> ParseQueryMix(const std::string& mix) {
+  std::array<uint64_t, 4> w{};
   std::istringstream in(mix);
   std::string field;
   size_t i = 0;
   while (std::getline(in, field, ',')) {
-    if (i >= 3 || field.empty() ||
+    if (i >= 4 || field.empty() ||
         field.find_first_not_of("0123456789") != std::string::npos) {
       return Status::InvalidArgument("bad --query-mix field: '" + field + "'");
     }
     w[i++] = std::stoull(field);
   }
-  if (i != 3 || w[0] + w[1] + w[2] == 0) {
+  if ((i != 3 && i != 4) || w[0] + w[1] + w[2] + w[3] == 0) {
     return Status::InvalidArgument(
-        "--query-mix needs three weights with a positive sum, e.g. 80,15,5");
+        "--query-mix needs three or four weights with a positive sum, "
+        "e.g. 80,15,5 or 80,14,5,1");
   }
   return w;
 }
@@ -565,6 +585,7 @@ Status CmdServe(const Args& args, std::ostream& out) {
   StatusOr<double> deadline_ms = args.GetDouble("deadline-ms", 0.0);
   StatusOr<int64_t> seed = args.GetInt("seed", 1);
   StatusOr<int64_t> evict_batch = args.GetInt("evict-batch", 1);
+  StatusOr<int64_t> stats_every = args.GetInt("stats-every", 0);
   for (const Status& s :
        {eps.ok() ? Status::OK() : eps.status(),
         window.ok() ? Status::OK() : window.status(),
@@ -576,7 +597,8 @@ Status CmdServe(const Args& args, std::ostream& out) {
         queue_capacity.ok() ? Status::OK() : queue_capacity.status(),
         deadline_ms.ok() ? Status::OK() : deadline_ms.status(),
         seed.ok() ? Status::OK() : seed.status(),
-        evict_batch.ok() ? Status::OK() : evict_batch.status()}) {
+        evict_batch.ok() ? Status::OK() : evict_batch.status(),
+        stats_every.ok() ? Status::OK() : stats_every.status()}) {
     if (!s.ok()) return s;
   }
   if (*readers < 1 || *batch < 1 || *queue_capacity < 1) {
@@ -584,10 +606,10 @@ Status CmdServe(const Args& args, std::ostream& out) {
         "--readers/--batch/--queue-capacity must be >= 1");
   }
   if (*window < 0 || *publish_every < 0 || *qps < 0 || *deadline_ms < 0 ||
-      *evict_batch < 1) {
+      *evict_batch < 1 || *stats_every < 0) {
     return Status::InvalidArgument("flag values out of range");
   }
-  StatusOr<std::array<uint64_t, 3>> mix = ParseQueryMix(mix_flag);
+  StatusOr<std::array<uint64_t, 4>> mix = ParseQueryMix(mix_flag);
   if (!mix.ok()) return mix.status();
   StatusOr<std::string> path = RequireGraphArg(args);
   if (!path.ok()) return path.status();
@@ -644,6 +666,13 @@ Status CmdServe(const Args& args, std::ostream& out) {
   replay_opt.publish = &plane;
   replay_opt.publish_every = static_cast<uint64_t>(*publish_every);
   replay_opt.cancel = &writer_cancel;
+  replay_opt.stats_every = static_cast<uint64_t>(*stats_every);
+  if (*stats_every > 0) {
+    // Runs on the writer thread; `out` has no other writer until join.
+    replay_opt.stats_hook = [&out](uint64_t count) {
+      out << "[stats @" << count << "] " << StatsSummaryLine() << "\n";
+    };
+  }
 
   std::atomic<bool> writer_done{false};
   StatusOr<ReplayReport> report = Status::Internal("writer did not run");
@@ -656,8 +685,8 @@ Status CmdServe(const Args& args, std::ostream& out) {
   // writer drains the stream. Sheds and expiries are normal serving
   // outcomes and are tallied, not fatal.
   Rng rng(Mix64(static_cast<uint64_t>(*seed)));
-  const std::array<uint64_t, 3>& w = *mix;
-  const uint64_t mix_total = w[0] + w[1] + w[2];
+  const std::array<uint64_t, 4>& w = *mix;
+  const uint64_t mix_total = w[0] + w[1] + w[2] + w[3];
   std::vector<ServeQuery> queries(static_cast<size_t>(*batch));
   std::vector<ServeResult> results;
   uint64_t batches_ok = 0, batches_shed = 0, batches_expired = 0;
@@ -673,8 +702,10 @@ Status CmdServe(const Args& args, std::ostream& out) {
         q = ServeQuery{ServeQuery::Kind::kMembership,
                        static_cast<NodeId>(rng.UniformU64(
                            num_nodes > 0 ? num_nodes : 1))};
-      } else {
+      } else if (draw < w[0] + w[1] + w[2]) {
         q = ServeQuery{ServeQuery::Kind::kSnapshot, 0};
+      } else {
+        q = ServeQuery{ServeQuery::Kind::kStats, 0};
       }
     }
     Status s;
@@ -732,6 +763,17 @@ Status CmdServe(const Args& args, std::ostream& out) {
   out << "service: " << sstats.queries_served << " queries served  p50="
       << sstats.latency_p50_us << "us  p99=" << sstats.latency_p99_us
       << "us  mean=" << sstats.latency_mean_us << "us\n";
+  // Writer-side IO-retry summary, read back from the metrics registry the
+  // retry loops feed (`dynamic` prints the same story from its report;
+  // before the registry the serve path simply dropped it).
+  const uint64_t io_retries = DENSEST_METRIC_COUNTER("io.retries").Value();
+  const uint64_t io_exhausted =
+      DENSEST_METRIC_COUNTER("io.retries_exhausted").Value();
+  if (io_retries > 0 || io_exhausted > 0) {
+    out << "io retries: " << io_retries << " ("
+        << DENSEST_METRIC_COUNTER("io.retries_healed").Value() << " healed, "
+        << io_exhausted << " exhausted)\n";
+  }
   return Status::OK();
 }
 
@@ -750,6 +792,7 @@ Status CmdChaos(const Args& args, std::ostream& out) {
   StatusOr<int64_t> batch_size = args.GetInt("batch-size", 64);
   StatusOr<int64_t> readers = args.GetInt("readers", 2);
   std::string scratch = args.GetString("scratch", "");
+  StatusOr<int64_t> stats_every = args.GetInt("stats-every", 0);
   for (const Status& s :
        {smoke.ok() ? Status::OK() : smoke.status(),
         verbose.ok() ? Status::OK() : verbose.status(),
@@ -763,12 +806,13 @@ Status CmdChaos(const Args& args, std::ostream& out) {
         snapshot_every.ok() ? Status::OK() : snapshot_every.status(),
         max_faults.ok() ? Status::OK() : max_faults.status(),
         batch_size.ok() ? Status::OK() : batch_size.status(),
-        readers.ok() ? Status::OK() : readers.status()}) {
+        readers.ok() ? Status::OK() : readers.status(),
+        stats_every.ok() ? Status::OK() : stats_every.status()}) {
     if (!s.ok()) return s;
   }
   if (*schedules < 1 || *nodes < 2 || *edges < 1 || *window < 1 ||
       *checkpoint_every < 1 || *snapshot_every < 1 || *max_faults < 0 ||
-      *batch_size < 1 || *readers < 0) {
+      *batch_size < 1 || *readers < 0 || *stats_every < 0) {
     return Status::InvalidArgument("chaos: flag value out of range");
   }
 
@@ -786,6 +830,13 @@ Status CmdChaos(const Args& args, std::ostream& out) {
   opt.reader_threads = static_cast<uint32_t>(*readers);
   opt.scratch_dir = scratch;
   if (*verbose) opt.log = &out;
+  opt.stats_every = static_cast<uint64_t>(*stats_every);
+  if (*stats_every > 0) {
+    opt.stats_hook = [&out](uint32_t done) {
+      out << "[stats after " << done << " schedules] " << StatsSummaryLine()
+          << "\n";
+    };
+  }
   if (*smoke) {
     // The CI gate: a fixed seed so every run checks the identical fault
     // schedules, and never fewer than the contract's 20.
@@ -949,6 +1000,7 @@ std::string CliUsage() {
       "      [--evict-batch=1] [--trim-hysteresis=64]\n"
       "      [--retry-attempts=4 --retry-base-ms=0.1]\n"
       "      [--deadline-ms=0 --rearm-updates=4096] [--check-invariants]\n"
+      "      [--stats-every=N]\n"
       "      incremental maintenance service: replays the graph as a\n"
       "      timestamped insert stream (--window adds a sliding-window\n"
       "      deleter, --evict-batch amortizes its deletions) and reports\n"
@@ -964,13 +1016,16 @@ std::string CliUsage() {
       "      structures at every checkpoint\n"
       "  serve <graph> [--eps=0.75] [--window=W] [--rate=R]\n"
       "      [--publish-every=1024] [--readers=4] [--qps=2000]\n"
-      "      [--query-mix=80,15,5] [--batch=8] [--queue-capacity=64]\n"
+      "      [--query-mix=80,15,5[,T]] [--batch=8] [--queue-capacity=64]\n"
       "      [--deadline-ms=0] [--seed=1] [--evict-batch=1]\n"
+      "      [--stats-every=N]\n"
       "      multi-tenant serving: one writer thread replays the graph's\n"
       "      update stream and publishes each settled answer into an\n"
       "      epoch-based snapshot-isolated plane, while --readers reader\n"
       "      threads answer a closed-loop client workload of batched\n"
-      "      density/membership/snapshot queries (--query-mix weights) at\n"
+      "      density/membership/snapshot/stats queries (--query-mix\n"
+      "      weights; the optional 4th weight draws live-metrics stats\n"
+      "      queries) at\n"
       "      --qps. Reports writer throughput, publication count, and\n"
       "      serving latency percentiles; a full queue sheds batches with\n"
       "      a retryable kUnavailable, --deadline-ms bounds each batch\n"
@@ -978,7 +1033,7 @@ std::string CliUsage() {
       "      [--nodes=70 --edges=1200 --window=150 --eps=0.6]\n"
       "      [--checkpoint-every=300 --snapshot-every=100]\n"
       "      [--max-faults=6] [--batch-size=64] [--readers=2]\n"
-      "      [--scratch=DIR]\n"
+      "      [--scratch=DIR] [--stats-every=N]\n"
       "      randomized chaos/soak harness: replays seeded workloads under\n"
       "      random fault injection (crashes, dead disks, torn files,\n"
       "      failed snapshots) with kill/snapshot-resume cycles, and fails\n"
@@ -1000,7 +1055,17 @@ std::string CliUsage() {
       "global flags:\n"
       "  --failpoint=\"name:spec[;name:spec]\"\n"
       "      arm fault-injection points (builds with -DDENSEST_FAILPOINTS=ON\n"
-      "      only); see src/common/failpoint.h for names and the spec grammar\n";
+      "      only); see src/common/failpoint.h for names and the spec grammar\n"
+      "  --metrics-out=PATH\n"
+      "      write the final metrics exposition on exit (Prometheus text,\n"
+      "      or the JSON mirror when PATH ends in .json)\n"
+      "  --trace-out=PATH\n"
+      "      record trace spans for the whole command and write a\n"
+      "      chrome://tracing-loadable JSON timeline on exit (builds with\n"
+      "      -DDENSEST_TRACING=ON; the default)\n"
+      "  --stats-every=N (dynamic / serve / chaos)\n"
+      "      print a one-line metrics summary every N applied updates\n"
+      "      (chaos: every N schedules)\n";
 }
 
 Status RunCliCommand(const std::string& command, const Args& args,
@@ -1013,6 +1078,20 @@ Status RunCliCommand(const std::string& command, const Args& args,
     if (Status s = Failpoints::Instance().SetFromFlag(failpoints); !s.ok()) {
       return s;
     }
+  }
+  // Global observability flags, valid for every command:
+  //   --metrics-out=PATH  write the final metrics exposition (".json" gets
+  //                       the JSON mirror, anything else Prometheus text)
+  //   --trace-out=PATH    record DENSEST_TRACE_SPAN spans for the whole
+  //                       command and write chrome://tracing JSON
+  const std::string metrics_out = args.GetString("metrics-out", "");
+  const std::string trace_out = args.GetString("trace-out", "");
+  if (!trace_out.empty()) {
+    if (!obs::TraceRecorder::compiled_in()) {
+      out << "note: tracing compiled out (-DDENSEST_TRACING=OFF); "
+          << trace_out << " will hold an empty timeline\n";
+    }
+    obs::TraceRecorder::Get().Start();
   }
   Status status;
   if (command == "stats") {
@@ -1037,6 +1116,20 @@ Status RunCliCommand(const std::string& command, const Args& args,
     status = CmdGenerate(args, out);
   } else {
     return Status::InvalidArgument("unknown command: " + command);
+  }
+  // Write the artifacts even when the command failed — a chaos or serve
+  // failure is exactly when the timeline and counters are wanted — but
+  // never let an artifact-write error mask the command's own status.
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::Get().Stop();
+    Status w = obs::TraceRecorder::Get().DrainToJsonFile(trace_out);
+    if (status.ok() && !w.ok()) return w;
+    if (w.ok()) out << "trace written to " << trace_out << "\n";
+  }
+  if (!metrics_out.empty()) {
+    Status w = obs::WriteMetricsFile(metrics_out);
+    if (status.ok() && !w.ok()) return w;
+    if (w.ok()) out << "metrics written to " << metrics_out << "\n";
   }
   if (!status.ok()) return status;
   std::vector<std::string> unused = args.UnusedFlags();

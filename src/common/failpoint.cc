@@ -9,6 +9,7 @@
 #include "common/mutex.h"
 #include "common/random.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
 
 namespace densest {
 
@@ -194,6 +195,7 @@ FailpointAction Failpoints::Eval(const char* name) {
     if (u >= p.prob) return FailpointAction::kNone;
   }
   ++p.fires;
+  DENSEST_METRIC_COUNTER("io.failpoint_trips").Inc();
   return p.kind;
 }
 

@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "core/peel_runs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/pass_cursor.h"
 
 namespace densest {
@@ -351,6 +353,8 @@ Status MultiRunEngine::Drive(EdgeStream& stream,
           },
           batch_.data(), shards);
       if (count == 0) break;
+      DENSEST_TRACE_SPAN("core.fused_round");
+      DENSEST_METRIC_COUNTER("core.fused_rounds").Inc();
       if (UseWorkMajor(active.size())) {
         // Work-major fan-out: each (run, shard) pair is a task — shard s
         // feeds slot s, so same-run tasks write disjoint slot planes. Runs

@@ -4,6 +4,9 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace densest {
 
 namespace {
@@ -79,6 +82,11 @@ size_t PassEngine::FillShards(
 
 void PassEngine::DispatchRound(size_t shards,
                                const std::function<void(size_t)>& fn) {
+  // The central fan-out seam: every sharded pass kernel funnels its rounds
+  // here, so round/shard tallies and the round span cover all of them.
+  DENSEST_TRACE_SPAN("core.pass_round");
+  DENSEST_METRIC_COUNTER("core.pass_rounds").Inc();
+  DENSEST_METRIC_COUNTER("core.pass_shards").Inc(shards);
   if (pool_ != nullptr && shards > 1) {
     pool_->ParallelFor(shards, fn);
   } else {
@@ -115,6 +123,8 @@ UndirectedPassResult PassEngine::RunUndirectedCollect(
 UndirectedPassResult PassEngine::RunUndirectedImpl(
     EdgeStream& stream, const NodeSet& alive, std::vector<double>& degrees,
     std::vector<Edge>* survivors, const CancelToken* cancel) {
+  DENSEST_TRACE_SPAN("core.pass_undirected");
+  DENSEST_METRIC_COUNTER("core.passes").Inc();
   if (survivors == nullptr) {
     if (const UndirectedGraph* g = stream.UndirectedCsrView()) {
       stream.Reset();  // keeps pass accounting uniform with the batch path
@@ -343,6 +353,8 @@ UndirectedPassResult PassEngine::RunUndirectedCsr(
 UndirectedPassResult PassEngine::RunUndirectedBuffer(
     std::vector<Edge>& edges, const NodeSet& alive,
     std::vector<double>& degrees, bool compact, const CancelToken* cancel) {
+  DENSEST_TRACE_SPAN("core.pass_undirected");
+  DENSEST_METRIC_COUNTER("core.passes").Inc();
   EnsureAccumulators(degrees.size(), /*planes=*/1);
   const size_t total = edges.size();
   const size_t round_cap = kShardSlots * kShardEdges;
@@ -412,6 +424,8 @@ DirectedPassResult PassEngine::RunDirected(EdgeStream& stream,
                                            std::vector<double>& out_to_t,
                                            std::vector<double>& in_from_s,
                                            const CancelToken* cancel) {
+  DENSEST_TRACE_SPAN("core.pass_directed");
+  DENSEST_METRIC_COUNTER("core.passes").Inc();
   if (const DirectedGraph* g = stream.DirectedCsrView()) {
     stream.Reset();
     return RunDirectedCsr(*g, s_set, t_set, out_to_t, in_from_s, cancel);

@@ -504,6 +504,10 @@ StatusOr<ChaosReport> RunChaos(const ChaosOptions& options) {
     report.total_band_checks += outcome.band_checks;
     report.total_reader_snapshots += outcome.reader_snapshots;
     report.outcomes.push_back(outcome);
+    if (options.stats_every != 0 && options.stats_hook &&
+        report.schedules % options.stats_every == 0) {
+      options.stats_hook(report.schedules);
+    }
   }
   return report;
 }

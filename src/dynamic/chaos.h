@@ -34,6 +34,7 @@
 #define DENSEST_DYNAMIC_CHAOS_H_
 
 #include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -83,6 +84,11 @@ struct ChaosOptions {
   std::string scratch_dir;
   /// Per-schedule progress lines go here when non-null.
   std::ostream* log = nullptr;
+  /// Periodic-stats seam, mirroring ReplayOptions: after every N completed
+  /// schedules, invoke stats_hook with the schedules-done count (0 or no
+  /// hook = never). The CLI wires --stats-every to a registry summary line.
+  uint64_t stats_every = 0;
+  std::function<void(uint32_t)> stats_hook;
 };
 
 /// \brief What one schedule did and survived.

@@ -7,6 +7,8 @@
 
 #include "common/cancel.h"
 #include "core/algorithm1.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/memory_stream.h"
 
 namespace densest {
@@ -178,7 +180,25 @@ void DynamicDensest::Apply(const EdgeUpdate& update) {
 }
 
 void DynamicDensest::ApplyBatch(std::span<const EdgeUpdate> batch) {
+  DENSEST_TRACE_SPAN("dynamic.apply_batch");
+  const DynamicDensestStats before = stats_;
   for (const EdgeUpdate& update : batch) Apply(update);
+  // Registry mirror of the per-run struct, diffed once per batch: the
+  // per-update path (>1M updates/s) stays free of atomics, and the
+  // cross-command metrics plane still sees every applied batch. Callers
+  // driving Apply() directly (tests, mostly) are visible through stats().
+  const DynamicDensestStats& after = stats_;
+  DENSEST_METRIC_COUNTER("dynamic.inserts").Inc(after.inserts - before.inserts);
+  DENSEST_METRIC_COUNTER("dynamic.deletes").Inc(after.deletes - before.deletes);
+  DENSEST_METRIC_COUNTER("dynamic.ignored").Inc(after.ignored - before.ignored);
+  DENSEST_METRIC_COUNTER("dynamic.level_moves")
+      .Inc(after.level_moves - before.level_moves);
+  DENSEST_METRIC_COUNTER("dynamic.recomputes")
+      .Inc(after.recomputes - before.recomputes);
+  DENSEST_METRIC_COUNTER("dynamic.recomputes_cancelled")
+      .Inc(after.recomputes_cancelled - before.recomputes_cancelled);
+  DENSEST_METRIC_COUNTER("dynamic.window_moves")
+      .Inc(after.window_moves - before.window_moves);
 }
 
 void DynamicDensest::MaybeFallback() {
@@ -252,6 +272,7 @@ void DynamicDensest::MaybeFallback() {
       ropt.epsilon = options_.recompute_epsilon;
       ropt.record_trace = false;
       StatusOr<UndirectedDensestResult> r = [&]() {
+        DENSEST_TRACE_SPAN("dynamic.recompute");
         if (options_.recompute_deadline_ms > 0) {
           // The overload budget, doubled per consecutive cancellation so a
           // graph that has genuinely outgrown the configured budget still
@@ -387,6 +408,7 @@ DynamicDensest::Answer DynamicDensest::Query() const {
       }
     }
     stale_answers_served_.fetch_add(1, std::memory_order_relaxed);
+    DENSEST_METRIC_COUNTER("dynamic.stale_answers_served").Inc();
     return answer;
   }
   // Degraded window (DynamicFallback::kNever): best effort over whatever

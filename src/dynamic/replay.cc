@@ -11,6 +11,8 @@
 #include "dynamic/snapshot.h"
 #include "flow/goldberg.h"
 #include "graph/undirected_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/memory_stream.h"
 
 namespace densest {
@@ -28,6 +30,7 @@ bool LeqWithTol(double a, double b) { return a <= b * (1.0 + kRelTol) + 1e-12; }
 /// checks the certified sandwich around it.
 Status TakeCheckpoint(DynamicDensest& engine, const ReplayOptions& options,
                       uint64_t update_index, ReplayReport& report) {
+  DENSEST_TRACE_SPAN("dynamic.checkpoint");
   ReplayCheckpoint cp;
   cp.update_index = update_index;
   const DynamicDensest::Answer answer = engine.Query();
@@ -74,7 +77,9 @@ Status TakeCheckpoint(DynamicDensest& engine, const ReplayOptions& options,
 void TimedQuery(DynamicDensest& engine, ReplayReport& report) {
   WallTimer timer;
   const DynamicDensest::Answer answer = engine.Query();
-  report.query_latency_us.Add(timer.ElapsedSeconds() * 1e6);
+  const double us = timer.ElapsedSeconds() * 1e6;
+  report.query_latency_us.Add(us);
+  DENSEST_METRIC_HISTOGRAM("dynamic.query_latency_us").Observe(us);
   ++report.queries;
   // The answer itself is intentionally unused: the cadence exists to
   // measure serving latency under load, not to sample densities.
@@ -114,7 +119,10 @@ StatusOr<ReplayReport> ReplayUpdates(UpdateStream& updates,
   // published across a crash/resume name prefixes of the same stream.
   auto publish_answer = [&]() {
     if (options.publish == nullptr) return;
-    options.publish->Publish(engine.Query(), engine.DensestNodes(),
+    DENSEST_TRACE_SPAN("dynamic.publish");
+    const DynamicDensest::Answer answer = engine.Query();
+    DENSEST_METRIC_GAUGE("dynamic.density").Set(answer.density);
+    options.publish->Publish(answer, engine.DensestNodes(),
                              options.skip_updates + count);
   };
   // Publish the pre-replay state too: a restored engine starts serving
@@ -133,6 +141,7 @@ StatusOr<ReplayReport> ReplayUpdates(UpdateStream& updates,
       run = std::min(run, until_boundary(options.query_every));
       run = std::min(run, until_boundary(options.checkpoint_every));
       run = std::min(run, until_boundary(options.snapshot_every));
+      run = std::min(run, until_boundary(options.stats_every));
       if (options.publish != nullptr) {
         run = std::min(run, until_boundary(options.publish_every));
       }
@@ -180,6 +189,10 @@ StatusOr<ReplayReport> ReplayUpdates(UpdateStream& updates,
           ++report.snapshots_failed;
           report.last_snapshot_error = s.ToString();
         }
+      }
+      if (options.stats_every != 0 && options.stats_hook &&
+          count % options.stats_every == 0) {
+        options.stats_hook(count);
       }
       // Crash-injection hook for the recovery tests: fired, it aborts the
       // replay mid-stream exactly like a process death would (everything

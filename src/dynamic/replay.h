@@ -9,6 +9,7 @@
 #define DENSEST_DYNAMIC_REPLAY_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,12 @@ struct ReplayOptions {
   /// collection over more updates; readers just see epochs advance less
   /// often.
   uint64_t publish_every = 0;
+  /// Periodic-stats seam: every N applied updates, invoke stats_hook with
+  /// the applied-update count, from the writer thread between apply runs
+  /// (0 or no hook = never). The CLI wires --stats-every to this and
+  /// prints a registry summary line (obs/exporter.h) from the hook.
+  uint64_t stats_every = 0;
+  std::function<void(uint64_t)> stats_hook;
 };
 
 /// \brief One band-verification point.

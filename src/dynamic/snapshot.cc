@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace densest {
 
@@ -121,6 +123,7 @@ bool GetOverload(BodyReader* r, DynamicDensest::OverloadState* o) {
 
 Status WriteSnapshot(const std::string& path, const DynamicDensest& engine,
                      uint64_t cursor) {
+  DENSEST_TRACE_SPAN("dynamic.snapshot_write");
   const NodeId n = engine.num_nodes();
   const uint32_t num_slots = static_cast<uint32_t>(engine.num_slots());
 
@@ -176,6 +179,7 @@ Status WriteSnapshot(const std::string& path, const DynamicDensest& engine,
   const std::string tmp = path + ".tmp";
   FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
+    DENSEST_METRIC_COUNTER("dynamic.snapshots_failed").Inc();
     return Status::IOError("cannot create snapshot file: " + tmp);
   }
   bool ok = DENSEST_FAILPOINT("snapshot.write") == FailpointAction::kNone;
@@ -185,17 +189,21 @@ Status WriteSnapshot(const std::string& path, const DynamicDensest& engine,
   ok = std::fclose(f) == 0 && ok;
   if (!ok) {
     std::remove(tmp.c_str());
+    DENSEST_METRIC_COUNTER("dynamic.snapshots_failed").Inc();
     return Status::IOError("short write on snapshot file: " + tmp);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
+    DENSEST_METRIC_COUNTER("dynamic.snapshots_failed").Inc();
     return Status::IOError("cannot rename snapshot into place: " + path);
   }
+  DENSEST_METRIC_COUNTER("dynamic.snapshots_written").Inc();
   return Status::OK();
 }
 
 StatusOr<RestoredEngine> ReadSnapshot(const std::string& path,
                                       const DynamicDensestOptions& options) {
+  DENSEST_TRACE_SPAN("dynamic.snapshot_read");
   FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IOError("cannot open snapshot file: " + path);
@@ -289,6 +297,7 @@ StatusOr<RestoredEngine> ReadSnapshot(const std::string& path,
   RestoredEngine out;
   out.engine = std::move(*engine);
   out.cursor = cursor;
+  DENSEST_METRIC_COUNTER("dynamic.snapshot_restores").Inc();
   return out;
 }
 

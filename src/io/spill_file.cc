@@ -8,6 +8,7 @@
 #include <filesystem>
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
 
 namespace densest {
 
@@ -63,14 +64,19 @@ FailpointAction SpillFile::EvalFailpointWithRetry(const char* name) const {
   for (;;) {
     const FailpointAction fp = DENSEST_FAILPOINT(name);
     if (fp != FailpointAction::kUnavailable) {
-      if (attempt > 0) healed_.fetch_add(1, std::memory_order_relaxed);
+      if (attempt > 0) {
+        healed_.fetch_add(1, std::memory_order_relaxed);
+        DENSEST_METRIC_COUNTER("io.retries_healed").Inc();
+      }
       return fp;
     }
     if (attempt + 1 >= retry_policy_.max_attempts) {
       exhausted_.fetch_add(1, std::memory_order_relaxed);
+      DENSEST_METRIC_COUNTER("io.retries_exhausted").Inc();
       return FailpointAction::kUnavailable;
     }
     retries_.fetch_add(1, std::memory_order_relaxed);
+    DENSEST_METRIC_COUNTER("io.retries").Inc();
     ++attempt;
     backoff.Sleep();
   }

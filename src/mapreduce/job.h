@@ -33,6 +33,8 @@
 #include "common/thread_pool.h"
 #include "mapreduce/cost_model.h"
 #include "mapreduce/shuffle.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace densest {
 
@@ -261,33 +263,37 @@ StatusOr<std::vector<KV<K3, V3>>> RunJobOnSource(
   const IoRetryStats source_retries_before = source.io_retry_stats();
   source.Reset();
   bool source_dry = false;
-  while (!source_dry) {
-    // Once per round (≤ chunks_per_round × chunk_cap records between
-    // polls). The early return unwinds the ShuffleWriter, whose SpillFile
-    // destructors remove any spill files already written.
-    if (Status c = CheckCancel(options.cancel); !c.ok()) return c;
-    size_t filled = 0;
-    while (filled < chunks_per_round) {
-      std::vector<KV<K1, V1>>& in = inputs[filled];
-      in.resize(chunk_cap);
-      const size_t got = source.FillChunk(in.data(), chunk_cap);
-      in.resize(got);
-      if (got == 0) {
-        source_dry = true;
-        break;
+  {
+    DENSEST_TRACE_SPAN("mr.map_phase");
+    while (!source_dry) {
+      // Once per round (≤ chunks_per_round × chunk_cap records between
+      // polls). The early return unwinds the ShuffleWriter, whose SpillFile
+      // destructors remove any spill files already written.
+      if (Status c = CheckCancel(options.cancel); !c.ok()) return c;
+      size_t filled = 0;
+      while (filled < chunks_per_round) {
+        std::vector<KV<K1, V1>>& in = inputs[filled];
+        in.resize(chunk_cap);
+        const size_t got = source.FillChunk(in.data(), chunk_cap);
+        in.resize(got);
+        if (got == 0) {
+          source_dry = true;
+          break;
+        }
+        stats.map_input_records += got;
+        ++filled;
       }
-      stats.map_input_records += got;
-      ++filled;
-    }
-    env.pool().ParallelFor(filled, [&](size_t c) {
-      raw_counts[c] = mr_internal::MapCombineChunk<K2, V2>(
-          inputs[c], outputs[c], map_fn, combine_fn,
-          options.map_fanout_hint);
-    });
-    for (size_t c = 0; c < filled; ++c) {
-      stats.map_output_records += raw_counts[c];
-      if (Status s = shuffle.Append(std::move(outputs[c])); !s.ok()) {
-        return s;
+      DENSEST_METRIC_COUNTER("mr.map_chunks").Inc(filled);
+      env.pool().ParallelFor(filled, [&](size_t c) {
+        raw_counts[c] = mr_internal::MapCombineChunk<K2, V2>(
+            inputs[c], outputs[c], map_fn, combine_fn,
+            options.map_fanout_hint);
+      });
+      for (size_t c = 0; c < filled; ++c) {
+        stats.map_output_records += raw_counts[c];
+        if (Status s = shuffle.Append(std::move(outputs[c])); !s.ok()) {
+          return s;
+        }
       }
     }
   }
@@ -311,23 +317,26 @@ StatusOr<std::vector<KV<K3, V3>>> RunJobOnSource(
   std::vector<uint64_t> group_counts(num_partitions, 0);
   std::vector<Status> partition_status(num_partitions);
   const uint64_t out_hint = options.reduce_output_hint / num_partitions;
-  env.pool().ParallelFor(num_partitions, [&](size_t p) {
-    // One poll per partition: a tripped token skips the remaining merge
-    // work. ParallelFor still joins every worker, so no thread outlives
-    // the early return below.
-    if (Status c = CheckCancel(options.cancel); !c.ok()) {
-      partition_status[p] = c;
-      return;
-    }
-    Emitter<K3, V3> emitter(&reduce_out[p]);
-    if (out_hint > 0) emitter.Reserve(out_hint);
-    std::vector<V2> values;
-    partition_status[p] = shuffle.ReducePartition(
-        p, &values, [&](const K2& key, const std::vector<V2>& vs) {
-          reduce_fn(key, vs, emitter);
-          ++group_counts[p];
-        });
-  });
+  {
+    DENSEST_TRACE_SPAN("mr.reduce_phase");
+    env.pool().ParallelFor(num_partitions, [&](size_t p) {
+      // One poll per partition: a tripped token skips the remaining merge
+      // work. ParallelFor still joins every worker, so no thread outlives
+      // the early return below.
+      if (Status c = CheckCancel(options.cancel); !c.ok()) {
+        partition_status[p] = c;
+        return;
+      }
+      Emitter<K3, V3> emitter(&reduce_out[p]);
+      if (out_hint > 0) emitter.Reserve(out_hint);
+      std::vector<V2> values;
+      partition_status[p] = shuffle.ReducePartition(
+          p, &values, [&](const K2& key, const std::vector<V2>& vs) {
+            reduce_fn(key, vs, emitter);
+            ++group_counts[p];
+          });
+    });
+  }
   for (const Status& s : partition_status) {
     if (!s.ok()) return s;
   }
@@ -353,6 +362,13 @@ StatusOr<std::vector<KV<K3, V3>>> RunJobOnSource(
       (source_retries.healed - source_retries_before.healed) +
       spill_retries.healed;
   stats.simulated_seconds = SimulateJobSeconds(env.cost_model(), stats);
+
+  // Registry mirror of the per-job struct: one bulk add per job, so the
+  // cross-command metrics plane sees MR activity without per-record cost.
+  DENSEST_METRIC_COUNTER("mr.jobs").Inc();
+  DENSEST_METRIC_COUNTER("mr.shuffle_records").Inc(shuffle.records());
+  DENSEST_METRIC_COUNTER("mr.spill_bytes").Inc(stats.spill_bytes_written);
+  DENSEST_METRIC_COUNTER("mr.reduce_groups").Inc(stats.reduce_input_groups);
 
   env.AccumulateTotals(stats);
   if (stats_out != nullptr) *stats_out = stats;

@@ -1,0 +1,165 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "common/mutex.h"
+#include "obs/metric_names.h"
+
+namespace densest::obs {
+
+namespace {
+
+// Per-thread cap: at ~32 bytes/span this bounds one thread's buffer to
+// ~32 MiB, far above any sane trace window; beyond it spans are counted
+// as dropped rather than silently lost or unboundedly accumulated.
+constexpr size_t kMaxSpansPerThread = size_t{1} << 20;
+
+}  // namespace
+
+/// One thread's append target. The owner thread appends under `mu` (its
+/// own mutex, so uncontended except while a Drain is copying), never
+/// resized by anyone else. Lives in the recorder's registry forever: a
+/// traced thread may exit long before the drain.
+struct TraceRecorder::ThreadBuffer {
+  Mutex mu;
+  std::vector<TraceSpan> spans DENSEST_GUARDED_BY(mu);
+  uint32_t tid = 0;
+};
+
+struct TraceRecorder::Impl {
+  Mutex registry_mu;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers
+      DENSEST_GUARDED_BY(registry_mu);
+  std::chrono::steady_clock::time_point epoch;
+};
+
+TraceRecorder::TraceRecorder() {
+  impl_ = new Impl();  // lint:allow(naked-new) — leaked singleton
+  impl_->epoch = std::chrono::steady_clock::now();
+}
+
+TraceRecorder& TraceRecorder::Get() {
+  // Leaked like Failpoints: span sites run on pool threads that may
+  // outlive main()'s statics.
+  static TraceRecorder* instance =
+      new TraceRecorder();  // lint:allow(naked-new) — leaked singleton
+  return *instance;
+}
+
+void TraceRecorder::Start() {
+  recording_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Stop() {
+  recording_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t TraceRecorder::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - impl_->epoch)
+          .count());
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::ThisThreadBuffer() {
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    MutexLock lock(impl_->registry_mu);
+    impl_->buffers.push_back(std::make_unique<ThreadBuffer>());
+    buffer = impl_->buffers.back().get();
+    buffer->tid = static_cast<uint32_t>(impl_->buffers.size() - 1);
+  }
+  return *buffer;
+}
+
+void TraceRecorder::Record(std::string_view name, uint64_t ts_us,
+                           uint64_t dur_us) {
+  if (!IsRegisteredTraceSpan(name)) {
+    // Same contract as MetricsRegistry: lint enforces the span-name
+    // registry statically, so this is an instrumentation bug.
+    std::fprintf(stderr,
+                 "densest::obs: trace span \"%.*s\" is not in "
+                 "obs/metric_names.h (and lacks the \"t.\" test prefix)\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  ThreadBuffer& buffer = ThisThreadBuffer();
+  MutexLock lock(buffer.mu);
+  if (buffer.spans.size() >= kMaxSpansPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.spans.push_back(TraceSpan{name, ts_us, dur_us, buffer.tid});
+}
+
+std::vector<TraceSpan> TraceRecorder::Drain() {
+  std::vector<TraceSpan> out;
+  {
+    MutexLock lock(impl_->registry_mu);
+    for (const std::unique_ptr<ThreadBuffer>& buffer : impl_->buffers) {
+      MutexLock span_lock(buffer->mu);
+      out.insert(out.end(), buffer->spans.begin(), buffer->spans.end());
+      buffer->spans.clear();
+    }
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+  std::sort(out.begin(), out.end(), [](const TraceSpan& a, const TraceSpan& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    // Equal-timestamp spans on one thread: the longer one opened first
+    // (RAII destruction order), so emit it first for viewer nesting.
+    return a.dur_us > b.dur_us;
+  });
+  return out;
+}
+
+std::string TraceRecorder::DrainToJson() {
+  const std::vector<TraceSpan> spans = Drain();
+  std::string json;
+  json.reserve(64 + spans.size() * 96);
+  json += "{\"traceEvents\":[";
+  char buf[192];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    // Span names come from the registry grammar ([a-z0-9_.]), so no JSON
+    // escaping is needed.
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%.*s\",\"cat\":\"densest\",\"ph\":\"X\","
+                  "\"ts\":%llu,\"dur\":%llu,\"pid\":1,\"tid\":%u}",
+                  i == 0 ? "" : ",", static_cast<int>(s.name.size()),
+                  s.name.data(), static_cast<unsigned long long>(s.ts_us),
+                  static_cast<unsigned long long>(s.dur_us), s.tid);
+    json += buf;
+  }
+  json += "],\"displayTimeUnit\":\"ms\"}\n";
+  return json;
+}
+
+Status TraceRecorder::DrainToJsonFile(const std::string& path) {
+  const std::string json = DrainToJson();
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IOError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+void TraceRecorder::ResetForTest() {
+  Stop();
+  MutexLock lock(impl_->registry_mu);
+  for (const std::unique_ptr<ThreadBuffer>& buffer : impl_->buffers) {
+    MutexLock span_lock(buffer->mu);
+    buffer->spans.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace densest::obs

@@ -1,0 +1,160 @@
+// Copyright 2026 The densest Authors.
+// Structured tracing: per-thread span buffers drained to a
+// chrome://tracing- / Perfetto-loadable JSON timeline.
+//
+// Two gates, mirroring failpoints:
+//   - Compile gate: DENSEST_TRACING_ENABLED (CMake option DENSEST_TRACING,
+//     ON by default, OFF in the perf-baseline CI leg). When off,
+//     DENSEST_TRACE_SPAN(...) expands to nothing — zero code, zero data.
+//   - Runtime gate: TraceRecorder::Start()/Stop(). Recording is OFF by
+//     default; an un-started recorder costs one relaxed bool load per
+//     span site.
+//
+// Span sites use DENSEST_TRACE_SPAN("subsystem.operation") — an RAII
+// object that stamps steady-clock enter/exit. Names must be registered in
+// obs/metric_names.h (kTraceSpanNames); tools/lint.py cross-checks both
+// directions, and the reserved "t." prefix is open for tests.
+//
+// Concurrency model: each thread appends to its own buffer (registered
+// under the recorder mutex on first span, then touched lock-free by the
+// owner except for a per-buffer mutex taken briefly by Drain). Buffers
+// are owned by the leaked recorder, so a thread may exit at any time;
+// its spans stay collectable. Nesting needs no explicit tracking: spans
+// are emitted as chrome "X" (complete) events at destruction, and the
+// viewer reconstructs the stack per tid from containment.
+
+#ifndef DENSEST_OBS_TRACE_H_
+#define DENSEST_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace densest::obs {
+
+/// \brief One closed span: [ts_us, ts_us + dur_us] on thread `tid`.
+/// Timestamps are steady-clock microseconds since recorder construction;
+/// tids are small dense integers in registration order (0 is whichever
+/// thread traced first, typically main).
+struct TraceSpan {
+  std::string_view name;  ///< points into metric_names.h or a test literal
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;
+};
+
+/// \brief Process-wide span collector (leaked singleton, like Failpoints
+/// and MetricsRegistry).
+class TraceRecorder {
+ public:
+  static TraceRecorder& Get();
+
+  /// Whether DENSEST_TRACE_SPAN sites are compiled in (CMake option
+  /// DENSEST_TRACING). When false, Record() still works but nothing in
+  /// the tree calls it, so drains yield an empty (valid) timeline.
+  static constexpr bool compiled_in() {
+#if defined(DENSEST_TRACING_ENABLED)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// Begins recording. Spans opened while stopped are not recorded (a
+  /// span straddling Start() is dropped: enter decided not to record).
+  void Start();
+  /// Stops recording; already-buffered spans remain until drained.
+  void Stop();
+  bool recording() const {
+    return recording_.load(std::memory_order_relaxed);
+  }
+
+  /// Moves every buffered span out (all threads), sorted by (tid, ts_us).
+  /// Concurrent recording is safe but a span being recorded during the
+  /// call lands in either this drain or the next.
+  std::vector<TraceSpan> Drain();
+
+  /// Spans dropped because a thread hit its buffer cap (cleared by Drain).
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Drains and renders the chrome://tracing JSON ("traceEvents" array of
+  /// "X" complete events, one pid, per-thread tids).
+  std::string DrainToJson();
+
+  /// DrainToJson() straight to a file.
+  Status DrainToJsonFile(const std::string& path);
+
+  /// Stop + discard all buffered spans and the dropped counter. Only safe
+  /// with no concurrent span sites, i.e. between tests.
+  void ResetForTest();
+
+  /// Called by ScopedTraceSpan; validates `name` (registered or "t."),
+  /// then appends to the calling thread's buffer.
+  void Record(std::string_view name, uint64_t ts_us, uint64_t dur_us);
+
+  /// Microseconds since recorder construction (the span clock).
+  uint64_t NowMicros() const;
+
+ private:
+  TraceRecorder();
+
+  struct ThreadBuffer;
+  ThreadBuffer& ThisThreadBuffer();
+
+  std::atomic<bool> recording_{false};
+  std::atomic<uint64_t> dropped_{0};
+  struct Impl;
+  Impl* impl_;
+};
+
+#if defined(DENSEST_TRACING_ENABLED)
+
+/// \brief RAII span: stamps enter on construction, records on
+/// destruction. Decides at enter whether to record — a Start() arriving
+/// mid-span doesn't produce a half-timed event.
+class ScopedTraceSpan {
+ public:
+  explicit ScopedTraceSpan(std::string_view name) {
+    TraceRecorder& rec = TraceRecorder::Get();
+    if (rec.recording()) {
+      name_ = name;
+      start_us_ = rec.NowMicros();
+      active_ = true;
+    }
+  }
+  ~ScopedTraceSpan() {
+    if (active_) {
+      TraceRecorder& rec = TraceRecorder::Get();
+      rec.Record(name_, start_us_, rec.NowMicros() - start_us_);
+    }
+  }
+  ScopedTraceSpan(const ScopedTraceSpan&) = delete;
+  ScopedTraceSpan& operator=(const ScopedTraceSpan&) = delete;
+
+ private:
+  std::string_view name_;
+  uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+#define DENSEST_TRACE_CONCAT_INNER(a, b) a##b
+#define DENSEST_TRACE_CONCAT(a, b) DENSEST_TRACE_CONCAT_INNER(a, b)
+#define DENSEST_TRACE_SPAN(name)                    \
+  ::densest::obs::ScopedTraceSpan DENSEST_TRACE_CONCAT( \
+      densest_trace_span_, __LINE__)(name)
+
+#else  // !DENSEST_TRACING_ENABLED
+
+#define DENSEST_TRACE_SPAN(name) \
+  do {                           \
+  } while (false)
+
+#endif  // DENSEST_TRACING_ENABLED
+
+}  // namespace densest::obs
+
+#endif  // DENSEST_OBS_TRACE_H_

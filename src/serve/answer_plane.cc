@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/metrics.h"
+
 namespace densest {
 
 namespace {
@@ -21,6 +23,7 @@ AnswerPlane::AnswerPlane(NodeId n)
 void AnswerPlane::Publish(const Answer& answer,
                           std::span<const NodeId> members,
                           uint64_t prefix_updates) {
+  WallTimer publish_timer;
   seq_.BeginWrite();
   density_.store(answer.density, std::memory_order_relaxed);
   upper_bound_.store(answer.upper_bound, std::memory_order_relaxed);
@@ -42,6 +45,13 @@ void AnswerPlane::Publish(const Answer& answer,
             std::memory_order_relaxed);
   }
   seq_.EndWrite();
+  last_publish_us_.store(static_cast<int64_t>(age_clock_.ElapsedMicros()),
+                         std::memory_order_relaxed);
+  DENSEST_METRIC_COUNTER("serve.publications").Inc();
+  DENSEST_METRIC_GAUGE("serve.answer_epoch")
+      .Set(static_cast<double>(seq_.epoch()));
+  DENSEST_METRIC_HISTOGRAM("serve.publish_latency_us")
+      .Observe(static_cast<double>(publish_timer.ElapsedMicros()));
 
   if (log_enabled_) {
     PlaneSnapshot logged;
@@ -52,6 +62,13 @@ void AnswerPlane::Publish(const Answer& answer,
     std::sort(logged.members.begin(), logged.members.end());
     writer_log_.push_back(std::move(logged));
   }
+}
+
+double AnswerPlane::AgeMicros() const {
+  const int64_t last = last_publish_us_.load(std::memory_order_relaxed);
+  if (last < 0) return 0;
+  const int64_t now = static_cast<int64_t>(age_clock_.ElapsedMicros());
+  return now > last ? static_cast<double>(now - last) : 0;
 }
 
 /// Runs `copy_payload` under the seqlock read protocol until it copied one

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/epoch.h"
+#include "common/timer.h"
 #include "core/answer.h"
 #include "graph/types.h"
 
@@ -73,6 +74,12 @@ class AnswerPlane final : public AnswerSink {
   /// Publications so far (0 = nothing published yet).
   uint64_t epoch() const { return seq_.epoch(); }
 
+  /// Microseconds since the last Publish() finished (0 before the first
+  /// publication: the pre-publication answer is the empty graph's, which
+  /// never goes stale). Readable from any thread; this is what the
+  /// serve.answer_age_us gauge samples.
+  double AgeMicros() const;
+
   /// One consistent scalar answer; answer.epoch names its publication.
   Answer ReadAnswer() const;
 
@@ -112,6 +119,8 @@ class AnswerPlane final : public AnswerSink {
   std::atomic<uint32_t> flags_{1};
   std::atomic<uint64_t> prefix_updates_{0};
   std::vector<std::atomic<uint64_t>> member_words_;  // (n + 63) / 64
+  WallTimer age_clock_;                     // plane-construction epoch
+  std::atomic<int64_t> last_publish_us_{-1};  // age_clock_ at last Publish
   bool log_enabled_ = false;
   std::vector<PlaneSnapshot> writer_log_;  // writer-owned; see EnableWriterLog
 };

@@ -4,6 +4,9 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace densest {
 
@@ -13,9 +16,13 @@ QueryService::QueryService(const AnswerPlane& plane,
       options_(options),
       start_(std::chrono::steady_clock::now()) {
   const size_t readers = std::max<size_t>(1, options_.num_readers);
+  reader_slots_.reserve(readers);
+  for (size_t i = 0; i < readers; ++i) {
+    reader_slots_.push_back(std::make_unique<ReaderSlot>());
+  }
   readers_.reserve(readers);
   for (size_t i = 0; i < readers; ++i) {
-    readers_.emplace_back([this] { ReaderLoop(); });
+    readers_.emplace_back([this, i] { ReaderLoop(i); });
   }
 }
 
@@ -40,6 +47,7 @@ double QueryService::NowMicros() const {
 }
 
 void QueryService::Serve(Ticket& t) const {
+  DENSEST_TRACE_SPAN("serve.batch");
   t.results.resize(t.queries.size());
   for (size_t i = 0; i < t.queries.size(); ++i) {
     const ServeQuery& q = t.queries[i];
@@ -61,11 +69,21 @@ void QueryService::Serve(Ticket& t) const {
         r.nodes = std::move(snap.members);
         break;
       }
+      case ServeQuery::Kind::kStats: {
+        // Sample the staleness gauge right before rendering, so the
+        // exposition a client scrapes through the service carries the age
+        // of the answer it would have been served alongside.
+        DENSEST_METRIC_GAUGE("serve.answer_age_us").Set(plane_.AgeMicros());
+        DENSEST_METRIC_COUNTER("serve.stats_queries").Inc();
+        r.answer = plane_.ReadAnswer();
+        r.stats_text = obs::RenderMetricsPrometheus();
+        break;
+      }
     }
   }
 }
 
-void QueryService::ReaderLoop() {
+void QueryService::ReaderLoop(size_t reader_index) {
   while (true) {
     std::shared_ptr<Ticket> ticket;
     Status status = Status::OK();
@@ -75,6 +93,8 @@ void QueryService::ReaderLoop() {
       if (stopping_) return;
       ticket = std::move(queue_.front());
       queue_.pop_front();
+      DENSEST_METRIC_GAUGE("serve.queue_depth")
+          .Set(static_cast<double>(queue_.size()));
       if (ticket->abandoned) continue;  // submitter already gave up
       // The deadline check must happen while the mutex still pins the
       // token: an abandoning submitter nulls `cancel` under mu_ and only
@@ -90,23 +110,39 @@ void QueryService::ReaderLoop() {
     }
     if (status.ok()) Serve(*ticket);
 
-    MutexLock lock(mu_);
-    if (ticket->abandoned) continue;
-    ticket->status = status;
-    ticket->done = true;
-    if (status.ok()) {
-      ++batches_served_;
-      queries_served_ += ticket->queries.size();
-      const double waited = NowMicros() - ticket->enqueued_us;
-      for (size_t i = 0; i < ticket->queries.size(); ++i) {
-        latency_us_.Add(waited);
+    double waited = -1;
+    size_t served = 0;
+    {
+      MutexLock lock(mu_);
+      if (ticket->abandoned) continue;
+      ticket->status = status;
+      ticket->done = true;
+      if (status.ok()) {
+        ++batches_served_;
+        served = ticket->queries.size();
+        queries_served_ += served;
+        waited = NowMicros() - ticket->enqueued_us;
+        DENSEST_METRIC_COUNTER("serve.batches_served").Inc();
+        DENSEST_METRIC_COUNTER("serve.queries_served").Inc(served);
+      } else if (status.code() == Status::Code::kUnavailable) {
+        ++failed_;
+        DENSEST_METRIC_COUNTER("serve.failed").Inc();
+      } else {
+        ++expired_;
+        DENSEST_METRIC_COUNTER("serve.expired").Inc();
       }
-    } else if (status.code() == Status::Code::kUnavailable) {
-      ++failed_;
-    } else {
-      ++expired_;
+      done_cv_.NotifyAll();
     }
-    done_cv_.NotifyAll();
+    if (waited >= 0) {
+      DENSEST_METRIC_HISTOGRAM("serve.batch_latency_us").Observe(waited);
+      // Per-query latency lands in this reader's own reservoir, off mu_;
+      // stats() merges the slots (Histogram::Merge).
+      ReaderSlot& slot = *reader_slots_[reader_index];
+      MutexLock lock(slot.mu);
+      for (size_t i = 0; i < served; ++i) {
+        slot.latency_us.Add(waited);
+      }
+    }
   }
 }
 
@@ -125,6 +161,7 @@ Status QueryService::QueryBatch(std::span<const ServeQuery> queries,
   if (DENSEST_FAILPOINT("serve.enqueue") != FailpointAction::kNone) {
     MutexLock lock(mu_);
     ++shed_;
+    DENSEST_METRIC_COUNTER("serve.shed").Inc();
     return Status::Unavailable("injected serve.enqueue shed");
   }
 
@@ -137,10 +174,13 @@ Status QueryService::QueryBatch(std::span<const ServeQuery> queries,
   const size_t capacity = std::max<size_t>(1, options_.queue_capacity);
   if (queue_.size() >= capacity) {
     ++shed_;
+    DENSEST_METRIC_COUNTER("serve.shed").Inc();
     return Status::Unavailable("query queue full (backpressure)");
   }
   ticket->enqueued_us = NowMicros();
   queue_.push_back(ticket);
+  DENSEST_METRIC_GAUGE("serve.queue_depth")
+      .Set(static_cast<double>(queue_.size()));
   work_cv_.NotifyOne();
 
   while (!ticket->done) {
@@ -156,6 +196,7 @@ Status QueryService::QueryBatch(std::span<const ServeQuery> queries,
       ticket->abandoned = true;
       ticket->cancel = nullptr;
       ++expired_;
+      DENSEST_METRIC_COUNTER("serve.expired").Inc();
       return token->Check();
     }
     if (token != nullptr) {
@@ -171,6 +212,13 @@ Status QueryService::QueryBatch(std::span<const ServeQuery> queries,
 }
 
 QueryServiceStats QueryService::stats() const {
+  // Combine the per-reader reservoirs first (slot locks only), then take
+  // mu_ for the counters — the two lock levels never nest.
+  Histogram merged;
+  for (const std::unique_ptr<ReaderSlot>& slot : reader_slots_) {
+    MutexLock lock(slot->mu);
+    merged.Merge(slot->latency_us);
+  }
   MutexLock lock(mu_);
   QueryServiceStats s;
   s.batches_served = batches_served_;
@@ -178,9 +226,9 @@ QueryServiceStats QueryService::stats() const {
   s.shed = shed_;
   s.failed = failed_;
   s.expired = expired_;
-  s.latency_p50_us = latency_us_.Quantile(0.5);
-  s.latency_p99_us = latency_us_.Quantile(0.99);
-  s.latency_mean_us = latency_us_.Mean();
+  s.latency_p50_us = merged.Quantile(0.5);
+  s.latency_p99_us = merged.Quantile(0.99);
+  s.latency_mean_us = merged.Mean();
   return s;
 }
 

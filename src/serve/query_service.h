@@ -34,6 +34,7 @@
 #include <deque>
 #include <memory>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -53,6 +54,7 @@ struct ServeQuery {
     kDensity,     ///< the scalar Answer
     kMembership,  ///< is `node` in the witnessing set (+ the Answer)
     kSnapshot,    ///< the full witnessing node set (+ prefix + Answer)
+    kStats,       ///< live metrics exposition (obs/) + the Answer
   };
   Kind kind = Kind::kDensity;
   NodeId node = 0;  ///< kMembership only
@@ -66,6 +68,7 @@ struct ServeResult {
   bool member = false;          ///< kMembership
   uint64_t prefix_updates = 0;  ///< kSnapshot: updates applied when published
   std::vector<NodeId> nodes;    ///< kSnapshot: witnessing set, ascending
+  std::string stats_text;       ///< kStats: Prometheus-style exposition
 };
 
 /// \brief Knobs for the reader pool.
@@ -135,7 +138,16 @@ class QueryService {
     double enqueued_us = 0;  ///< service clock at submit
   };
 
-  void ReaderLoop();
+  /// Per-reader latency reservoir: each reader records completions into
+  /// its own slot under its own mutex, and stats() combines the slots via
+  /// Histogram::Merge() — completion bookkeeping never contends on mu_
+  /// with admission.
+  struct ReaderSlot {
+    mutable Mutex mu;
+    Histogram latency_us DENSEST_GUARDED_BY(mu);
+  };
+
+  void ReaderLoop(size_t reader_index);
   /// Answers every query in `t` off the plane (no locks held).
   void Serve(Ticket& t) const;
   double NowMicros() const;
@@ -153,7 +165,7 @@ class QueryService {
   uint64_t shed_ DENSEST_GUARDED_BY(mu_) = 0;
   uint64_t failed_ DENSEST_GUARDED_BY(mu_) = 0;
   uint64_t expired_ DENSEST_GUARDED_BY(mu_) = 0;
-  Histogram latency_us_ DENSEST_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<ReaderSlot>> reader_slots_;  // set in ctor
 
   std::vector<std::thread> readers_;  // set in ctor, joined in Stop()
   std::chrono::steady_clock::time_point start_;

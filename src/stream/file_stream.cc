@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
 
 namespace densest {
 
@@ -108,17 +109,22 @@ void BinaryFileEdgeStream::IssuePrefetch() {
       if (fp == FailpointAction::kUnavailable) {
         if (attempt + 1 >= retry_policy_.max_attempts) {
           retry_exhausted_.fetch_add(1, std::memory_order_relaxed);
+          DENSEST_METRIC_COUNTER("io.retries_exhausted").Inc();
           back_len_ = 0;
           back_error_ = false;
           back_unavailable_ = true;
           return;
         }
         retries_.fetch_add(1, std::memory_order_relaxed);
+        DENSEST_METRIC_COUNTER("io.retries").Inc();
         ++attempt;
         backoff.Sleep();
         continue;
       }
-      if (attempt > 0) healed_.fetch_add(1, std::memory_order_relaxed);
+      if (attempt > 0) {
+        healed_.fetch_add(1, std::memory_order_relaxed);
+        DENSEST_METRIC_COUNTER("io.retries_healed").Inc();
+      }
       if (fp == FailpointAction::kIOError) {
         back_len_ = 0;
         back_error_ = true;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
 
 namespace densest {
 
@@ -133,6 +134,7 @@ size_t BinaryFileUpdateStream::NextBatch(EdgeUpdate* buf, size_t cap) {
     if (fp != FailpointAction::kUnavailable) break;
     if (attempt + 1 >= retry_policy_.max_attempts) {
       ++retry_stats_.exhausted;
+      DENSEST_METRIC_COUNTER("io.retries_exhausted").Inc();
       exhausted_ = true;
       status_ = Status::Unavailable(
           "read failed after " + std::to_string(retry_policy_.max_attempts) +
@@ -140,10 +142,14 @@ size_t BinaryFileUpdateStream::NextBatch(EdgeUpdate* buf, size_t cap) {
       return 0;
     }
     ++retry_stats_.retries;
+    DENSEST_METRIC_COUNTER("io.retries").Inc();
     ++attempt;
     backoff.Sleep();
   }
-  if (attempt > 0) ++retry_stats_.healed;
+  if (attempt > 0) {
+    ++retry_stats_.healed;
+    DENSEST_METRIC_COUNTER("io.retries_healed").Inc();
+  }
   if (fp == FailpointAction::kIOError) {
     exhausted_ = true;
     status_ = Status::IOError("read error (injected): " + path_);

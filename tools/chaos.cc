@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
           "             [--nodes=70 --edges=1200 --window=150 --eps=0.6]\n"
           "             [--checkpoint-every=300 --snapshot-every=100]\n"
           "             [--max-faults=6] [--batch-size=64] [--scratch=DIR]\n"
+          "             [--stats-every=N] [--metrics-out=PATH]\n"
+          "             [--trace-out=PATH]\n"
           "\n"
           "Replays seeded sliding-window workloads under random fault\n"
           "injection (process crashes, dead disks, torn update files,\n"
@@ -31,7 +33,10 @@ int main(int argc, char** argv) {
           "and fails unless every surviving engine is bit-identical to a\n"
           "fault-free reference run and passes all structural invariant\n"
           "audits. --smoke pins the seed for the CI gate. A failure prints\n"
-          "the --seed that deterministically replays the bad schedule.\n",
+          "the --seed that deterministically replays the bad schedule.\n"
+          "--metrics-out / --trace-out write the metrics exposition and the\n"
+          "chrome://tracing timeline on exit; --stats-every=N prints a\n"
+          "metrics summary every N schedules.\n",
           stdout);
       return 0;
     }
@@ -41,17 +46,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
     return 2;
   }
-  Status status = CmdChaos(*args, std::cout);
+  // Through the shared dispatcher (not CmdChaos directly) so the global
+  // flags — --failpoint, --metrics-out, --trace-out — and the
+  // unknown-flag check behave exactly like `densest_cli chaos`.
+  Status status = RunCliCommand("chaos", *args, std::cout);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-    return 1;
-  }
-  std::vector<std::string> unused = args->UnusedFlags();
-  if (!unused.empty()) {
-    std::string msg;
-    for (const std::string& f : unused) msg += " --" + f;
-    std::fprintf(stderr, "error: unknown flag(s):%s\n", msg.c_str());
-    return 2;
+    return status.code() == Status::Code::kInvalidArgument ? 2 : 1;
   }
   return 0;
 }

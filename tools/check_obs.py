@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+# Copyright 2026 The densest Authors.
+"""CI validator for the observability artifacts (stdlib-only).
+
+Checks the two files a `--metrics-out` / `--trace-out` run writes:
+
+  --metrics FILE   Prometheus text exposition (or the .json mirror) must
+                   contain every name registered in src/obs/metric_names.h
+                   — the registry pre-allocates every slot, so an absent
+                   series means the exporter or the registry regressed.
+  --trace FILE     chrome://tracing JSON: must parse, every event must be
+                   a well-formed complete ("X") event, and each thread's
+                   spans must be well-nested (properly contained or
+                   disjoint — a half-overlap means a torn span record).
+
+Flags:
+  --require-events N   fail unless the trace holds at least N events
+                       (default 1; use 0 for tracing-compiled-out legs)
+  --require-subsystems a,b,...   fail unless the exposition shows nonzero
+                       activity (counter > 0 or histogram count > 0) in
+                       every listed subsystem prefix
+
+Usage:
+  tools/check_obs.py --metrics m.prom --trace t.json \
+      --require-subsystems core,dynamic,serve
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+
+def load_registered_names(repo_root: str) -> dict[str, set[str]]:
+    """The four name arrays of src/obs/metric_names.h, keyed by kind."""
+    path = os.path.join(repo_root, "src/obs/metric_names.h")
+    text = open(path).read()
+    out: dict[str, set[str]] = {}
+    for kind, array in (
+        ("counter", "kCounterNames"),
+        ("gauge", "kGaugeNames"),
+        ("histogram", "kHistogramNames"),
+    ):
+        m = re.search(re.escape(array) + r"\[\]\s*=\s*\{(.*?)\};", text, re.S)
+        if m is None:
+            raise SystemExit(f"check_obs: {array} not found in {path}")
+        out[kind] = set(re.findall(r'"([^"]+)"', m.group(1)))
+    return out
+
+
+def mangle(name: str) -> str:
+    return "densest_" + name.replace(".", "_")
+
+
+def check_metrics(path: str, registered: dict[str, set[str]],
+                  require_subsystems: list[str]) -> list[str]:
+    errors: list[str] = []
+    text = open(path).read()
+    if path.endswith(".json"):
+        doc = json.loads(text)
+        activity: dict[str, float] = {}
+        for kind in ("counters", "gauges", "histograms"):
+            if kind not in doc:
+                errors.append(f"{path}: JSON mirror missing '{kind}' object")
+        for name in registered["counter"]:
+            if name not in doc.get("counters", {}):
+                errors.append(f"{path}: counter '{name}' absent")
+            else:
+                activity[name] = doc["counters"][name]
+        for name in registered["gauge"]:
+            if name not in doc.get("gauges", {}):
+                errors.append(f"{path}: gauge '{name}' absent")
+        for name in registered["histogram"]:
+            if name not in doc.get("histograms", {}):
+                errors.append(f"{path}: histogram '{name}' absent")
+            else:
+                activity[name] = doc["histograms"][name].get("count", 0)
+    else:
+        activity = {}
+        for kind, names in registered.items():
+            for name in names:
+                mangled = mangle(name)
+                # A histogram family exposes _bucket/_sum/_count series; a
+                # scalar family exposes the bare name.
+                probes = (
+                    [mangled + "_bucket", mangled + "_sum", mangled + "_count"]
+                    if kind == "histogram"
+                    else [mangled]
+                )
+                for probe in probes:
+                    if not re.search(
+                        r"^" + re.escape(probe) + r"[ {]", text, re.M
+                    ):
+                        errors.append(
+                            f"{path}: {kind} '{name}' absent "
+                            f"(no '{probe}' series)"
+                        )
+                if kind == "histogram":
+                    m = re.search(
+                        r"^" + re.escape(mangled) + r"_count (\S+)", text, re.M
+                    )
+                    activity[name] = float(m.group(1)) if m else 0.0
+                elif kind == "counter":
+                    m = re.search(
+                        r"^" + re.escape(mangled) + r" (\S+)", text, re.M
+                    )
+                    activity[name] = float(m.group(1)) if m else 0.0
+    for prefix in require_subsystems:
+        if not any(
+            name.startswith(prefix + ".") and value > 0
+            for name, value in activity.items()
+        ):
+            errors.append(
+                f"{path}: no activity in subsystem '{prefix}' "
+                "(every counter and histogram count is 0)"
+            )
+    return errors
+
+
+def check_trace(path: str, require_events: int) -> list[str]:
+    errors: list[str] = []
+    try:
+        doc = json.loads(open(path).read())
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: trace not loadable JSON: {e}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: no 'traceEvents' array"]
+    if len(events) < require_events:
+        errors.append(
+            f"{path}: {len(events)} events, expected >= {require_events}"
+        )
+    by_tid: dict[int, list[tuple[float, float, str]]] = {}
+    for i, ev in enumerate(events):
+        for field in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if field not in ev:
+                errors.append(f"{path}: event #{i} missing '{field}'")
+                break
+        else:
+            if ev["ph"] != "X":
+                errors.append(
+                    f"{path}: event #{i} ph='{ev['ph']}', expected 'X'"
+                )
+                continue
+            if ev["dur"] < 0 or ev["ts"] < 0:
+                errors.append(f"{path}: event #{i} has negative ts/dur")
+                continue
+            by_tid.setdefault(ev["tid"], []).append(
+                (ev["ts"], ev["ts"] + ev["dur"], ev["name"])
+            )
+    # Well-nestedness per thread: spans sorted by (start, -end) must form a
+    # stack — each span either contained in the enclosing one or after it.
+    for tid, spans in sorted(by_tid.items()):
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack: list[tuple[float, float, str]] = []
+        for start, end, name in spans:
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                errors.append(
+                    f"{path}: tid {tid}: span '{name}' [{start},{end}] "
+                    f"half-overlaps '{stack[-1][2]}' "
+                    f"[{stack[-1][0]},{stack[-1][1]}]"
+                )
+                continue
+            stack.append((start, end, name))
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of tools/)",
+    )
+    parser.add_argument("--metrics", help="metrics exposition file to check")
+    parser.add_argument("--trace", help="trace JSON file to check")
+    parser.add_argument("--require-events", type=int, default=1)
+    parser.add_argument("--require-subsystems", default="")
+    args = parser.parse_args()
+    if not args.metrics and not args.trace:
+        parser.error("nothing to check: pass --metrics and/or --trace")
+
+    errors: list[str] = []
+    if args.metrics:
+        registered = load_registered_names(args.root)
+        subsystems = [s for s in args.require_subsystems.split(",") if s]
+        errors += check_metrics(args.metrics, registered, subsystems)
+    if args.trace:
+        errors += check_trace(args.trace, args.require_events)
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"check_obs: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print("check_obs: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

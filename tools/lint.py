@@ -9,6 +9,12 @@ check — the conventions the correctness story leans on:
                        listed in src/common/failpoint_names.h, every
                        registered name is evaluated by some seam, and all
                        names follow the `subsystem.operation` grammar.
+  metric-registry      Every DENSEST_METRIC_COUNTER/GAUGE/HISTOGRAM and
+                       DENSEST_TRACE_SPAN name literal in src/ is listed in
+                       the matching array of src/obs/metric_names.h, every
+                       registered name has a call site, and all names
+                       follow the `subsystem.operation` grammar (the
+                       reserved "t." test prefix is exempt).
   nodiscard            `class Status` / `class StatusOr` (and the result
                        structs the engines return) keep their
                        [[nodiscard]] attribute — without it the
@@ -205,6 +211,87 @@ class Linter:
                 "(dead registry entry)",
             )
 
+    # ------------------------------------------------ metric-name registry --
+
+    # array in src/obs/metric_names.h -> the macro whose literals it indexes
+    METRIC_ARRAYS = {
+        "counter": ("kCounterNames", "DENSEST_METRIC_COUNTER"),
+        "gauge": ("kGaugeNames", "DENSEST_METRIC_GAUGE"),
+        "histogram": ("kHistogramNames", "DENSEST_METRIC_HISTOGRAM"),
+        "trace span": ("kTraceSpanNames", "DENSEST_TRACE_SPAN"),
+    }
+
+    def check_metrics(self):
+        check = "metric-registry"
+        reg_path = os.path.join(self.root, "src/obs/metric_names.h")
+        if not os.path.exists(reg_path):
+            self.report(check, reg_path, 1, "registry file missing")
+            return
+        reg_text = open(reg_path).read()
+        reg_code = strip_comments(reg_text, keep_strings=True)
+
+        def reg_line(name: str) -> int:
+            return next(
+                (i for i, l in enumerate(reg_text.splitlines(), 1)
+                 if f'"{name}"' in l),
+                1,
+            )
+
+        registered: dict[str, set[str]] = {}
+        for kind, (array, _) in self.METRIC_ARRAYS.items():
+            m = re.search(
+                re.escape(array) + r"\[\]\s*=\s*\{(.*?)\};", reg_code, re.S
+            )
+            if m is None:
+                self.report(check, reg_path, 1,
+                            f"{array} initializer not found")
+                registered[kind] = set()
+                continue
+            names = set(re.findall(r'"([^"]+)"', m.group(1)))
+            registered[kind] = names
+            for name in sorted(names):
+                if not FAILPOINT_GRAMMAR.match(name):
+                    self.report(
+                        check, reg_path, reg_line(name),
+                        f"registered {kind} name '{name}' violates "
+                        "subsystem.operation grammar",
+                    )
+
+        macro_kind = {macro: kind
+                      for kind, (_, macro) in self.METRIC_ARRAYS.items()}
+        seam_re = re.compile(
+            r"(" + "|".join(re.escape(m) for m in macro_kind) + r')\s*\(\s*"([^"]+)"'
+        )
+        used: dict[str, set[str]] = {kind: set() for kind in registered}
+        for path in source_files(self.root, subdirs=("src",)):
+            text = strip_comments(open(path).read(), keep_strings=True)
+            for i, line_text in enumerate(text.splitlines(), 1):
+                for m in seam_re.finditer(line_text):
+                    kind = macro_kind[m.group(1)]
+                    name = m.group(2)
+                    used[kind].add(name)
+                    if name.startswith("t."):
+                        continue  # reserved test prefix, never registered
+                    if not FAILPOINT_GRAMMAR.match(name):
+                        self.report(
+                            check, path, i,
+                            f"{kind} name '{name}' violates "
+                            "subsystem.operation grammar",
+                        )
+                    elif name not in registered[kind]:
+                        self.report(
+                            check, path, i,
+                            f"{kind} '{name}' not listed in "
+                            "src/obs/metric_names.h",
+                        )
+        for kind in registered:
+            for name in sorted(registered[kind] - used[kind]):
+                self.report(
+                    check, reg_path, reg_line(name),
+                    f"registered {kind} '{name}' has no call site "
+                    "(dead registry entry)",
+                )
+
     # ------------------------------------------------------- [[nodiscard]] --
 
     # type name -> header that must declare it [[nodiscard]]
@@ -358,6 +445,7 @@ class Linter:
 
     def run(self) -> int:
         self.check_failpoints()
+        self.check_metrics()
         self.check_nodiscard()
         self.check_naked_new()
         self.check_tools_includes()
@@ -430,6 +518,47 @@ def self_test(repo_root: str) -> int:
         expect("failpoint-grammar", lint.violations, "BadGrammar")
         expect("failpoint-dead-entry", lint.violations, "zombie.entry")
 
+    # 1b. Metric-name registry: unregistered + ill-formed names, a dead
+    # entry, a counter literal misfiled under the gauge array, and the
+    # exempt "t." test prefix.
+    with tempfile.TemporaryDirectory() as tmp:
+        make_tree(tmp)
+        os.makedirs(os.path.join(tmp, "src/obs"), exist_ok=True)
+        with open(os.path.join(tmp, "src/obs/metric_names.h"), "w") as f:
+            f.write(
+                "inline constexpr std::string_view kCounterNames[] = {\n"
+                '    "core.passes",\n'
+                '    "zombie.counter",\n'
+                "};\n"
+                "inline constexpr std::string_view kGaugeNames[] = {\n"
+                '    "BadMetricGrammar",\n'
+                "};\n"
+                "inline constexpr std::string_view kHistogramNames[] = {\n"
+                "};\n"
+                "inline constexpr std::string_view kTraceSpanNames[] = {\n"
+                '    "core.pass_round",\n'
+                "};\n"
+            )
+        with open(os.path.join(tmp, "src/obs/seams.cc"), "w") as f:
+            f.write(
+                'auto c = DENSEST_METRIC_COUNTER("core.passes");\n'
+                'auto d = DENSEST_METRIC_COUNTER("metric.unregistered");\n'
+                'auto e = DENSEST_METRIC_GAUGE("core.passes");\n'
+                'auto g = DENSEST_METRIC_COUNTER("t.test_only");\n'
+                'DENSEST_TRACE_SPAN("core.pass_round");\n'
+            )
+        lint = Linter(tmp)
+        lint.check_metrics()
+        expect("metric-unregistered", lint.violations, "metric.unregistered")
+        expect("metric-grammar", lint.violations, "BadMetricGrammar")
+        expect("metric-dead-entry", lint.violations, "zombie.counter")
+        expect("metric-kind-confusion", lint.violations,
+               "gauge 'core.passes' not listed")
+        if any("t.test_only" in v for v in lint.violations):
+            failures.append(
+                f"self-test: 't.' test prefix wrongly flagged: {lint.violations}"
+            )
+
     # 2. Lost [[nodiscard]].
     with tempfile.TemporaryDirectory() as tmp:
         make_tree(tmp)
@@ -494,6 +623,7 @@ def self_test(repo_root: str) -> int:
     # 6. The real tree must be clean (the blocking-CI contract).
     real = Linter(repo_root)
     real.check_failpoints()
+    real.check_metrics()
     real.check_nodiscard()
     real.check_naked_new()
     real.check_tools_includes()
